@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestBuildStudy(t *testing.T) {
+	if _, err := buildStudy("tableI", 5, 10, 20, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := buildStudy("fig1", 5, 10, 20, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := buildStudy("nope", 5, 10, 20, 1); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestCmdMeasureClusterRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "runs.csv")
+	if err := cmdMeasure([]string{"-workload", "tableI", "-n", "2", "-N", "5", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() == 0 {
+		t.Fatal("empty CSV written")
+	}
+	// Re-cluster the archived measurements (footnote-5 workflow).
+	if err := cmdCluster([]string{"-in", out, "-reps", "10"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdClusterErrors(t *testing.T) {
+	if err := cmdCluster([]string{}); err == nil {
+		t.Fatal("missing -in accepted")
+	}
+	if err := cmdCluster([]string{"-in", "/nonexistent/file.csv"}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestCmdStudy(t *testing.T) {
+	if err := cmdStudy([]string{"-workload", "tableI", "-n", "2", "-N", "5", "-reps", "10"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdStudy([]string{"-workload", "bogus"}); err == nil {
+		t.Fatal("bogus workload accepted")
+	}
+}
+
+func TestCmdPlacements(t *testing.T) {
+	if err := cmdPlacements([]string{"-tasks", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdPlacements([]string{"-tasks", "0"}); err == nil {
+		t.Fatal("zero tasks accepted")
+	}
+	if err := cmdPlacements([]string{"-tasks", "99"}); err == nil {
+		t.Fatal("huge task count accepted")
+	}
+}
+
+func TestCmdKernels(t *testing.T) {
+	if err := cmdKernels([]string{"-size", "16", "-N", "5", "-reps", "10"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdRace(t *testing.T) {
+	if err := cmdRace([]string{"-workload", "tableI", "-n", "2", "-round", "5", "-rounds", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdRace([]string{"-workload", "bogus"}); err == nil {
+		t.Fatal("bogus workload accepted")
+	}
+}

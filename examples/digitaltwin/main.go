@@ -1,0 +1,85 @@
+// Digital-twin example: the paper's first motivating application. A
+// multi-scale simulation hierarchy solves four Regularized Least Squares
+// problems of increasing scale, each feeding the next (results of one
+// simulation drive the next — no concurrency possible). The 16 placements
+// across the edge device and the accelerator are clustered, then an
+// algorithm is selected under an edge-device FLOP budget: the digital twin
+// must keep responding even when the edge node is energy constrained.
+//
+//	go run ./examples/digitaltwin
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"relperf"
+	"relperf/internal/decision"
+	"relperf/internal/sim"
+	"relperf/internal/workload"
+)
+
+func main() {
+	// A four-level hierarchy: coarse model, two refinement levels, and a
+	// fine full-field solve. Sizes grow like a multi-grid hierarchy.
+	specs := []workload.MathTaskSpec{
+		{Name: "coarse", Size: 40, Iters: 10, Lambda: 0.5},
+		{Name: "mid", Size: 90, Iters: 10, Lambda: 0.5},
+		{Name: "fine", Size: 180, Iters: 10, Lambda: 0.5},
+		{Name: "full", Size: 360, Iters: 10, Lambda: 0.5},
+	}
+	platform := relperf.DefaultPlatform()
+	program := &sim.Program{Name: "digital-twin"}
+	for i := range specs {
+		program.Tasks = append(program.Tasks, specs[i].Task(platform.Accel.PeakFlops))
+	}
+
+	study, err := relperf.NewStudy(relperf.StudyConfig{
+		Platform: platform,
+		Program:  program,
+		N:        30,
+		Reps:     100,
+		Seed:     3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	result, err := study.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := result.WriteReport(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// Selection under an edge FLOP budget: the twin's edge node may spend
+	// at most 0.1 GFLOP per update cycle.
+	const budget = 100_000_000
+	pick, err := decision.ChooseWithinEdgeBudget(result.Profiles, budget)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nWith an edge budget of %.1e FLOPs per update, run alg%s "+
+		"(class C%d, %.2f ms, %.2e edge FLOPs).\n",
+		float64(budget), pick.Name, pick.Rank, pick.MeanSeconds*1e3, float64(pick.EdgeFlops))
+
+	// Unconstrained best, for contrast.
+	best, err := decision.ChooseWithinEdgeBudget(result.Profiles, 1<<62)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Unconstrained, the fastest class contains alg%s (%.2f ms).\n",
+		best.Name, best.MeanSeconds*1e3)
+	fmt.Printf("Cost of the budget: %.2f ms per update cycle.\n",
+		(pick.MeanSeconds-best.MeanSeconds)*1e3)
+
+	// The hierarchy really computes: run the chain once on the host to show
+	// the penalty threading of Procedure 5/6.
+	real, err := workload.RunScientificCode(3, specs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nOne real execution of the hierarchy (host kernels): final penalty %.6f\n",
+		real.FinalPenalty)
+}

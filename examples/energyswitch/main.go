@@ -1,0 +1,84 @@
+// Energy-aware switching example: the paper's closing Section-IV scenario.
+// The application would ideally run everything on the edge device (algDDD),
+// but the device cannot sustain the energy draw. When its thermal/energy
+// accumulator crosses a threshold, the session switches to the most
+// offloading algorithm of the neighbouring performance classes (algDAA in
+// the paper) and switches back after the device cools.
+//
+//	go run ./examples/energyswitch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"relperf"
+	"relperf/internal/decision"
+)
+
+func main() {
+	// Cluster the Table-I placements first: the policy needs to know which
+	// algorithms are equivalent-or-close in speed before trading energy.
+	study, err := relperf.NewStudy(relperf.StudyConfig{
+		Program: relperf.TableIProgram(10),
+		N:       30,
+		Reps:    100,
+		Seed:    5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	result, err := study.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	preferred, err := result.ProfileByName("DDD")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The fallback is the most offloading algorithm at DDD's class or
+	// better — the paper picks algDAA.
+	fallback, err := decision.MostOffloading(result.Profiles, preferred.Rank)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("preferred alg%s: %.2f ms, %.2f J on the edge per run\n",
+		preferred.Name, preferred.MeanSeconds*1e3, preferred.EdgeJoules)
+	fmt.Printf("fallback  alg%s: %.2f ms, %.2f J on the edge per run\n\n",
+		fallback.Name, fallback.MeanSeconds*1e3, fallback.EdgeJoules)
+
+	switcher := &decision.Switcher{
+		Preferred:        preferred,
+		Fallback:         fallback,
+		HighWater:        8, // joules in the thermal accumulator
+		LowWater:         2,
+		DissipationWatts: 30,
+	}
+	session, err := switcher.RunSession(200)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("200 back-to-back jobs: %d switches, %d jobs on the fallback (%.0f%%)\n",
+		session.Switches, session.FallbackJobs, 100*float64(session.FallbackJobs)/200)
+	fmt.Printf("session time %.2f s, edge energy %.1f J, peak accumulator %.2f J\n\n",
+		session.TotalSeconds, session.TotalEdgeJoules, session.PeakEnergy)
+
+	// Contrast with never switching: the naive session overheats.
+	naive := &decision.Switcher{
+		Preferred:        preferred,
+		Fallback:         preferred, // "switching" to itself
+		HighWater:        switcher.HighWater,
+		LowWater:         switcher.LowWater,
+		DissipationWatts: switcher.DissipationWatts,
+	}
+	naiveSession, err := naive.RunSession(200)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("without switching, the accumulator peaks at %.1f J (vs %.1f J budget) —\n"+
+		"the policy keeps the device within budget at a cost of %.1f ms per job on average.\n",
+		naiveSession.PeakEnergy, switcher.HighWater,
+		(session.TotalSeconds-naiveSession.TotalSeconds)/200*1e3)
+}

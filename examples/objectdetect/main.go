@@ -1,0 +1,101 @@
+// Hierarchical object-detection example: the paper's second motivating
+// application. A drone's onboard SoC runs a low-fidelity detector for quick
+// identification; a high-fidelity corrector runs in the background, and the
+// correction lag depends on how the stages are split between the SoC and an
+// edge-server GPU behind a 5G link. Model weights are resident on both
+// sides, so offloading a stage ships only its activations — a different
+// data-movement regime from the host-centric TensorFlow model of the paper's
+// testbed, and the regime in which wireless offload can pay at all.
+//
+//	go run ./examples/objectdetect
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"relperf"
+	"relperf/internal/decision"
+	"relperf/internal/device"
+	"relperf/internal/sim"
+)
+
+func main() {
+	platform := &sim.Platform{
+		Edge:  device.Smartphone(),
+		Accel: device.P100(),
+		Link:  device.FiveG(),
+	}
+
+	// The three dependent stages of the detection pipeline, in resource
+	// terms. Only activations cross the link (weights are resident):
+	//  - preprocess: image decode + feature pyramid (moderate compute,
+	//    a full frame of data — expensive to ship).
+	//  - lofi: the quick detector, many small kernels over 60 regions
+	//    (little compute, but per-region round trips — latency-bound
+	//    when offloaded).
+	//  - hifi: the corrector, heavy compute on one compact feature map —
+	//    the natural offload candidate.
+	program := &sim.Program{
+		Name: "object-detection",
+		Tasks: []sim.Task{
+			{
+				Name: "preprocess", Flops: 400e6, Launches: 12,
+				HostInBytes: 8e6, HostOutBytes: 2e6, Transfers: 4,
+				EdgeEff: 0.8, AccelEff: 0.05,
+			},
+			{
+				Name: "lofi-detector", Flops: 250e6, Launches: 60,
+				HostInBytes: 6e6, HostOutBytes: 1e6, Transfers: 60,
+				EdgeEff: 0.8, AccelEff: 0.02,
+			},
+			{
+				Name: "hifi-corrector", Flops: 2.7e9, Launches: 10,
+				HostInBytes: 4e6, HostOutBytes: 1e6, Transfers: 3,
+				EdgeEff: 0.8, AccelEff: 0.3,
+			},
+		},
+	}
+
+	study, err := relperf.NewStudy(relperf.StudyConfig{
+		Platform: platform,
+		Program:  program,
+		N:        50,
+		Reps:     100,
+		Seed:     4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	result, err := study.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := result.WriteReport(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// From the fastest classes, pick the member that burns the fewest
+	// FLOPs on the battery-powered drone.
+	pick, err := decision.MostOffloading(result.Profiles, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nAmong the top classes, alg%s offloads the most "+
+		"(%.2e FLOPs stay on the drone; lag %.1f ms).\n",
+		pick.Name, float64(pick.EdgeFlops), pick.MeanSeconds*1e3)
+
+	local, err := result.ProfileByName("DDD")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("All-onboard (algDDD) lag: %.1f ms (class C%d).\n",
+		local.MeanSeconds*1e3, local.Rank)
+	best, err := decision.ChooseWithinEdgeBudget(result.Profiles, 1<<62)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Fastest split: alg%s at %.1f ms — %.2fx over all-onboard.\n",
+		best.Name, best.MeanSeconds*1e3, decision.Speedup(best, local))
+}

@@ -1,0 +1,281 @@
+// Package compare implements the three-way comparison of performance
+// distributions at the heart of relative-performance analysis: given two sets
+// of execution-time measurements, decide whether the first algorithm is
+// Better, Worse, or Equivalent to the second.
+//
+// The primary comparator is the bootstrap strategy of Sankaran & Bientinesi,
+// "Robust ranking of equivalent algorithms via relative performance"
+// (arXiv:2010.07226, Section IV), which the paper under reproduction uses
+// verbatim: repeatedly resample both measurement sets, compare a vector of
+// quantiles on each resample, and convert the aggregate win rate into one of
+// the three outcomes. Because the resampling is random, the comparator is
+// intentionally stochastic near the decision thresholds — this is what makes
+// repeated clustering (Procedure 4) produce fractional relative scores such
+// as the paper's "algAA is equivalent to algAD once in every three
+// comparisons".
+//
+// Deterministic alternatives (Kolmogorov–Smirnov, Mann–Whitney, mean
+// difference with bootstrap CI) are provided for the comparator-ablation
+// benchmarks.
+package compare
+
+import (
+	"errors"
+	"fmt"
+
+	"relperf/internal/stats"
+	"relperf/internal/xrand"
+)
+
+// Outcome is the result of a three-way comparison. Measurements are
+// execution times, so smaller is better throughout.
+type Outcome int
+
+const (
+	// Worse means the first algorithm's distribution is significantly
+	// slower than the second's.
+	Worse Outcome = iota - 1
+	// Equivalent means the distributions overlap too much to separate.
+	Equivalent
+	// Better means the first algorithm is significantly faster.
+	Better
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case Better:
+		return "better"
+	case Worse:
+		return "worse"
+	case Equivalent:
+		return "equivalent"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Flip returns the outcome from the other algorithm's perspective.
+func (o Outcome) Flip() Outcome { return -o }
+
+// ErrBadSample is returned when a comparator receives an unusable sample.
+var ErrBadSample = errors.New("compare: sample must contain at least one measurement")
+
+// Comparator decides the relative performance of two measurement sets.
+// Implementations may be stochastic (the bootstrap comparator is); callers
+// that need reproducibility must construct comparators from seeded RNGs.
+type Comparator interface {
+	// Compare returns Better if a is significantly faster than b, Worse if
+	// significantly slower, and Equivalent otherwise.
+	Compare(a, b []float64) (Outcome, error)
+}
+
+// Bootstrap is the paper's comparator. For each of Rounds bootstrap rounds it
+// draws one resample (with replacement) from each measurement set, evaluates
+// the configured quantiles on both resamples, and counts, quantile by
+// quantile, how often a's value is strictly below b's. The aggregate win rate
+// r in [0, 1] (ties count 1/2) maps to:
+//
+//	r >= 0.5 + Margin  →  Better
+//	r <= 0.5 - Margin  →  Worse
+//	otherwise          →  Equivalent
+type Bootstrap struct {
+	rng *xrand.Rand
+	// Quantiles are evaluated on every resample; the defaults probe the
+	// body of the distribution (0.25, 0.5, 0.75) so single outliers do not
+	// decide a comparison.
+	Quantiles []float64
+	// Rounds is the number of bootstrap iterations (default 100).
+	Rounds int
+	// Margin is the half-width of the equivalence band around 0.5
+	// (default 0.3: win rates within [0.2, 0.8] are "equivalent").
+	Margin float64
+}
+
+// DefaultQuantiles probe the body of the distribution.
+var DefaultQuantiles = []float64{0.25, 0.5, 0.75}
+
+// NewBootstrap returns a bootstrap comparator with the default settings and
+// the given seed.
+func NewBootstrap(seed uint64) *Bootstrap {
+	return &Bootstrap{
+		rng:       xrand.New(seed),
+		Quantiles: DefaultQuantiles,
+		Rounds:    100,
+		Margin:    0.3,
+	}
+}
+
+// NewBootstrapFrom returns a bootstrap comparator drawing randomness from an
+// existing generator (e.g. one Split off a study-level RNG).
+func NewBootstrapFrom(rng *xrand.Rand) *Bootstrap {
+	b := NewBootstrap(0)
+	b.rng = rng
+	return b
+}
+
+// WinRate runs the bootstrap and returns the aggregate rate at which a beats
+// b across rounds and quantiles. Exposed for diagnostics and tests; Compare
+// thresholds this value.
+func (c *Bootstrap) WinRate(a, b []float64) (float64, error) {
+	if len(a) == 0 || len(b) == 0 {
+		return 0, ErrBadSample
+	}
+	rounds := c.Rounds
+	if rounds <= 0 {
+		rounds = 100
+	}
+	qs := c.Quantiles
+	if len(qs) == 0 {
+		qs = DefaultQuantiles
+	}
+	bufA := make([]float64, len(a))
+	bufB := make([]float64, len(b))
+	var wins, total float64
+	for r := 0; r < rounds; r++ {
+		c.rng.Resample(bufA, a)
+		c.rng.Resample(bufB, b)
+		sortInPlace(bufA)
+		sortInPlace(bufB)
+		for _, q := range qs {
+			va := stats.QuantileSorted(bufA, q)
+			vb := stats.QuantileSorted(bufB, q)
+			switch {
+			case va < vb:
+				wins++
+			case va == vb:
+				wins += 0.5
+			}
+			total++
+		}
+	}
+	return wins / total, nil
+}
+
+// Compare implements Comparator.
+func (c *Bootstrap) Compare(a, b []float64) (Outcome, error) {
+	r, err := c.WinRate(a, b)
+	if err != nil {
+		return Equivalent, err
+	}
+	margin := c.Margin
+	if margin <= 0 {
+		margin = 0.3
+	}
+	switch {
+	case r >= 0.5+margin:
+		return Better, nil
+	case r <= 0.5-margin:
+		return Worse, nil
+	default:
+		return Equivalent, nil
+	}
+}
+
+// sortInPlace is insertion sort; bootstrap resamples are short.
+func sortInPlace(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		v := xs[i]
+		j := i - 1
+		for j >= 0 && xs[j] > v {
+			xs[j+1] = xs[j]
+			j--
+		}
+		xs[j+1] = v
+	}
+}
+
+// KS is a deterministic comparator: two samples differ when the two-sample
+// Kolmogorov–Smirnov test rejects at level Alpha; the direction is then
+// decided by the medians.
+type KS struct {
+	// Alpha is the significance level (default 0.05).
+	Alpha float64
+}
+
+// Compare implements Comparator.
+func (c KS) Compare(a, b []float64) (Outcome, error) {
+	if len(a) == 0 || len(b) == 0 {
+		return Equivalent, ErrBadSample
+	}
+	alpha := c.Alpha
+	if alpha <= 0 {
+		alpha = 0.05
+	}
+	d := stats.KSStatistic(a, b)
+	p := stats.KSPValue(d, len(a), len(b))
+	if p >= alpha {
+		return Equivalent, nil
+	}
+	if stats.Median(a) < stats.Median(b) {
+		return Better, nil
+	}
+	return Worse, nil
+}
+
+// MannWhitney is a deterministic comparator using the Mann–Whitney U test.
+type MannWhitney struct {
+	// Alpha is the significance level (default 0.05).
+	Alpha float64
+}
+
+// Compare implements Comparator.
+func (c MannWhitney) Compare(a, b []float64) (Outcome, error) {
+	if len(a) == 0 || len(b) == 0 {
+		return Equivalent, ErrBadSample
+	}
+	alpha := c.Alpha
+	if alpha <= 0 {
+		alpha = 0.05
+	}
+	u, p := stats.MannWhitneyU(a, b)
+	if p >= alpha {
+		return Equivalent, nil
+	}
+	// u counts pairs where a exceeds b; small u means a is faster.
+	if u < float64(len(a))*float64(len(b))/2 {
+		return Better, nil
+	}
+	return Worse, nil
+}
+
+// MeanThreshold is the naive single-number baseline the paper argues
+// against: compare sample means and call anything within RelTol equivalent.
+// Included for the comparator ablation, where its instability under noise is
+// demonstrated.
+type MeanThreshold struct {
+	// RelTol is the relative mean difference below which samples are
+	// equivalent (default 0.02).
+	RelTol float64
+}
+
+// Compare implements Comparator.
+func (c MeanThreshold) Compare(a, b []float64) (Outcome, error) {
+	if len(a) == 0 || len(b) == 0 {
+		return Equivalent, ErrBadSample
+	}
+	tol := c.RelTol
+	if tol <= 0 {
+		tol = 0.02
+	}
+	ma, mb := stats.Mean(a), stats.Mean(b)
+	scale := (ma + mb) / 2
+	if scale <= 0 {
+		scale = 1
+	}
+	diff := (ma - mb) / scale
+	switch {
+	case diff < -tol:
+		return Better, nil
+	case diff > tol:
+		return Worse, nil
+	default:
+		return Equivalent, nil
+	}
+}
+
+// Func adapts a plain function to the Comparator interface.
+type Func func(a, b []float64) (Outcome, error)
+
+// Compare implements Comparator.
+func (f Func) Compare(a, b []float64) (Outcome, error) { return f(a, b) }

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"relperf/internal/xrand"
+)
+
+// ClusterOptions configures Procedure 4.
+type ClusterOptions struct {
+	// Reps is the number of shuffled sort repetitions (the paper's Rep);
+	// default 100. The measurements are NOT re-collected between
+	// repetitions (paper footnote 5) — only the initial order and the
+	// comparator's internal bootstrap randomness vary.
+	Reps int
+	// Seed drives the shuffles; the comparator's own randomness is
+	// whatever the caller built into cmp.
+	Seed uint64
+}
+
+// Membership is one algorithm's relative score with respect to a cluster.
+type Membership struct {
+	// Alg is the algorithm index.
+	Alg int
+	// Score is w/Rep: the fraction of repetitions assigning Alg this rank.
+	Score float64
+}
+
+// ClusterResult is the outcome of Procedure 4 over all ranks.
+type ClusterResult struct {
+	// P is the number of algorithms, Reps the repetitions performed.
+	P, Reps int
+	// Scores[alg][r-1] is the relative score of algorithm alg for rank r.
+	// Rows sum to 1 (every repetition assigns exactly one rank).
+	Scores [][]float64
+	// Clusters[r-1] lists, in decreasing score order, the algorithms that
+	// obtained rank r in at least one repetition — the paper's
+	// GetCluster(A, Rep, r) output.
+	Clusters [][]Membership
+	// K is the largest rank observed in any repetition.
+	K int
+	// MeanK is the average cluster count across repetitions.
+	MeanK float64
+}
+
+// Cluster repeats Procedure 1 Reps times over shuffled initial sequences and
+// aggregates the rank assignments into relative scores (Procedure 4 for
+// every rank at once).
+func Cluster(p int, cmp CompareFunc, opts ClusterOptions) (*ClusterResult, error) {
+	if p <= 0 {
+		return nil, ErrNoAlgorithms
+	}
+	reps := opts.Reps
+	if reps <= 0 {
+		reps = 100
+	}
+	rng := xrand.New(opts.Seed)
+	counts := make([][]int, p)
+	for i := range counts {
+		counts[i] = make([]int, p) // rank r stored at r-1; ranks never exceed p
+	}
+	initial := make([]int, p)
+	for i := range initial {
+		initial[i] = i
+	}
+	res := &ClusterResult{P: p, Reps: reps}
+	var sumK int
+	for rep := 0; rep < reps; rep++ {
+		rng.ShuffleInts(initial)
+		sr, err := Sort(p, cmp, SortOptions{Initial: initial})
+		if err != nil {
+			return nil, fmt.Errorf("core: clustering repetition %d: %w", rep, err)
+		}
+		for pos, alg := range sr.Order {
+			r := sr.Ranks[pos]
+			counts[alg][r-1]++
+			if r > res.K {
+				res.K = r
+			}
+		}
+		sumK += sr.K()
+	}
+	res.MeanK = float64(sumK) / float64(reps)
+
+	res.Scores = make([][]float64, p)
+	for a := 0; a < p; a++ {
+		res.Scores[a] = make([]float64, res.K)
+		for r := 0; r < res.K; r++ {
+			res.Scores[a][r] = float64(counts[a][r]) / float64(reps)
+		}
+	}
+	res.Clusters = make([][]Membership, res.K)
+	for r := 0; r < res.K; r++ {
+		for a := 0; a < p; a++ {
+			if counts[a][r] > 0 {
+				res.Clusters[r] = append(res.Clusters[r], Membership{Alg: a, Score: res.Scores[a][r]})
+			}
+		}
+		sort.SliceStable(res.Clusters[r], func(i, j int) bool {
+			return res.Clusters[r][i].Score > res.Clusters[r][j].Score
+		})
+	}
+	return res, nil
+}
+
+// GetCluster returns Procedure 4's output for a single rank r (1-based): the
+// algorithms that obtained rank r in at least one repetition, with their
+// relative scores, in decreasing score order.
+func (c *ClusterResult) GetCluster(r int) ([]Membership, error) {
+	if r < 1 || r > c.K {
+		return nil, fmt.Errorf("core: rank %d outside 1..%d", r, c.K)
+	}
+	return c.Clusters[r-1], nil
+}
+
+// FinalAssignment resolves the fractional memberships of Procedure 4 into
+// one cluster per algorithm, per the end of Section III: each algorithm goes
+// to the rank where it scored highest (earliest rank on ties), and its final
+// score cumulates the scores of that rank and all better ranks.
+type FinalAssignment struct {
+	// Rank[alg] is the compacted 1-based final class of the algorithm.
+	Rank []int
+	// Score[alg] is the cumulated relative score.
+	Score []float64
+	// K is the number of distinct final classes.
+	K int
+	// Classes[r-1] lists the algorithms of final class r in decreasing
+	// score order.
+	Classes [][]Membership
+}
+
+// Finalize computes the max-score assignment with score cumulation.
+func (c *ClusterResult) Finalize() (*FinalAssignment, error) {
+	if c.P == 0 {
+		return nil, ErrNoAlgorithms
+	}
+	rawRank := make([]int, c.P)
+	score := make([]float64, c.P)
+	for a := 0; a < c.P; a++ {
+		best, bestScore := -1, 0.0
+		for r := 0; r < c.K; r++ {
+			if s := c.Scores[a][r]; s > bestScore {
+				best, bestScore = r, s
+			}
+		}
+		if best < 0 {
+			return nil, errors.New("core: algorithm with no rank assignments")
+		}
+		rawRank[a] = best + 1
+		// Cumulate scores from better (smaller) ranks into the final score.
+		var cum float64
+		for r := 0; r <= best; r++ {
+			cum += c.Scores[a][r]
+		}
+		score[a] = cum
+	}
+
+	// Compact the chosen raw ranks to 1..K preserving order.
+	distinct := map[int]bool{}
+	for _, r := range rawRank {
+		distinct[r] = true
+	}
+	sorted := make([]int, 0, len(distinct))
+	for r := range distinct {
+		sorted = append(sorted, r)
+	}
+	sort.Ints(sorted)
+	remap := make(map[int]int, len(sorted))
+	for i, r := range sorted {
+		remap[r] = i + 1
+	}
+
+	fa := &FinalAssignment{
+		Rank:  make([]int, c.P),
+		Score: score,
+		K:     len(sorted),
+	}
+	fa.Classes = make([][]Membership, fa.K)
+	for a := 0; a < c.P; a++ {
+		fr := remap[rawRank[a]]
+		fa.Rank[a] = fr
+		fa.Classes[fr-1] = append(fa.Classes[fr-1], Membership{Alg: a, Score: score[a]})
+	}
+	for r := range fa.Classes {
+		sort.SliceStable(fa.Classes[r], func(i, j int) bool {
+			return fa.Classes[r][i].Score > fa.Classes[r][j].Score
+		})
+	}
+	return fa, nil
+}

@@ -1,0 +1,373 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"relperf/internal/compare"
+	"relperf/internal/xrand"
+)
+
+// Algorithm indices for the Figure 1/2 example, in the paper's initial
+// sequence order S = ⟨DD, AA, DA, AD⟩.
+const (
+	algDD = 0
+	algAA = 1
+	algDA = 2
+	algAD = 3
+)
+
+var fig2Names = []string{"DD", "AA", "DA", "AD"}
+
+// fig2Comparator encodes the N=500 ground truth of Figure 1b: AD is fastest,
+// AA second, DD and DA equivalent.
+func fig2Comparator(i, j int) (compare.Outcome, error) {
+	// speed class: smaller is faster.
+	class := map[int]int{algAD: 0, algAA: 1, algDD: 2, algDA: 2}
+	ci, cj := class[i], class[j]
+	switch {
+	case ci < cj:
+		return compare.Better, nil
+	case ci > cj:
+		return compare.Worse, nil
+	default:
+		return compare.Equivalent, nil
+	}
+}
+
+func TestFigure2TraceExact(t *testing.T) {
+	res, err := Sort(4, fig2Comparator, SortOptions{RecordTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Comparisons != 6 {
+		t.Fatalf("comparisons = %d, want 6", res.Comparisons)
+	}
+
+	// Final sequence per the paper:
+	// ⟨(AD,1), (AA,2), (DD,3), (DA,3)⟩.
+	wantOrder := []int{algAD, algAA, algDD, algDA}
+	wantRanks := []int{1, 2, 3, 3}
+	for i := range wantOrder {
+		if res.Order[i] != wantOrder[i] {
+			t.Fatalf("final order[%d] = %s, want %s (full: %v)",
+				i, fig2Names[res.Order[i]], fig2Names[wantOrder[i]], res.Order)
+		}
+		if res.Ranks[i] != wantRanks[i] {
+			t.Fatalf("final rank[%d] = %d, want %d (full: %v)", i, res.Ranks[i], wantRanks[i], res.Ranks)
+		}
+	}
+	if res.K() != 3 {
+		t.Fatalf("K = %d, want 3 performance classes", res.K())
+	}
+
+	// The six steps of the paper's Figure 2 narrative.
+	type wantStep struct {
+		left, right int
+		outcome     compare.Outcome
+		swapped     bool
+		shift       int
+		ranksAfter  []int
+	}
+	want := []wantStep{
+		// Step 1: DD vs AA — DD worse, swap, no rank change.
+		{algDD, algAA, compare.Worse, true, 0, []int{1, 2, 3, 4}},
+		// Step 2: DD vs DA — equivalent, merge: AD's rank corrected to 3.
+		{algDD, algDA, compare.Equivalent, false, -1, []int{1, 2, 2, 3}},
+		// Step 3: DA vs AD — DA worse, swap; AD joins rank 2; DA merged down.
+		{algDA, algAD, compare.Worse, true, -1, []int{1, 2, 2, 2}},
+		// Step 4 (uneventful in the narrative): AA vs DD — AA better.
+		{algAA, algDD, compare.Better, false, 0, []int{1, 2, 2, 2}},
+		// Step 5 (the paper's "step 4"): DD vs AD — swap; AD reached the top
+		// of its class, successors pushed to rank 3.
+		{algDD, algAD, compare.Worse, true, +1, []int{1, 2, 3, 3}},
+		// Step 6: AA vs AD — swap, no rank change; AD takes rank 1.
+		{algAA, algAD, compare.Worse, true, 0, []int{1, 2, 3, 3}},
+	}
+	if len(res.Trace) != len(want) {
+		t.Fatalf("trace has %d steps, want %d", len(res.Trace), len(want))
+	}
+	for i, w := range want {
+		g := res.Trace[i]
+		if g.Left != w.left || g.Right != w.right {
+			t.Fatalf("step %d compared %s vs %s, want %s vs %s",
+				i+1, fig2Names[g.Left], fig2Names[g.Right], fig2Names[w.left], fig2Names[w.right])
+		}
+		if g.Outcome != w.outcome || g.Swapped != w.swapped || g.RankShift != w.shift {
+			t.Fatalf("step %d: outcome=%v swapped=%v shift=%d, want %v/%v/%d",
+				i+1, g.Outcome, g.Swapped, g.RankShift, w.outcome, w.swapped, w.shift)
+		}
+		for k := range w.ranksAfter {
+			if g.RanksAfter[k] != w.ranksAfter[k] {
+				t.Fatalf("step %d ranks = %v, want %v", i+1, g.RanksAfter, w.ranksAfter)
+			}
+		}
+	}
+}
+
+func TestSortErrors(t *testing.T) {
+	if _, err := Sort(0, fig2Comparator, SortOptions{}); err != ErrNoAlgorithms {
+		t.Fatal("p=0 accepted")
+	}
+	if _, err := Sort(3, nil, SortOptions{}); err == nil {
+		t.Fatal("nil comparator accepted")
+	}
+	if _, err := Sort(3, fig2Comparator, SortOptions{Initial: []int{0, 1}}); err == nil {
+		t.Fatal("short initial accepted")
+	}
+	if _, err := Sort(3, fig2Comparator, SortOptions{Initial: []int{0, 0, 1}}); err == nil {
+		t.Fatal("non-permutation initial accepted")
+	}
+	if _, err := Sort(3, fig2Comparator, SortOptions{Initial: []int{0, 1, 5}}); err == nil {
+		t.Fatal("out-of-range initial accepted")
+	}
+}
+
+func TestSortComparatorErrorPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	cmp := func(i, j int) (compare.Outcome, error) { return 0, boom }
+	if _, err := Sort(3, cmp, SortOptions{}); !errors.Is(err, boom) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+}
+
+func TestSortInvalidOutcomeRejected(t *testing.T) {
+	cmp := func(i, j int) (compare.Outcome, error) { return compare.Outcome(42), nil }
+	if _, err := Sort(2, cmp, SortOptions{}); err == nil {
+		t.Fatal("invalid outcome accepted")
+	}
+}
+
+func TestSortSingleAlgorithm(t *testing.T) {
+	res, err := Sort(1, fig2Comparator, SortOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K() != 1 || res.Order[0] != 0 || res.Comparisons != 0 {
+		t.Fatalf("degenerate sort wrong: %+v", res)
+	}
+}
+
+func TestSortAllEquivalent(t *testing.T) {
+	cmp := func(i, j int) (compare.Outcome, error) { return compare.Equivalent, nil }
+	res, err := Sort(5, cmp, SortOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K() != 1 {
+		t.Fatalf("all-equivalent K = %d, want 1", res.K())
+	}
+	if err := res.ValidateInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortTotalOrder(t *testing.T) {
+	// Strict total order: algorithm index IS the speed rank.
+	cmp := func(i, j int) (compare.Outcome, error) {
+		if i < j {
+			return compare.Better, nil
+		}
+		if i > j {
+			return compare.Worse, nil
+		}
+		return compare.Equivalent, nil
+	}
+	res, err := Sort(6, cmp, SortOptions{Initial: []int{5, 3, 1, 0, 4, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pos, a := range res.Order {
+		if a != pos {
+			t.Fatalf("total order not recovered: %v", res.Order)
+		}
+	}
+	if res.K() != 6 {
+		t.Fatalf("strict order K = %d, want 6", res.K())
+	}
+}
+
+// latentComparator builds a consistent three-way comparator from latent
+// values: Equivalent within eps, otherwise ordered (smaller = faster).
+func latentComparator(vals []float64, eps float64) CompareFunc {
+	return func(i, j int) (compare.Outcome, error) {
+		d := vals[i] - vals[j]
+		switch {
+		case d < -eps:
+			return compare.Better, nil
+		case d > eps:
+			return compare.Worse, nil
+		default:
+			return compare.Equivalent, nil
+		}
+	}
+}
+
+func TestSortRecoversWellSeparatedGroups(t *testing.T) {
+	// Three groups far apart relative to eps: the sort must recover the
+	// grouping and the order regardless of the initial permutation.
+	vals := []float64{10, 10.1, 20, 20.1, 30, 30.1, 9.9}
+	// groups: {0,1,6}=fast, {2,3}=mid, {4,5}=slow ; eps=1.
+	cmp := latentComparator(vals, 1)
+	rng := xrand.New(42)
+	for trial := 0; trial < 50; trial++ {
+		init := rng.Perm(len(vals))
+		res, err := Sort(len(vals), cmp, SortOptions{Initial: init})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.ValidateInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		if res.K() != 3 {
+			t.Fatalf("trial %d: K = %d, want 3 (order %v ranks %v init %v)",
+				trial, res.K(), res.Order, res.Ranks, init)
+		}
+		wantGroup := map[int]int{0: 1, 1: 1, 6: 1, 2: 2, 3: 2, 4: 3, 5: 3}
+		for pos, a := range res.Order {
+			if res.Ranks[pos] != wantGroup[a] {
+				t.Fatalf("trial %d: alg %d got rank %d, want %d", trial, a, res.Ranks[pos], wantGroup[a])
+			}
+		}
+	}
+}
+
+func TestSortInvariantsUnderRandomConsistentComparators(t *testing.T) {
+	rng := xrand.New(7)
+	for trial := 0; trial < 200; trial++ {
+		p := rng.Intn(12) + 1
+		vals := make([]float64, p)
+		for i := range vals {
+			vals[i] = rng.Uniform(0, 10)
+		}
+		eps := rng.Uniform(0, 3)
+		init := rng.Perm(p)
+		res, err := Sort(p, latentComparator(vals, eps), SortOptions{Initial: init})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.ValidateInvariants(); err != nil {
+			t.Fatalf("trial %d (p=%d eps=%v): %v\nvals=%v order=%v ranks=%v",
+				trial, p, eps, err, vals, res.Order, res.Ranks)
+		}
+	}
+}
+
+func TestSortInvariantsUnderIntransitiveComparator(t *testing.T) {
+	// Rock-paper-scissors comparator: no consistent order exists, but the
+	// sort must still terminate with structurally valid output.
+	cmp := func(i, j int) (compare.Outcome, error) {
+		switch (i - j + 3) % 3 {
+		case 1:
+			return compare.Better, nil
+		case 2:
+			return compare.Worse, nil
+		}
+		return compare.Equivalent, nil
+	}
+	res, err := Sort(3, cmp, SortOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.ValidateInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortInvariantsUnderRandomNoisyComparator(t *testing.T) {
+	// Fully random outcomes: worst-case comparator instability; the
+	// structural invariants must still hold.
+	rng := xrand.New(13)
+	for trial := 0; trial < 100; trial++ {
+		p := rng.Intn(10) + 1
+		cmp := func(i, j int) (compare.Outcome, error) {
+			return compare.Outcome(rng.Intn(3) - 1), nil
+		}
+		res, err := Sort(p, cmp, SortOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.ValidateInvariants(); err != nil {
+			t.Fatalf("trial %d: %v (ranks %v)", trial, err, res.Ranks)
+		}
+	}
+}
+
+func TestRankOfAndClusters(t *testing.T) {
+	res, err := Sort(4, fig2Comparator, SortOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RankOf(algAD) != 1 || res.RankOf(algAA) != 2 || res.RankOf(algDD) != 3 || res.RankOf(algDA) != 3 {
+		t.Fatalf("RankOf wrong: %v %v", res.Order, res.Ranks)
+	}
+	if res.RankOf(99) != 0 {
+		t.Fatal("unknown algorithm should rank 0")
+	}
+	cl := res.Clusters()
+	if len(cl) != 3 {
+		t.Fatalf("clusters = %v", cl)
+	}
+	if len(cl[0]) != 1 || cl[0][0] != algAD {
+		t.Fatalf("C1 = %v", cl[0])
+	}
+	if len(cl[2]) != 2 {
+		t.Fatalf("C3 = %v", cl[2])
+	}
+}
+
+func TestSortComparisonCount(t *testing.T) {
+	// Bubble sort over p items always makes p(p-1)/2 comparisons.
+	for _, p := range []int{1, 2, 3, 5, 8} {
+		cmp := func(i, j int) (compare.Outcome, error) { return compare.Equivalent, nil }
+		res, err := Sort(p, cmp, SortOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := p * (p - 1) / 2
+		if res.Comparisons != want {
+			t.Fatalf("p=%d: %d comparisons, want %d", p, res.Comparisons, want)
+		}
+	}
+}
+
+func TestValidateInvariantsDetectsCorruption(t *testing.T) {
+	good, _ := Sort(3, fig2Comparator, SortOptions{Initial: []int{0, 1, 2}})
+	if err := good.ValidateInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	bad1 := &SortResult{Order: []int{0, 0, 1}, Ranks: []int{1, 1, 2}}
+	if bad1.ValidateInvariants() == nil {
+		t.Fatal("duplicate order accepted")
+	}
+	bad2 := &SortResult{Order: []int{0, 1}, Ranks: []int{2, 3}}
+	if bad2.ValidateInvariants() == nil {
+		t.Fatal("first rank != 1 accepted")
+	}
+	bad3 := &SortResult{Order: []int{0, 1}, Ranks: []int{1, 3}}
+	if bad3.ValidateInvariants() == nil {
+		t.Fatal("rank jump accepted")
+	}
+	bad4 := &SortResult{Order: []int{0}, Ranks: []int{1, 2}}
+	if bad4.ValidateInvariants() == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	empty := &SortResult{}
+	if empty.ValidateInvariants() != nil {
+		t.Fatal("empty result should be valid")
+	}
+}
+
+func TestSortDeterministicGivenDeterministicComparator(t *testing.T) {
+	a, _ := Sort(4, fig2Comparator, SortOptions{})
+	b, _ := Sort(4, fig2Comparator, SortOptions{})
+	for i := range a.Order {
+		if a.Order[i] != b.Order[i] || a.Ranks[i] != b.Ranks[i] {
+			t.Fatal("sort not deterministic")
+		}
+	}
+}
+
+// mathAbs avoids importing math for one call in this file's helpers.
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }

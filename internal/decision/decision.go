@@ -1,0 +1,189 @@
+// Package decision implements the algorithm-selection models of the paper's
+// Section IV. Clustering algorithms into performance classes is only the
+// means; the end is choosing an algorithm under criteria beyond raw speed:
+//
+//   - an operating-cost trade-off (is procuring/renting the accelerator
+//     worth the speed-up?),
+//   - a FLOP budget on the energy-constrained edge device,
+//   - an energy-aware switching policy that moves between algorithms of
+//     neighbouring performance classes as the device heats up and cools
+//     down (the paper's "switch to algDAA ... and then switch back to
+//     algDDD when the device cools down").
+package decision
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// AlgorithmProfile aggregates everything the decision models need to know
+// about one algorithm: its cluster from the relative-performance analysis
+// and its resource footprint from the measurement runs.
+type AlgorithmProfile struct {
+	// Name is the placement name ("DDA").
+	Name string
+	// Rank is the final performance class (1 = fastest).
+	Rank int
+	// Score is the final relative score (confidence of the class).
+	Score float64
+	// MeanSeconds is the mean measured execution time.
+	MeanSeconds float64
+	// EdgeFlops / AccelFlops are the FLOPs executed per device per run.
+	EdgeFlops, AccelFlops int64
+	// EdgeJoules / AccelJoules are modeled energies per run.
+	EdgeJoules, AccelJoules float64
+	// AccelSeconds is the accelerator busy time per run, the quantity an
+	// operating-cost model charges for.
+	AccelSeconds float64
+}
+
+// ErrNoCandidate is returned when no algorithm satisfies the constraints.
+var ErrNoCandidate = errors.New("decision: no algorithm satisfies the constraints")
+
+// CostModel prices a run: accelerator busy time costs money, and execution
+// time has value (latency-critical applications price milliseconds highly;
+// batch jobs price them at almost nothing). The paper: "a decision-model can
+// make a trade-off between n, relative scores and operating cost".
+type CostModel struct {
+	// AccelCostPerHour is the accelerator's operating cost in $/hour of
+	// busy time.
+	AccelCostPerHour float64
+	// TimeValuePerSecond is the application's value of saved time in $/s.
+	TimeValuePerSecond float64
+}
+
+// RunCost returns the modeled cost of one run of the algorithm.
+func (cm CostModel) RunCost(p AlgorithmProfile) float64 {
+	return p.AccelSeconds/3600*cm.AccelCostPerHour + p.MeanSeconds*cm.TimeValuePerSecond
+}
+
+// ChooseMinCost returns the profile with the lowest modeled cost; ties break
+// toward the better rank, then the higher score.
+func ChooseMinCost(profiles []AlgorithmProfile, cm CostModel) (AlgorithmProfile, error) {
+	if len(profiles) == 0 {
+		return AlgorithmProfile{}, ErrNoCandidate
+	}
+	best := profiles[0]
+	bestCost := cm.RunCost(best)
+	for _, p := range profiles[1:] {
+		c := cm.RunCost(p)
+		switch {
+		case c < bestCost:
+			best, bestCost = p, c
+		case c == bestCost && (p.Rank < best.Rank || (p.Rank == best.Rank && p.Score > best.Score)):
+			best = p
+		}
+	}
+	return best, nil
+}
+
+// Speedup returns how much faster a is than b (b.Mean / a.Mean).
+func Speedup(a, b AlgorithmProfile) float64 {
+	if a.MeanSeconds <= 0 {
+		return 0
+	}
+	return b.MeanSeconds / a.MeanSeconds
+}
+
+// ProcurementAnalysis answers the paper's "whether one should spend money on
+// an accelerator" question: it compares the best device-only algorithm with
+// the best overall algorithm.
+type ProcurementAnalysis struct {
+	// BestLocal is the fastest algorithm that uses no accelerator.
+	BestLocal AlgorithmProfile
+	// BestOverall is the fastest algorithm of all.
+	BestOverall AlgorithmProfile
+	// Speedup is BestLocal.Mean / BestOverall.Mean.
+	Speedup float64
+	// SecondsSavedPerRun is the absolute gain.
+	SecondsSavedPerRun float64
+	// AccelSecondsPerRun is what the accelerator must be paid for.
+	AccelSecondsPerRun float64
+}
+
+// AnalyzeProcurement computes the trade-off. Profiles with zero AccelFlops
+// count as device-only.
+func AnalyzeProcurement(profiles []AlgorithmProfile) (*ProcurementAnalysis, error) {
+	if len(profiles) == 0 {
+		return nil, ErrNoCandidate
+	}
+	var local, overall *AlgorithmProfile
+	for i := range profiles {
+		p := &profiles[i]
+		if overall == nil || better(p, overall) {
+			overall = p
+		}
+		if p.AccelFlops == 0 && (local == nil || better(p, local)) {
+			local = p
+		}
+	}
+	if local == nil {
+		return nil, errors.New("decision: no device-only algorithm among profiles")
+	}
+	return &ProcurementAnalysis{
+		BestLocal:          *local,
+		BestOverall:        *overall,
+		Speedup:            Speedup(*overall, *local),
+		SecondsSavedPerRun: local.MeanSeconds - overall.MeanSeconds,
+		AccelSecondsPerRun: overall.AccelSeconds,
+	}, nil
+}
+
+// WorthProcuring reports whether the accelerator pays for itself under the
+// cost model: the value of the time saved per run must exceed the
+// accelerator cost per run.
+func (pa *ProcurementAnalysis) WorthProcuring(cm CostModel) bool {
+	gain := pa.SecondsSavedPerRun * cm.TimeValuePerSecond
+	cost := pa.AccelSecondsPerRun / 3600 * cm.AccelCostPerHour
+	return gain > cost
+}
+
+// better orders profiles by rank, then score, then mean time.
+func better(a, b *AlgorithmProfile) bool {
+	if a.Rank != b.Rank {
+		return a.Rank < b.Rank
+	}
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.MeanSeconds < b.MeanSeconds
+}
+
+// ChooseWithinEdgeBudget returns the best-ranked algorithm whose per-run
+// edge-device FLOPs do not exceed the budget — the paper's "one could choose
+// the algorithm that performs at-most X floating point operations on an
+// energy-constrained edge device".
+func ChooseWithinEdgeBudget(profiles []AlgorithmProfile, maxEdgeFlops int64) (AlgorithmProfile, error) {
+	var candidates []AlgorithmProfile
+	for _, p := range profiles {
+		if p.EdgeFlops <= maxEdgeFlops {
+			candidates = append(candidates, p)
+		}
+	}
+	if len(candidates) == 0 {
+		return AlgorithmProfile{}, ErrNoCandidate
+	}
+	sort.SliceStable(candidates, func(i, j int) bool { return better(&candidates[i], &candidates[j]) })
+	return candidates[0], nil
+}
+
+// MostOffloading returns, among the algorithms of the given rank (or
+// better), the one with the fewest edge FLOPs — the paper's choice of
+// algDAA "as it offloads most of the computations to the accelerator".
+func MostOffloading(profiles []AlgorithmProfile, maxRank int) (AlgorithmProfile, error) {
+	var best *AlgorithmProfile
+	for i := range profiles {
+		p := &profiles[i]
+		if p.Rank > maxRank {
+			continue
+		}
+		if best == nil || p.EdgeFlops < best.EdgeFlops {
+			best = p
+		}
+	}
+	if best == nil {
+		return AlgorithmProfile{}, fmt.Errorf("%w: no algorithm at rank <= %d", ErrNoCandidate, maxRank)
+	}
+	return *best, nil
+}

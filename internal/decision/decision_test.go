@@ -1,0 +1,295 @@
+package decision
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// tableIProfiles builds a profile set shaped like the paper's Table I
+// experiment (times in seconds, energies in joules).
+func tableIProfiles() []AlgorithmProfile {
+	return []AlgorithmProfile{
+		{Name: "DDA", Rank: 1, Score: 1.0, MeanSeconds: 0.0344, EdgeFlops: 4e7, AccelFlops: 2e9, EdgeJoules: 1.2, AccelJoules: 8, AccelSeconds: 0.030},
+		{Name: "DAA", Rank: 2, Score: 1.0, MeanSeconds: 0.0366, EdgeFlops: 1e7, AccelFlops: 2.03e9, EdgeJoules: 0.6, AccelJoules: 9, AccelSeconds: 0.033},
+		{Name: "DDD", Rank: 2, Score: 0.7, MeanSeconds: 0.0373, EdgeFlops: 2.04e9, AccelFlops: 0, EdgeJoules: 1.7, AccelJoules: 0, AccelSeconds: 0},
+		{Name: "ADA", Rank: 3, Score: 0.7, MeanSeconds: 0.0387, EdgeFlops: 3e7, AccelFlops: 2.01e9, EdgeJoules: 1.1, AccelJoules: 8.5, AccelSeconds: 0.031},
+		{Name: "DAD", Rank: 3, Score: 0.7, MeanSeconds: 0.0395, EdgeFlops: 2.01e9, AccelFlops: 3e7, EdgeJoules: 1.65, AccelJoules: 1, AccelSeconds: 0.004},
+		{Name: "AAA", Rank: 4, Score: 0.7, MeanSeconds: 0.0409, EdgeFlops: 0, AccelFlops: 2.04e9, EdgeJoules: 0.4, AccelJoules: 9.5, AccelSeconds: 0.036},
+		{Name: "ADD", Rank: 4, Score: 0.7, MeanSeconds: 0.0417, EdgeFlops: 2.02e9, AccelFlops: 1e7, EdgeJoules: 1.68, AccelJoules: 0.8, AccelSeconds: 0.003},
+		{Name: "AAD", Rank: 5, Score: 1.0, MeanSeconds: 0.0438, EdgeFlops: 1.98e9, AccelFlops: 4e7, EdgeJoules: 1.66, AccelJoules: 1.5, AccelSeconds: 0.006},
+	}
+}
+
+func TestRunCost(t *testing.T) {
+	cm := CostModel{AccelCostPerHour: 3600, TimeValuePerSecond: 0}
+	p := AlgorithmProfile{AccelSeconds: 2}
+	if got := cm.RunCost(p); got != 2 {
+		t.Fatalf("RunCost = %v", got)
+	}
+	cm2 := CostModel{TimeValuePerSecond: 10}
+	p2 := AlgorithmProfile{MeanSeconds: 0.5}
+	if got := cm2.RunCost(p2); got != 5 {
+		t.Fatalf("RunCost = %v", got)
+	}
+}
+
+func TestChooseMinCostPureCost(t *testing.T) {
+	// Accelerator expensive, time worthless → choose a device-only alg.
+	cm := CostModel{AccelCostPerHour: 1000, TimeValuePerSecond: 0}
+	best, err := ChooseMinCost(tableIProfiles(), cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.AccelSeconds != 0 {
+		t.Fatalf("chose %s which uses the accelerator", best.Name)
+	}
+	if best.Name != "DDD" {
+		t.Fatalf("chose %s, want DDD (best-ranked zero-cost algorithm)", best.Name)
+	}
+}
+
+func TestChooseMinCostLatencyCritical(t *testing.T) {
+	// Time extremely valuable → choose the fastest algorithm regardless of
+	// accelerator cost (the autonomous-vehicle scenario).
+	cm := CostModel{AccelCostPerHour: 1, TimeValuePerSecond: 1e6}
+	best, err := ChooseMinCost(tableIProfiles(), cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Name != "DDA" {
+		t.Fatalf("chose %s, want DDA", best.Name)
+	}
+}
+
+func TestChooseMinCostEmpty(t *testing.T) {
+	if _, err := ChooseMinCost(nil, CostModel{}); !errors.Is(err, ErrNoCandidate) {
+		t.Fatal("empty profiles accepted")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	a := AlgorithmProfile{MeanSeconds: 2}
+	b := AlgorithmProfile{MeanSeconds: 3}
+	if Speedup(a, b) != 1.5 {
+		t.Fatal("Speedup wrong")
+	}
+	if Speedup(AlgorithmProfile{}, b) != 0 {
+		t.Fatal("zero-mean speedup should be 0")
+	}
+}
+
+func TestAnalyzeProcurement(t *testing.T) {
+	pa, err := AnalyzeProcurement(tableIProfiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa.BestLocal.Name != "DDD" {
+		t.Fatalf("best local = %s", pa.BestLocal.Name)
+	}
+	if pa.BestOverall.Name != "DDA" {
+		t.Fatalf("best overall = %s", pa.BestOverall.Name)
+	}
+	// The paper: ~0.002-0.003 s saved, speedup ≈ 1.05-1.09.
+	if pa.SecondsSavedPerRun < 0.001 || pa.SecondsSavedPerRun > 0.005 {
+		t.Fatalf("saved = %v", pa.SecondsSavedPerRun)
+	}
+	if pa.Speedup < 1.03 || pa.Speedup > 1.15 {
+		t.Fatalf("speedup = %v", pa.Speedup)
+	}
+}
+
+func TestAnalyzeProcurementErrors(t *testing.T) {
+	if _, err := AnalyzeProcurement(nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+	onlyAccel := []AlgorithmProfile{{Name: "AAA", Rank: 1, MeanSeconds: 1, AccelFlops: 5}}
+	if _, err := AnalyzeProcurement(onlyAccel); err == nil {
+		t.Fatal("no-local set accepted")
+	}
+}
+
+func TestWorthProcuring(t *testing.T) {
+	pa := &ProcurementAnalysis{SecondsSavedPerRun: 0.003, AccelSecondsPerRun: 0.03}
+	// Latency-critical: 3 ms worth $0.3; accel cost negligible.
+	if !pa.WorthProcuring(CostModel{AccelCostPerHour: 1, TimeValuePerSecond: 100}) {
+		t.Fatal("should be worth it for latency-critical app")
+	}
+	// Batch job: time worth nothing.
+	if pa.WorthProcuring(CostModel{AccelCostPerHour: 10, TimeValuePerSecond: 0}) {
+		t.Fatal("should not be worth it for batch app")
+	}
+}
+
+func TestChooseWithinEdgeBudget(t *testing.T) {
+	profiles := tableIProfiles()
+	// Generous budget: best-ranked algorithm wins outright.
+	best, err := ChooseWithinEdgeBudget(profiles, 1e12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Name != "DDA" {
+		t.Fatalf("unbounded choice = %s", best.Name)
+	}
+	// Tight budget (< 2e9 edge flops): DDD, DAD, ADD, AAD excluded; best
+	// remaining by rank is DDA (4e7 edge flops).
+	best, err = ChooseWithinEdgeBudget(profiles, 5e7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Name != "DDA" {
+		t.Fatalf("budgeted choice = %s", best.Name)
+	}
+	// Budget below every algorithm that touches the edge: only AAA fits.
+	best, err = ChooseWithinEdgeBudget(profiles, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Name != "AAA" {
+		t.Fatalf("zero-budget choice = %s", best.Name)
+	}
+	// Impossible budget.
+	if _, err := ChooseWithinEdgeBudget(profiles, -1); !errors.Is(err, ErrNoCandidate) {
+		t.Fatal("impossible budget accepted")
+	}
+}
+
+func TestMostOffloading(t *testing.T) {
+	profiles := tableIProfiles()
+	// Among the top two classes, DAA offloads the most (the paper's pick).
+	p, err := MostOffloading(profiles, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "DAA" {
+		t.Fatalf("most offloading in C1-C2 = %s, want DAA", p.Name)
+	}
+	// Among class 1 only, DDA is the only member.
+	p, err = MostOffloading(profiles, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "DDA" {
+		t.Fatalf("rank-1 choice = %s", p.Name)
+	}
+	if _, err := MostOffloading(profiles, 0); !errors.Is(err, ErrNoCandidate) {
+		t.Fatal("rank 0 should have no candidates")
+	}
+}
+
+func testSwitcher() *Switcher {
+	return &Switcher{
+		Preferred:        AlgorithmProfile{Name: "DDD", MeanSeconds: 0.037, EdgeJoules: 1.7},
+		Fallback:         AlgorithmProfile{Name: "DAA", MeanSeconds: 0.0366, EdgeJoules: 0.6},
+		HighWater:        10,
+		LowWater:         3,
+		DissipationWatts: 25, // drains ~0.93 J per job
+	}
+}
+
+func TestSwitcherValidate(t *testing.T) {
+	if err := testSwitcher().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := testSwitcher()
+	bad.LowWater = 20
+	if bad.Validate() == nil {
+		t.Fatal("inverted water marks accepted")
+	}
+	bad2 := testSwitcher()
+	bad2.HighWater = 0
+	if bad2.Validate() == nil {
+		t.Fatal("zero high water accepted")
+	}
+	bad3 := testSwitcher()
+	bad3.DissipationWatts = -1
+	if bad3.Validate() == nil {
+		t.Fatal("negative dissipation accepted")
+	}
+	bad4 := testSwitcher()
+	bad4.Preferred.MeanSeconds = 0
+	if bad4.Validate() == nil {
+		t.Fatal("zero mean accepted")
+	}
+}
+
+func TestSwitcherSessionOscillates(t *testing.T) {
+	s := testSwitcher()
+	res, err := s.RunSession(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) != 200 {
+		t.Fatalf("steps = %d", len(res.Steps))
+	}
+	// The preferred algorithm heats the device (+1.7 -0.93 ≈ +0.77 J/job),
+	// the fallback cools it (+0.6 -0.91 ≈ -0.31 J/job): the session must
+	// switch modes repeatedly.
+	if res.Switches < 4 {
+		t.Fatalf("only %d switches in 200 jobs", res.Switches)
+	}
+	if res.FallbackJobs == 0 || res.FallbackJobs == 200 {
+		t.Fatalf("fallback jobs = %d, want a mixture", res.FallbackJobs)
+	}
+	// The accumulator respects the high-water mark plus one job's worth of
+	// overshoot.
+	if res.PeakEnergy > s.HighWater+s.Preferred.EdgeJoules {
+		t.Fatalf("peak energy %v implausibly above high water", res.PeakEnergy)
+	}
+	// Energy trace is consistent: never negative, clock increases.
+	prevClock := 0.0
+	for _, st := range res.Steps {
+		if st.EnergyAfter < 0 {
+			t.Fatal("negative accumulator")
+		}
+		if st.Clock <= prevClock {
+			t.Fatal("clock not increasing")
+		}
+		prevClock = st.Clock
+	}
+	if math.Abs(res.TotalSeconds-prevClock) > 1e-9 {
+		t.Fatal("TotalSeconds mismatch")
+	}
+}
+
+func TestSwitcherHotJobsUseFallback(t *testing.T) {
+	s := testSwitcher()
+	res, err := s.RunSession(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range res.Steps {
+		if st.Hot && st.Alg != "DAA" {
+			t.Fatalf("hot job %d used %s", st.Job, st.Alg)
+		}
+		if !st.Hot && st.Alg != "DDD" {
+			t.Fatalf("cool job %d used %s", st.Job, st.Alg)
+		}
+	}
+}
+
+func TestSwitcherNeverHotWhenCoolRunning(t *testing.T) {
+	// With dissipation exceeding the heating rate the device never crosses
+	// the high-water mark.
+	s := testSwitcher()
+	s.DissipationWatts = 100
+	res, err := s.RunSession(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Switches != 0 || res.FallbackJobs != 0 {
+		t.Fatalf("unexpected switching: %+v", res)
+	}
+}
+
+func TestSwitcherErrors(t *testing.T) {
+	s := testSwitcher()
+	if _, err := s.RunSession(0); err == nil {
+		t.Fatal("zero jobs accepted")
+	}
+	bad := testSwitcher()
+	bad.HighWater = -1
+	if _, err := bad.RunSession(10); err == nil {
+		t.Fatal("invalid switcher ran")
+	}
+}

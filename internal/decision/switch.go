@@ -1,0 +1,122 @@
+package decision
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Switcher implements the paper's energy-aware switching scenario: run the
+// preferred algorithm until the edge device's energy (thermal) accumulator
+// crosses a high-water mark, switch to a fallback that offloads most of the
+// computation, and switch back once the device has cooled below a low-water
+// mark. The accumulator integrates per-job edge energy and dissipates at a
+// constant rate over wall-clock time (a first-order thermal model).
+type Switcher struct {
+	// Preferred is the algorithm used while the device is cool (the
+	// paper's algDDD).
+	Preferred AlgorithmProfile
+	// Fallback is the algorithm used while hot — typically
+	// MostOffloading() of the top clusters (the paper's algDAA).
+	Fallback AlgorithmProfile
+	// HighWater and LowWater are the accumulator thresholds in joules.
+	HighWater, LowWater float64
+	// DissipationWatts is the cooling rate (joules drained per second of
+	// wall-clock time, including the run itself).
+	DissipationWatts float64
+}
+
+// Validate rejects nonsensical configurations.
+func (s *Switcher) Validate() error {
+	if s.HighWater <= 0 || s.LowWater < 0 {
+		return errors.New("decision: water marks must be positive")
+	}
+	if s.LowWater >= s.HighWater {
+		return errors.New("decision: LowWater must be below HighWater")
+	}
+	if s.DissipationWatts < 0 {
+		return errors.New("decision: negative dissipation")
+	}
+	if s.Preferred.MeanSeconds <= 0 || s.Fallback.MeanSeconds <= 0 {
+		return errors.New("decision: profiles need positive mean times")
+	}
+	return nil
+}
+
+// SwitchStep is one job in a switching-session trace.
+type SwitchStep struct {
+	// Job is the 0-based job index.
+	Job int
+	// Alg is the algorithm used.
+	Alg string
+	// Hot reports whether the session was in fallback mode.
+	Hot bool
+	// EnergyAfter is the accumulator in joules after the job (and its
+	// dissipation) completed.
+	EnergyAfter float64
+	// Clock is the wall-clock time in seconds after the job.
+	Clock float64
+}
+
+// SessionResult summarizes a simulated switching session.
+type SessionResult struct {
+	Steps []SwitchStep
+	// Switches counts mode changes.
+	Switches int
+	// FallbackJobs counts jobs run on the fallback algorithm.
+	FallbackJobs int
+	// TotalSeconds is the session wall-clock time.
+	TotalSeconds float64
+	// TotalEdgeJoules is the raw (pre-dissipation) edge energy spent.
+	TotalEdgeJoules float64
+	// PeakEnergy is the maximum accumulator value observed.
+	PeakEnergy float64
+}
+
+// RunSession simulates jobs back-to-back executions under the policy.
+func (s *Switcher) RunSession(jobs int) (*SessionResult, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if jobs <= 0 {
+		return nil, fmt.Errorf("decision: job count must be positive, got %d", jobs)
+	}
+	res := &SessionResult{Steps: make([]SwitchStep, 0, jobs)}
+	energy := 0.0
+	clock := 0.0
+	hot := false
+	for j := 0; j < jobs; j++ {
+		p := s.Preferred
+		ranHot := hot
+		if hot {
+			p = s.Fallback
+			res.FallbackJobs++
+		}
+		// Charge the job's edge energy, then dissipate over its duration.
+		energy += p.EdgeJoules
+		res.TotalEdgeJoules += p.EdgeJoules
+		energy -= s.DissipationWatts * p.MeanSeconds
+		if energy < 0 {
+			energy = 0
+		}
+		clock += p.MeanSeconds
+		if energy > res.PeakEnergy {
+			res.PeakEnergy = energy
+		}
+		// Hysteresis: cross the high-water mark → go hot; drop below the
+		// low-water mark → cool down.
+		switch {
+		case !hot && energy >= s.HighWater:
+			hot = true
+			res.Switches++
+		case hot && energy <= s.LowWater:
+			hot = false
+			res.Switches++
+		}
+		res.Steps = append(res.Steps, SwitchStep{
+			Job: j, Alg: p.Name, Hot: ranHot,
+			EnergyAfter: energy, Clock: clock,
+		})
+	}
+	res.TotalSeconds = clock
+	return res, nil
+}

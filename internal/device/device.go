@@ -1,0 +1,174 @@
+// Package device models the heterogeneous hardware of the paper's IoT
+// setting: an edge Device "D" (Xeon CPU core, Raspberry Pi, smartphone) and
+// an Accelerator "A" (P100-class GPU), plus the interconnect between them.
+//
+// The paper measures real TensorFlow kernels on a Xeon+P100 testbed; this
+// package substitutes calibrated analytical models. A device turns a
+// (flops, bytes) task into a duration through a roofline-style cost:
+//
+//	t = launch + max(flops/peakFlops, bytes/memBandwidth) · (1 + noise)
+//
+// and a Link turns transferred bytes into
+//
+//	t = latency + bytes/bandwidth.
+//
+// Noise models reproduce the measurement fluctuation that motivates the
+// paper's distribution-based comparison: multiplicative log-normal jitter
+// plus rare heavy-tailed OS-noise spikes. All randomness flows through
+// xrand so experiments are reproducible.
+package device
+
+import (
+	"fmt"
+	"time"
+
+	"relperf/internal/xrand"
+)
+
+// Kind distinguishes edge devices from accelerators in placement strings:
+// a Kind renders as "D" or "A" in algorithm names like "DDA".
+type Kind int
+
+const (
+	// EdgeDevice is the resource-constrained local device ("D").
+	EdgeDevice Kind = iota
+	// Accelerator is the offload target ("A").
+	Accelerator
+)
+
+// Letter returns the single-letter placement code of the kind.
+func (k Kind) Letter() string {
+	if k == Accelerator {
+		return "A"
+	}
+	return "D"
+}
+
+func (k Kind) String() string {
+	if k == Accelerator {
+		return "accelerator"
+	}
+	return "device"
+}
+
+// Device is an analytical model of one computing resource.
+type Device struct {
+	// Name identifies the device in reports ("xeon-8160", "p100").
+	Name string
+	// Kind is EdgeDevice or Accelerator.
+	Kind Kind
+	// PeakFlops is the sustained double-precision rate in FLOP/s.
+	PeakFlops float64
+	// MemBandwidth is the sustainable memory bandwidth in bytes/s; tasks
+	// whose byte volume dominates are bandwidth-bound (roofline).
+	MemBandwidth float64
+	// LaunchOverhead is the fixed per-dispatch cost, paid once per kernel
+	// launch. For GPUs this is the framework's op dispatch latency that
+	// makes many-small-op tasks unprofitable to offload — the effect behind
+	// Table I's "AAD is worst".
+	LaunchOverhead time.Duration
+	// TaskOverhead is a fixed per-task setup cost (stream/graph/context
+	// setup on an accelerator), paid once per task regardless of its loop
+	// count. Because it amortizes as the loop size n grows, it is what
+	// makes the paper's DDA-over-DDD speedup increase with n (§IV).
+	TaskOverhead time.Duration
+	// Threads is the number of worker threads the hybrid executor may use
+	// when actually running kernels on the host (paper footnote 2:
+	// "controlling the number of threads"). 1 for the paper's 1-core CPU.
+	Threads int
+	// Noise perturbs each computed duration. Nil means noiseless.
+	Noise NoiseModel
+	// Energy converts busy time and data movement into joules.
+	Energy EnergyModel
+}
+
+// ComputeSeconds returns the noiseless execution time in seconds of a task
+// with the given FLOP and memory-traffic volume.
+func (d *Device) ComputeSeconds(flops int64, bytes int64) float64 {
+	tc := float64(flops) / d.PeakFlops
+	tm := float64(bytes) / d.MemBandwidth
+	t := tc
+	if tm > t {
+		t = tm
+	}
+	return d.TaskOverhead.Seconds() + d.LaunchOverhead.Seconds() + t
+}
+
+// Run returns one noisy execution-time sample in seconds for the task.
+// The noise model receives rng; a nil Noise returns the deterministic time.
+func (d *Device) Run(rng *xrand.Rand, flops, bytes int64) float64 {
+	t := d.ComputeSeconds(flops, bytes)
+	if d.Noise != nil {
+		t = d.Noise.Perturb(rng, t)
+	}
+	return t
+}
+
+// Validate reports configuration errors; the simulator refuses devices that
+// would produce non-finite or negative times.
+func (d *Device) Validate() error {
+	if d.Name == "" {
+		return fmt.Errorf("device: empty name")
+	}
+	if d.PeakFlops <= 0 {
+		return fmt.Errorf("device %s: PeakFlops must be positive", d.Name)
+	}
+	if d.MemBandwidth <= 0 {
+		return fmt.Errorf("device %s: MemBandwidth must be positive", d.Name)
+	}
+	if d.LaunchOverhead < 0 {
+		return fmt.Errorf("device %s: negative LaunchOverhead", d.Name)
+	}
+	if d.TaskOverhead < 0 {
+		return fmt.Errorf("device %s: negative TaskOverhead", d.Name)
+	}
+	if d.Threads < 0 {
+		return fmt.Errorf("device %s: negative Threads", d.Name)
+	}
+	return nil
+}
+
+// Link models the interconnect between two devices (PCIe between CPU and
+// GPU, Wi-Fi/Bluetooth between phone and edge server, ...).
+type Link struct {
+	// Name identifies the link in traces ("pcie3-x16").
+	Name string
+	// Latency is the fixed per-transfer cost.
+	Latency time.Duration
+	// Bandwidth is in bytes/s.
+	Bandwidth float64
+	// Noise perturbs transfer times; nil means deterministic.
+	Noise NoiseModel
+}
+
+// TransferSeconds returns the noiseless time to move the given bytes.
+// Zero bytes cost nothing (no transfer is issued at all).
+func (l *Link) TransferSeconds(bytes int64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return l.Latency.Seconds() + float64(bytes)/l.Bandwidth
+}
+
+// Transfer returns one noisy transfer-time sample in seconds.
+func (l *Link) Transfer(rng *xrand.Rand, bytes int64) float64 {
+	t := l.TransferSeconds(bytes)
+	if t == 0 {
+		return 0
+	}
+	if l.Noise != nil {
+		t = l.Noise.Perturb(rng, t)
+	}
+	return t
+}
+
+// Validate reports configuration errors.
+func (l *Link) Validate() error {
+	if l.Bandwidth <= 0 {
+		return fmt.Errorf("link %s: Bandwidth must be positive", l.Name)
+	}
+	if l.Latency < 0 {
+		return fmt.Errorf("link %s: negative Latency", l.Name)
+	}
+	return nil
+}

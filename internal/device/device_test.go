@@ -1,0 +1,275 @@
+package device
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"relperf/internal/xrand"
+)
+
+func TestKindLetter(t *testing.T) {
+	if EdgeDevice.Letter() != "D" || Accelerator.Letter() != "A" {
+		t.Fatal("Kind letters wrong")
+	}
+	if EdgeDevice.String() != "device" || Accelerator.String() != "accelerator" {
+		t.Fatal("Kind strings wrong")
+	}
+}
+
+func TestComputeSecondsRoofline(t *testing.T) {
+	d := &Device{Name: "d", PeakFlops: 1e9, MemBandwidth: 1e9, LaunchOverhead: time.Millisecond}
+	// Compute-bound: 2e9 flops at 1e9 flop/s = 2 s, plus 1 ms launch.
+	if got := d.ComputeSeconds(2e9, 0); math.Abs(got-2.001) > 1e-12 {
+		t.Fatalf("compute-bound = %v", got)
+	}
+	// Bandwidth-bound: 4e9 bytes at 1e9 B/s = 4 s dominates 2 s compute.
+	if got := d.ComputeSeconds(2e9, 4e9); math.Abs(got-4.001) > 1e-12 {
+		t.Fatalf("bandwidth-bound = %v", got)
+	}
+}
+
+func TestRunNoiselessMatchesCompute(t *testing.T) {
+	d := &Device{Name: "d", PeakFlops: 1e9, MemBandwidth: 1e9}
+	rng := xrand.New(1)
+	if d.Run(rng, 5e8, 0) != d.ComputeSeconds(5e8, 0) {
+		t.Fatal("nil-noise Run should be deterministic")
+	}
+}
+
+func TestRunNoisy(t *testing.T) {
+	d := XeonCore()
+	rng := xrand.New(2)
+	nominal := d.ComputeSeconds(1e9, 0)
+	varied := false
+	for i := 0; i < 50; i++ {
+		s := d.Run(rng, 1e9, 0)
+		if s <= 0 {
+			t.Fatalf("non-positive sample %v", s)
+		}
+		if s != nominal {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("noise model produced no variation")
+	}
+}
+
+func TestDeviceValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		d    Device
+		ok   bool
+	}{
+		{"good", Device{Name: "x", PeakFlops: 1, MemBandwidth: 1}, true},
+		{"no name", Device{PeakFlops: 1, MemBandwidth: 1}, false},
+		{"zero flops", Device{Name: "x", MemBandwidth: 1}, false},
+		{"zero bw", Device{Name: "x", PeakFlops: 1}, false},
+		{"neg launch", Device{Name: "x", PeakFlops: 1, MemBandwidth: 1, LaunchOverhead: -1}, false},
+		{"neg threads", Device{Name: "x", PeakFlops: 1, MemBandwidth: 1, Threads: -1}, false},
+	}
+	for _, c := range cases {
+		if err := c.d.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v", c.name, err)
+		}
+	}
+}
+
+func TestLinkTransfer(t *testing.T) {
+	l := &Link{Name: "l", Latency: time.Millisecond, Bandwidth: 1e6}
+	if got := l.TransferSeconds(1e6); math.Abs(got-1.001) > 1e-12 {
+		t.Fatalf("TransferSeconds = %v", got)
+	}
+	if l.TransferSeconds(0) != 0 {
+		t.Fatal("zero bytes must be free")
+	}
+	if l.TransferSeconds(-5) != 0 {
+		t.Fatal("negative bytes must be free")
+	}
+	rng := xrand.New(3)
+	if l.Transfer(rng, 0) != 0 {
+		t.Fatal("zero-byte Transfer must be free")
+	}
+	if l.Transfer(rng, 100) <= 0 {
+		t.Fatal("transfer must be positive")
+	}
+}
+
+func TestLinkValidate(t *testing.T) {
+	if err := (&Link{Name: "l", Bandwidth: 1}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (&Link{Name: "l"}).Validate(); err == nil {
+		t.Fatal("zero bandwidth should fail")
+	}
+	if err := (&Link{Name: "l", Bandwidth: 1, Latency: -1}).Validate(); err == nil {
+		t.Fatal("negative latency should fail")
+	}
+}
+
+func TestLogNormalNoiseMeanPreserving(t *testing.T) {
+	n := LogNormalNoise{Sigma: 0.1}
+	rng := xrand.New(4)
+	var sum float64
+	const trials = 200000
+	for i := 0; i < trials; i++ {
+		sum += n.Perturb(rng, 1.0)
+	}
+	mean := sum / trials
+	if math.Abs(mean-1) > 0.01 {
+		t.Fatalf("log-normal multiplier mean = %v, want ~1", mean)
+	}
+}
+
+func TestLogNormalNoisePositive(t *testing.T) {
+	n := LogNormalNoise{Sigma: 0.5}
+	rng := xrand.New(5)
+	for i := 0; i < 10000; i++ {
+		if v := n.Perturb(rng, 0.01); v <= 0 {
+			t.Fatalf("non-positive perturbed time %v", v)
+		}
+	}
+}
+
+func TestGaussianNoiseFloor(t *testing.T) {
+	n := GaussianNoise{Rel: 10, Floor: 0.5} // absurd Rel to force truncation
+	rng := xrand.New(6)
+	for i := 0; i < 10000; i++ {
+		if v := n.Perturb(rng, 1.0); v < 0.5 {
+			t.Fatalf("below floor: %v", v)
+		}
+	}
+	// Default floor applies when Floor == 0.
+	nd := GaussianNoise{Rel: 10}
+	for i := 0; i < 10000; i++ {
+		if v := nd.Perturb(rng, 1.0); v < 0.5 {
+			t.Fatalf("below default floor: %v", v)
+		}
+	}
+}
+
+func TestSpikyNoiseSpikes(t *testing.T) {
+	n := SpikyNoise{Base: NoNoise{}, P: 0.5, Scale: 1, Alpha: 2}
+	rng := xrand.New(7)
+	spikes := 0
+	const trials = 10000
+	for i := 0; i < trials; i++ {
+		v := n.Perturb(rng, 1.0)
+		if v < 1 {
+			t.Fatalf("spiky noise reduced time: %v", v)
+		}
+		if v >= 2 { // spike adds at least Scale*nominal = 1
+			spikes++
+		}
+	}
+	frac := float64(spikes) / trials
+	if frac < 0.45 || frac > 0.55 {
+		t.Fatalf("spike fraction %v, want ~0.5", frac)
+	}
+}
+
+func TestSpikyNoiseNilBase(t *testing.T) {
+	n := SpikyNoise{P: 0, Scale: 1, Alpha: 2}
+	rng := xrand.New(8)
+	if v := n.Perturb(rng, 3.0); v != 3.0 {
+		t.Fatalf("no-base no-spike should be identity, got %v", v)
+	}
+}
+
+func TestShiftNoise(t *testing.T) {
+	n := ShiftNoise{Shift: 0.5}
+	rng := xrand.New(9)
+	if v := n.Perturb(rng, 1.0); v != 1.5 {
+		t.Fatalf("shift = %v", v)
+	}
+	nested := ShiftNoise{Shift: 0.5, Base: NoNoise{}}
+	if v := nested.Perturb(rng, 1.0); v != 1.5 {
+		t.Fatalf("nested shift = %v", v)
+	}
+}
+
+func TestNoNoise(t *testing.T) {
+	if (NoNoise{}).Perturb(nil, 2.5) != 2.5 {
+		t.Fatal("NoNoise must be identity")
+	}
+}
+
+func TestEnergyModel(t *testing.T) {
+	e := EnergyModel{IdleWatts: 10, ActiveWatts: 30, JoulesPerByte: 2}
+	if e.ComputeEnergy(2) != 80 {
+		t.Fatalf("ComputeEnergy = %v", e.ComputeEnergy(2))
+	}
+	if e.IdleEnergy(3) != 30 {
+		t.Fatalf("IdleEnergy = %v", e.IdleEnergy(3))
+	}
+	if e.TransferEnergy(5) != 10 {
+		t.Fatalf("TransferEnergy = %v", e.TransferEnergy(5))
+	}
+	if e.TransferEnergy(0) != 0 || e.TransferEnergy(-1) != 0 {
+		t.Fatal("non-positive bytes should be free")
+	}
+}
+
+func TestPresetsValid(t *testing.T) {
+	for _, d := range []*Device{XeonCore(), P100(), RaspberryPi(), Smartphone()} {
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s: %v", d.Name, err)
+		}
+	}
+	for _, l := range []*Link{PCIe3x16(), WiFi()} {
+		if err := l.Validate(); err != nil {
+			t.Errorf("%s: %v", l.Name, err)
+		}
+	}
+	if XeonCore().Kind != EdgeDevice || P100().Kind != Accelerator {
+		t.Fatal("preset kinds wrong")
+	}
+}
+
+func TestPresetOrdering(t *testing.T) {
+	// Sanity: the accelerator is the fastest raw compute; the Pi the slowest.
+	if P100().PeakFlops <= XeonCore().PeakFlops {
+		t.Fatal("P100 should outrate the Xeon core")
+	}
+	if RaspberryPi().PeakFlops >= Smartphone().PeakFlops {
+		t.Fatal("Pi should be slower than the phone")
+	}
+}
+
+func TestClampPositive(t *testing.T) {
+	if clampPositive(2, 5) != 2 {
+		t.Fatal("positive passthrough broken")
+	}
+	if clampPositive(-1, 5) != 5 || clampPositive(0, 5) != 5 {
+		t.Fatal("fallback broken")
+	}
+	if clampPositive(math.NaN(), 5) != 5 || clampPositive(math.Inf(1), 5) != 5 {
+		t.Fatal("non-finite fallback broken")
+	}
+}
+
+func TestFiveGPreset(t *testing.T) {
+	l := FiveG()
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 5G sits between PCIe and WiFi in bandwidth, with wireless latency.
+	if l.Bandwidth >= PCIe3x16().Bandwidth || l.Bandwidth <= WiFi().Bandwidth {
+		t.Fatalf("5G bandwidth %v not between WiFi and PCIe", l.Bandwidth)
+	}
+	if l.Latency <= PCIe3x16().Latency {
+		t.Fatal("5G latency should exceed PCIe latency")
+	}
+}
+
+func TestTaskOverheadInComputeSeconds(t *testing.T) {
+	d := &Device{Name: "d", PeakFlops: 1e9, MemBandwidth: 1e9, TaskOverhead: 2 * time.Millisecond}
+	if got := d.ComputeSeconds(1e9, 0); math.Abs(got-1.002) > 1e-12 {
+		t.Fatalf("ComputeSeconds with task overhead = %v", got)
+	}
+	bad := Device{Name: "x", PeakFlops: 1, MemBandwidth: 1, TaskOverhead: -1}
+	if bad.Validate() == nil {
+		t.Fatal("negative TaskOverhead accepted")
+	}
+}

@@ -1,0 +1,33 @@
+package device
+
+// EnergyModel converts activity into joules. The paper's §IV selects
+// algorithms under device energy budgets, using FLOPs-on-device as the
+// operational proxy; this model also supports physical units so the
+// energy-switching example can show watt-level traces.
+type EnergyModel struct {
+	// IdleWatts is drawn whenever the device exists, busy or not.
+	IdleWatts float64
+	// ActiveWatts is drawn *in addition to* IdleWatts while computing.
+	ActiveWatts float64
+	// JoulesPerByte is the energy cost of moving one byte over the device's
+	// external link (charged to the side issuing the transfer).
+	JoulesPerByte float64
+}
+
+// ComputeEnergy returns the joules consumed by busySeconds of computation.
+func (e EnergyModel) ComputeEnergy(busySeconds float64) float64 {
+	return (e.IdleWatts + e.ActiveWatts) * busySeconds
+}
+
+// IdleEnergy returns the joules consumed by idleSeconds of waiting.
+func (e EnergyModel) IdleEnergy(idleSeconds float64) float64 {
+	return e.IdleWatts * idleSeconds
+}
+
+// TransferEnergy returns the joules to move the given bytes.
+func (e EnergyModel) TransferEnergy(bytes int64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return e.JoulesPerByte * float64(bytes)
+}

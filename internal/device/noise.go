@@ -1,0 +1,113 @@
+package device
+
+import (
+	"math"
+
+	"relperf/internal/xrand"
+)
+
+// NoiseModel perturbs a nominal duration into a measured one. Perturb must
+// return a strictly positive value and must never return less than a small
+// fraction of the nominal time (measured kernels have a hard lower bound:
+// the machine cannot run faster than its peak).
+type NoiseModel interface {
+	Perturb(rng *xrand.Rand, nominal float64) float64
+}
+
+// LogNormalNoise is multiplicative log-normal jitter: measured = nominal ·
+// exp(N(−σ²/2, σ)). The mean of the multiplier is 1 (the −σ²/2 shift), and
+// the distribution is right-skewed with a hard left bound — the shape of the
+// execution-time histograms in the paper's Figure 1b.
+type LogNormalNoise struct {
+	// Sigma is the log-standard-deviation of the multiplier. 0.02–0.05 is a
+	// quiet dedicated node; 0.1–0.3 is a shared/edge environment.
+	Sigma float64
+}
+
+// Perturb implements NoiseModel.
+func (n LogNormalNoise) Perturb(rng *xrand.Rand, nominal float64) float64 {
+	mult := rng.LogNormal(-n.Sigma*n.Sigma/2, n.Sigma)
+	return nominal * mult
+}
+
+// GaussianNoise is additive truncated-Gaussian jitter with standard deviation
+// Rel·nominal, truncated so results stay above Floor·nominal.
+type GaussianNoise struct {
+	// Rel is the relative standard deviation (e.g. 0.05 for 5%).
+	Rel float64
+	// Floor is the lowest allowed fraction of nominal (default 0.5 if zero).
+	Floor float64
+}
+
+// Perturb implements NoiseModel.
+func (n GaussianNoise) Perturb(rng *xrand.Rand, nominal float64) float64 {
+	floor := n.Floor
+	if floor == 0 {
+		floor = 0.5
+	}
+	v := nominal * (1 + n.Rel*rng.Norm())
+	lo := floor * nominal
+	if v < lo {
+		v = lo
+	}
+	return v
+}
+
+// SpikyNoise composes a base noise with rare heavy-tailed spikes: with
+// probability P a Pareto-distributed delay of scale Scale·nominal is added.
+// This models OS interference — daemon wakeups, page faults, network
+// interrupts — the "system noise" the paper cites (Hoefler et al.) as the
+// reason single-number summaries mislead.
+type SpikyNoise struct {
+	Base NoiseModel
+	// P is the per-measurement spike probability (e.g. 0.02).
+	P float64
+	// Scale is the minimum spike size as a fraction of nominal (e.g. 0.2).
+	Scale float64
+	// Alpha is the Pareto tail index (smaller = heavier; e.g. 1.5).
+	Alpha float64
+}
+
+// Perturb implements NoiseModel.
+func (n SpikyNoise) Perturb(rng *xrand.Rand, nominal float64) float64 {
+	t := nominal
+	if n.Base != nil {
+		t = n.Base.Perturb(rng, nominal)
+	}
+	if n.P > 0 && rng.Bernoulli(n.P) {
+		t += rng.Pareto(n.Scale*nominal, n.Alpha)
+	}
+	return t
+}
+
+// ShiftNoise adds a constant artificial delay before applying an inner noise
+// model. This is the paper's own simulation device (footnote 2): "other
+// device-accelerator settings can be simulated by adding artificial delays".
+type ShiftNoise struct {
+	Base NoiseModel
+	// Shift is the added delay in seconds.
+	Shift float64
+}
+
+// Perturb implements NoiseModel.
+func (n ShiftNoise) Perturb(rng *xrand.Rand, nominal float64) float64 {
+	t := nominal + n.Shift
+	if n.Base != nil {
+		t = n.Base.Perturb(rng, t)
+	}
+	return t
+}
+
+// NoNoise returns the nominal time unchanged; useful in deterministic tests.
+type NoNoise struct{}
+
+// Perturb implements NoiseModel.
+func (NoNoise) Perturb(_ *xrand.Rand, nominal float64) float64 { return nominal }
+
+// clampPositive guards models against degenerate parameters in user configs.
+func clampPositive(v, fallback float64) float64 {
+	if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		return fallback
+	}
+	return v
+}

@@ -1,0 +1,131 @@
+package device
+
+import "time"
+
+// Presets model the paper's testbed and the additional edge hardware the
+// paper names (Raspberry Pi, smartphone). PeakFlops values are *sustained*
+// double-precision rates for dense linear-algebra op chains, not datasheet
+// peaks; the workload layer supplies per-task efficiency factors for op mixes
+// that cannot saturate a device (tiny kernels on a GPU).
+
+// XeonCore returns a model of one core of the paper's Intel Xeon Platinum
+// 8160 (the edge device "D" of the experiments): ~55 GFLOP/s sustained DP
+// GEMM-mix for a single AVX-512 core, negligible dispatch cost, quiet-node
+// noise.
+func XeonCore() *Device {
+	return &Device{
+		Name:           "xeon-8160-core",
+		Kind:           EdgeDevice,
+		PeakFlops:      55e9,
+		MemBandwidth:   12e9,
+		LaunchOverhead: 2 * time.Microsecond,
+		TaskOverhead:   10 * time.Microsecond,
+		Threads:        1,
+		Noise: SpikyNoise{
+			Base:  LogNormalNoise{Sigma: 0.10},
+			P:     0.01,
+			Scale: 0.05,
+			Alpha: 1.5,
+		},
+		Energy: EnergyModel{IdleWatts: 10, ActiveWatts: 35, JoulesPerByte: 0},
+	}
+}
+
+// P100 returns a model of the paper's NVIDIA Pascal P100 SXM2 accelerator
+// ("A"): 4.7 TFLOP/s DP peak, HBM2 bandwidth, a per-dispatch launch overhead
+// of 12.5 µs (the framework's op-by-op dispatch cost, which makes
+// many-small-op tasks unprofitable to offload — Table I's "AAD is worst"
+// effect) and a 1 ms per-task setup overhead (stream/graph construction,
+// which amortizes with loop size n — the §IV speedup-grows-with-n effect).
+func P100() *Device {
+	return &Device{
+		Name:           "p100",
+		Kind:           Accelerator,
+		PeakFlops:      4.7e12,
+		MemBandwidth:   500e9,
+		LaunchOverhead: 12500 * time.Nanosecond,
+		TaskOverhead:   time.Millisecond,
+		Threads:        0,
+		Noise: SpikyNoise{
+			Base:  LogNormalNoise{Sigma: 0.10},
+			P:     0.01,
+			Scale: 0.05,
+			Alpha: 1.5,
+		},
+		Energy: EnergyModel{IdleWatts: 30, ActiveWatts: 220, JoulesPerByte: 1e-10},
+	}
+}
+
+// RaspberryPi returns a model of a Raspberry Pi 4 class edge device, one of
+// the paper's named device-accelerator settings (CPU-Raspbian).
+func RaspberryPi() *Device {
+	return &Device{
+		Name:           "raspberry-pi-4",
+		Kind:           EdgeDevice,
+		PeakFlops:      6e9,
+		MemBandwidth:   4e9,
+		LaunchOverhead: 5 * time.Microsecond,
+		Threads:        4,
+		Noise: SpikyNoise{
+			Base:  LogNormalNoise{Sigma: 0.08},
+			P:     0.03,
+			Scale: 0.1,
+			Alpha: 1.5,
+		},
+		Energy: EnergyModel{IdleWatts: 2.7, ActiveWatts: 4.3, JoulesPerByte: 0},
+	}
+}
+
+// Smartphone returns a model of a mid-range phone SoC big-core cluster
+// (CPU-Smartphone setting), with thermal-throttling-grade noise.
+func Smartphone() *Device {
+	return &Device{
+		Name:           "smartphone-soc",
+		Kind:           EdgeDevice,
+		PeakFlops:      20e9,
+		MemBandwidth:   10e9,
+		LaunchOverhead: 10 * time.Microsecond,
+		Threads:        4,
+		Noise: SpikyNoise{
+			Base:  LogNormalNoise{Sigma: 0.1},
+			P:     0.05,
+			Scale: 0.15,
+			Alpha: 1.3,
+		},
+		Energy: EnergyModel{IdleWatts: 0.5, ActiveWatts: 3.5, JoulesPerByte: 0},
+	}
+}
+
+// PCIe3x16 returns the CPU↔GPU interconnect of the testbed: ~12 GB/s
+// effective with a 10 µs per-transaction latency.
+func PCIe3x16() *Link {
+	return &Link{
+		Name:      "pcie3-x16",
+		Latency:   10 * time.Microsecond,
+		Bandwidth: 12e9,
+		Noise:     LogNormalNoise{Sigma: 0.05},
+	}
+}
+
+// WiFi returns a wireless edge↔server link (for the phone/Pi offload
+// settings): 30 MB/s with 2 ms latency and high jitter.
+func WiFi() *Link {
+	return &Link{
+		Name:      "wifi",
+		Latency:   2 * time.Millisecond,
+		Bandwidth: 30e6,
+		Noise:     LogNormalNoise{Sigma: 0.2},
+	}
+}
+
+// FiveG returns a 5G edge-cloud link: ~150 MB/s with 3 ms latency — the
+// low-latency offload path the paper's intelligent-vehicle and AR scenarios
+// assume.
+func FiveG() *Link {
+	return &Link{
+		Name:      "5g-edge",
+		Latency:   3 * time.Millisecond,
+		Bandwidth: 150e6,
+		Noise:     LogNormalNoise{Sigma: 0.25},
+	}
+}

@@ -1,0 +1,206 @@
+package mat
+
+import "math"
+
+// Cholesky computes the lower-triangular L with m = L·Lᵀ for a symmetric
+// positive-definite m. Only the lower triangle of m is read. Returns ErrNotPD
+// when a non-positive pivot is encountered.
+func (m *Mat) Cholesky() (*Mat, error) {
+	if m.Rows != m.Cols {
+		return nil, ErrShape
+	}
+	n := m.Rows
+	L := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			var s float64
+			for k := 0; k < j; k++ {
+				s += L.Data[i*n+k] * L.Data[j*n+k]
+			}
+			if i == j {
+				d := m.Data[i*n+i] - s
+				if d <= 0 {
+					return nil, ErrNotPD
+				}
+				L.Data[i*n+i] = math.Sqrt(d)
+			} else {
+				L.Data[i*n+j] = (m.Data[i*n+j] - s) / L.Data[j*n+j]
+			}
+		}
+	}
+	return L, nil
+}
+
+// SolveLowerTri solves L·X = B for X where L is lower triangular (forward
+// substitution, one column of B at a time).
+func SolveLowerTri(L, B *Mat) (*Mat, error) {
+	if L.Rows != L.Cols || L.Rows != B.Rows {
+		return nil, ErrShape
+	}
+	n, c := L.Rows, B.Cols
+	X := B.Clone()
+	for j := 0; j < c; j++ {
+		for i := 0; i < n; i++ {
+			s := X.Data[i*c+j]
+			for k := 0; k < i; k++ {
+				s -= L.Data[i*n+k] * X.Data[k*c+j]
+			}
+			d := L.Data[i*n+i]
+			if d == 0 {
+				return nil, ErrSingular
+			}
+			X.Data[i*c+j] = s / d
+		}
+	}
+	return X, nil
+}
+
+// SolveUpperTri solves U·X = B for X where U is upper triangular (backward
+// substitution).
+func SolveUpperTri(U, B *Mat) (*Mat, error) {
+	if U.Rows != U.Cols || U.Rows != B.Rows {
+		return nil, ErrShape
+	}
+	n, c := U.Rows, B.Cols
+	X := B.Clone()
+	for j := 0; j < c; j++ {
+		for i := n - 1; i >= 0; i-- {
+			s := X.Data[i*c+j]
+			for k := i + 1; k < n; k++ {
+				s -= U.Data[i*n+k] * X.Data[k*c+j]
+			}
+			d := U.Data[i*n+i]
+			if d == 0 {
+				return nil, ErrSingular
+			}
+			X.Data[i*c+j] = s / d
+		}
+	}
+	return X, nil
+}
+
+// CholSolve solves m·X = B via Cholesky (m must be SPD): L(LᵀX) = B.
+func (m *Mat) CholSolve(B *Mat) (*Mat, error) {
+	L, err := m.Cholesky()
+	if err != nil {
+		return nil, err
+	}
+	Y, err := SolveLowerTri(L, B)
+	if err != nil {
+		return nil, err
+	}
+	return SolveUpperTri(L.Transpose(), Y)
+}
+
+// LU holds a row-pivoted LU factorization P·A = L·U packed into a single
+// matrix (unit lower triangle implicit).
+type LU struct {
+	lu   *Mat
+	piv  []int // piv[i] = original row now at position i
+	sign int   // permutation parity, for Det
+}
+
+// LUFactor computes the partial-pivoting LU factorization of square m.
+func (m *Mat) LUFactor() (*LU, error) {
+	if m.Rows != m.Cols {
+		return nil, ErrShape
+	}
+	n := m.Rows
+	lu := m.Clone()
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	sign := 1
+	for k := 0; k < n; k++ {
+		// Pivot: largest magnitude in column k at or below the diagonal.
+		p := k
+		maxAbs := math.Abs(lu.Data[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if a := math.Abs(lu.Data[i*n+k]); a > maxAbs {
+				maxAbs, p = a, i
+			}
+		}
+		if maxAbs == 0 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			rowK := lu.Data[k*n : (k+1)*n]
+			rowP := lu.Data[p*n : (p+1)*n]
+			for j := range rowK {
+				rowK[j], rowP[j] = rowP[j], rowK[j]
+			}
+			piv[k], piv[p] = piv[p], piv[k]
+			sign = -sign
+		}
+		pivVal := lu.Data[k*n+k]
+		for i := k + 1; i < n; i++ {
+			f := lu.Data[i*n+k] / pivVal
+			lu.Data[i*n+k] = f
+			if f == 0 {
+				continue
+			}
+			rowI := lu.Data[i*n : (i+1)*n]
+			rowK := lu.Data[k*n : (k+1)*n]
+			for j := k + 1; j < n; j++ {
+				rowI[j] -= f * rowK[j]
+			}
+		}
+	}
+	return &LU{lu: lu, piv: piv, sign: sign}, nil
+}
+
+// Solve solves A·X = B using the factorization.
+func (f *LU) Solve(B *Mat) (*Mat, error) {
+	n := f.lu.Rows
+	if B.Rows != n {
+		return nil, ErrShape
+	}
+	c := B.Cols
+	// Apply permutation to B.
+	X := New(n, c)
+	for i := 0; i < n; i++ {
+		copy(X.Data[i*c:(i+1)*c], B.Data[f.piv[i]*c:(f.piv[i]+1)*c])
+	}
+	// Forward substitution with implicit unit diagonal L.
+	for j := 0; j < c; j++ {
+		for i := 1; i < n; i++ {
+			s := X.Data[i*c+j]
+			for k := 0; k < i; k++ {
+				s -= f.lu.Data[i*n+k] * X.Data[k*c+j]
+			}
+			X.Data[i*c+j] = s
+		}
+	}
+	// Backward substitution with U.
+	for j := 0; j < c; j++ {
+		for i := n - 1; i >= 0; i-- {
+			s := X.Data[i*c+j]
+			for k := i + 1; k < n; k++ {
+				s -= f.lu.Data[i*n+k] * X.Data[k*c+j]
+			}
+			X.Data[i*c+j] = s / f.lu.Data[i*n+i]
+		}
+	}
+	return X, nil
+}
+
+// Det returns the determinant from the factorization.
+func (f *LU) Det() float64 {
+	n := f.lu.Rows
+	d := float64(f.sign)
+	for i := 0; i < n; i++ {
+		d *= f.lu.Data[i*n+i]
+	}
+	return d
+}
+
+// Inverse returns m⁻¹ via LU; kept for completeness — the solvers avoid
+// explicit inverses.
+func (m *Mat) Inverse() (*Mat, error) {
+	f, err := m.LUFactor()
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(Eye(m.Rows))
+}

@@ -1,0 +1,59 @@
+package mat
+
+// FLOP accounting. The decision models of the paper (§IV) budget work in
+// floating-point operations per device; these formulas are the standard dense
+// linear-algebra counts (one fused multiply-add counted as 2 FLOPs).
+
+// FlopsGEMM returns the FLOPs of an (m×k)·(k×n) product: 2·m·k·n.
+func FlopsGEMM(m, k, n int) int64 {
+	return 2 * int64(m) * int64(k) * int64(n)
+}
+
+// FlopsGram returns the FLOPs of AᵀA for A of shape m×n, exploiting symmetry:
+// m·n·(n+1).
+func FlopsGram(m, n int) int64 {
+	return int64(m) * int64(n) * int64(n+1)
+}
+
+// FlopsCholesky returns the FLOPs of an n×n Cholesky:
+// n³/3 + n²/2 + n/6 = n(n+1)(2n+1)/6, evaluated in the product form so the
+// integer arithmetic is exact for every n.
+func FlopsCholesky(n int) int64 {
+	nn := int64(n)
+	return nn * (nn + 1) * (2*nn + 1) / 6
+}
+
+// FlopsLU returns the FLOPs of an n×n LU with partial pivoting: ~2n³/3.
+func FlopsLU(n int) int64 {
+	nn := int64(n)
+	return 2 * nn * nn * nn / 3
+}
+
+// FlopsTriSolve returns the FLOPs of a triangular solve with an n×n triangle
+// and c right-hand sides: n²·c.
+func FlopsTriSolve(n, c int) int64 {
+	return int64(n) * int64(n) * int64(c)
+}
+
+// FlopsRLS returns the total FLOPs of one SolveRLS call with A of shape m×n
+// and B of shape m×c: Gram + shift + AᵀB + Cholesky + two triangular solves.
+func FlopsRLS(m, n, c int) int64 {
+	return FlopsGram(m, n) + // AᵀA
+		int64(n) + // +λI
+		FlopsGEMM(n, m, c) + // AᵀB
+		FlopsCholesky(n) + // factor
+		2*FlopsTriSolve(n, c) // forward + backward
+}
+
+// FlopsResidual returns the FLOPs of computing ‖A·Z − B‖² with A m×n, Z n×c:
+// the product, the subtraction and the norm accumulation.
+func FlopsResidual(m, n, c int) int64 {
+	return FlopsGEMM(m, n, c) + int64(m)*int64(c) + 2*int64(m)*int64(c)
+}
+
+// FlopsMathTask returns the FLOPs of one iteration of the paper's MathTask
+// loop body (Procedure 6, lines 2-5) for square size×size matrices: one RLS
+// solve plus the residual penalty. Random generation is not counted as FLOPs.
+func FlopsMathTask(size int) int64 {
+	return FlopsRLS(size, size, size) + FlopsResidual(size, size, size)
+}

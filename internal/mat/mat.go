@@ -1,0 +1,212 @@
+// Package mat implements the dense linear-algebra kernels that stand in for
+// the paper's TensorFlow 2.1 computations: matrix products, Cholesky and LU
+// factorizations, triangular solves and the Regularized Least Squares kernel
+// Z = (AᵀA + λI)⁻¹AᵀB used by the paper's MathTask (Procedure 6).
+//
+// Matrices are dense, row-major float64. Every operation has an associated
+// FLOP count (see flops.go) so that the energy/FLOP-budget decision models of
+// the paper can account work exactly.
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"relperf/internal/xrand"
+)
+
+// ErrShape is returned when operand dimensions are incompatible.
+var ErrShape = errors.New("mat: incompatible shapes")
+
+// ErrSingular is returned when a factorization encounters a (numerically)
+// singular matrix.
+var ErrSingular = errors.New("mat: matrix is singular")
+
+// ErrNotPD is returned by Cholesky when the matrix is not positive definite.
+var ErrNotPD = errors.New("mat: matrix is not positive definite")
+
+// Mat is a dense row-major matrix.
+type Mat struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, row-major
+}
+
+// New returns a zero matrix of the given shape.
+func New(rows, cols int) *Mat {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("mat: invalid shape %dx%d", rows, cols))
+	}
+	return &Mat{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps data (row-major) in a Mat; it panics if len(data) does not
+// equal rows*cols. The matrix aliases data.
+func FromSlice(rows, cols int, data []float64) *Mat {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("mat: FromSlice %dx%d needs %d values, got %d", rows, cols, rows*cols, len(data)))
+	}
+	return &Mat{Rows: rows, Cols: cols, Data: data}
+}
+
+// Eye returns the n×n identity matrix.
+func Eye(n int) *Mat {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// Rand returns a rows×cols matrix with entries drawn uniformly from [-1, 1).
+func Rand(rng *xrand.Rand, rows, cols int) *Mat {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.Uniform(-1, 1)
+	}
+	return m
+}
+
+// RandNormal returns a rows×cols matrix with N(0,1) entries.
+func RandNormal(rng *xrand.Rand, rows, cols int) *Mat {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.Norm()
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Mat) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Mat) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy.
+func (m *Mat) Clone() *Mat {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// SameShape reports whether m and n have identical dimensions.
+func (m *Mat) SameShape(n *Mat) bool { return m.Rows == n.Rows && m.Cols == n.Cols }
+
+// Add returns m + n.
+func (m *Mat) Add(n *Mat) (*Mat, error) {
+	if !m.SameShape(n) {
+		return nil, ErrShape
+	}
+	out := New(m.Rows, m.Cols)
+	for i := range out.Data {
+		out.Data[i] = m.Data[i] + n.Data[i]
+	}
+	return out, nil
+}
+
+// Sub returns m - n.
+func (m *Mat) Sub(n *Mat) (*Mat, error) {
+	if !m.SameShape(n) {
+		return nil, ErrShape
+	}
+	out := New(m.Rows, m.Cols)
+	for i := range out.Data {
+		out.Data[i] = m.Data[i] - n.Data[i]
+	}
+	return out, nil
+}
+
+// Scale returns alpha * m.
+func (m *Mat) Scale(alpha float64) *Mat {
+	out := New(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = alpha * v
+	}
+	return out
+}
+
+// AddScaledIdentity returns m + alpha*I for square m (the λI shift of the
+// regularized normal equations).
+func (m *Mat) AddScaledIdentity(alpha float64) (*Mat, error) {
+	if m.Rows != m.Cols {
+		return nil, ErrShape
+	}
+	out := m.Clone()
+	for i := 0; i < m.Rows; i++ {
+		out.Data[i*m.Cols+i] += alpha
+	}
+	return out, nil
+}
+
+// Transpose returns mᵀ.
+func (m *Mat) Transpose() *Mat {
+	out := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Data[j*out.Cols+i] = m.Data[i*m.Cols+j]
+		}
+	}
+	return out
+}
+
+// FrobeniusNorm returns sqrt(sum m_ij^2).
+func (m *Mat) FrobeniusNorm() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// FrobeniusNorm2 returns the squared Frobenius norm, the ‖AZ−B‖² penalty of
+// the paper's MathTask.
+func (m *Mat) FrobeniusNorm2() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return s
+}
+
+// MaxAbs returns max |m_ij|, used for error comparisons in tests.
+func (m *Mat) MaxAbs() float64 {
+	var mx float64
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// Equal reports whether m and n agree elementwise within tol.
+func (m *Mat) Equal(n *Mat, tol float64) bool {
+	if !m.SameShape(n) {
+		return false
+	}
+	for i := range m.Data {
+		if math.Abs(m.Data[i]-n.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Bytes returns the storage size of the matrix in bytes (float64 entries).
+// Used by the device models to cost data movement.
+func (m *Mat) Bytes() int64 { return int64(m.Rows) * int64(m.Cols) * 8 }
+
+// String renders small matrices for debugging.
+func (m *Mat) String() string {
+	if m.Rows*m.Cols > 64 {
+		return fmt.Sprintf("Mat(%dx%d)", m.Rows, m.Cols)
+	}
+	s := ""
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			s += fmt.Sprintf("%8.4f ", m.At(i, j))
+		}
+		s += "\n"
+	}
+	return s
+}

@@ -1,0 +1,663 @@
+package mat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"relperf/internal/xrand"
+)
+
+func TestNewZeroed(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || len(m.Data) != 12 {
+		t.Fatalf("bad shape: %+v", m)
+	}
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatal("New not zeroed")
+		}
+	}
+}
+
+func TestNewPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0, 3) should panic")
+		}
+	}()
+	New(0, 3)
+}
+
+func TestFromSlice(t *testing.T) {
+	m := FromSlice(2, 2, []float64{1, 2, 3, 4})
+	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+		t.Fatal("FromSlice layout wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch should panic")
+		}
+	}()
+	FromSlice(2, 2, []float64{1})
+}
+
+func TestEye(t *testing.T) {
+	I := Eye(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if I.At(i, j) != want {
+				t.Fatalf("Eye(%d,%d) = %v", i, j, I.At(i, j))
+			}
+		}
+	}
+}
+
+func TestAtSet(t *testing.T) {
+	m := New(2, 3)
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 || m.Data[5] != 7 {
+		t.Fatal("At/Set row-major layout broken")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := FromSlice(1, 2, []float64{1, 2})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone aliases original")
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	a := FromSlice(2, 2, []float64{1, 2, 3, 4})
+	b := FromSlice(2, 2, []float64{5, 6, 7, 8})
+	s, err := a.Add(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.At(1, 1) != 12 {
+		t.Fatal("Add wrong")
+	}
+	d, err := s.Sub(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Equal(a, 0) {
+		t.Fatal("Sub did not invert Add")
+	}
+	if _, err := a.Add(New(3, 3)); err != ErrShape {
+		t.Fatal("shape mismatch not detected")
+	}
+	if _, err := a.Sub(New(3, 3)); err != ErrShape {
+		t.Fatal("shape mismatch not detected")
+	}
+}
+
+func TestScale(t *testing.T) {
+	a := FromSlice(1, 3, []float64{1, -2, 3})
+	s := a.Scale(-2)
+	want := FromSlice(1, 3, []float64{-2, 4, -6})
+	if !s.Equal(want, 0) {
+		t.Fatal("Scale wrong")
+	}
+}
+
+func TestAddScaledIdentity(t *testing.T) {
+	a := Eye(3)
+	b, err := a.AddScaledIdentity(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.At(0, 0) != 3 || b.At(0, 1) != 0 {
+		t.Fatal("AddScaledIdentity wrong")
+	}
+	if _, err := New(2, 3).AddScaledIdentity(1); err != ErrShape {
+		t.Fatal("non-square should error")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	at := a.Transpose()
+	if at.Rows != 3 || at.Cols != 2 || at.At(2, 1) != 6 || at.At(0, 1) != 4 {
+		t.Fatalf("Transpose wrong: %v", at)
+	}
+	if !at.Transpose().Equal(a, 0) {
+		t.Fatal("double transpose not identity")
+	}
+}
+
+func TestNorms(t *testing.T) {
+	a := FromSlice(1, 2, []float64{3, 4})
+	if a.FrobeniusNorm() != 5 {
+		t.Fatal("FrobeniusNorm wrong")
+	}
+	if a.FrobeniusNorm2() != 25 {
+		t.Fatal("FrobeniusNorm2 wrong")
+	}
+	if a.MaxAbs() != 4 {
+		t.Fatal("MaxAbs wrong")
+	}
+}
+
+func TestBytes(t *testing.T) {
+	if New(10, 20).Bytes() != 1600 {
+		t.Fatal("Bytes wrong")
+	}
+}
+
+func TestStringSmallAndLarge(t *testing.T) {
+	small := Eye(2).String()
+	if small == "" {
+		t.Fatal("small String empty")
+	}
+	large := New(100, 100).String()
+	if large != "Mat(100x100)" {
+		t.Fatalf("large String = %q", large)
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := FromSlice(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	want := FromSlice(2, 2, []float64{58, 64, 139, 154})
+	for name, mul := range map[string]func(*Mat) (*Mat, error){
+		"naive":    a.MulNaive,
+		"blocked":  a.MulBlocked,
+		"default":  a.Mul,
+		"parallel": func(n *Mat) (*Mat, error) { return a.MulParallel(n, 2) },
+	} {
+		got, err := mul(b)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !got.Equal(want, 1e-12) {
+			t.Fatalf("%s product wrong:\n%v", name, got)
+		}
+	}
+}
+
+func TestMulShapeError(t *testing.T) {
+	a := New(2, 3)
+	b := New(2, 3)
+	if _, err := a.MulNaive(b); err != ErrShape {
+		t.Fatal("naive shape check missing")
+	}
+	if _, err := a.MulBlocked(b); err != ErrShape {
+		t.Fatal("blocked shape check missing")
+	}
+	if _, err := a.MulParallel(b, 4); err != ErrShape {
+		t.Fatal("parallel shape check missing")
+	}
+	if _, err := a.MulT(New(5, 2)); err != ErrShape {
+		t.Fatal("MulT shape check missing")
+	}
+}
+
+func TestMulIdentityProperty(t *testing.T) {
+	rng := xrand.New(1)
+	f := func(seed uint32) bool {
+		n := rng.Intn(20) + 1
+		a := Rand(rng, n, n)
+		ai, err := a.Mul(Eye(n))
+		if err != nil {
+			return false
+		}
+		return ai.Equal(a, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockedMatchesNaiveProperty(t *testing.T) {
+	rng := xrand.New(2)
+	f := func(seed uint32) bool {
+		m := rng.Intn(70) + 1
+		k := rng.Intn(70) + 1
+		n := rng.Intn(70) + 1
+		a := Rand(rng, m, k)
+		b := Rand(rng, k, n)
+		x, _ := a.MulNaive(b)
+		y, _ := a.MulBlocked(b)
+		z, _ := a.MulParallel(b, 3)
+		return y.Equal(x, 1e-9) && z.Equal(x, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransposeOfProductProperty(t *testing.T) {
+	rng := xrand.New(3)
+	f := func(seed uint32) bool {
+		m := rng.Intn(25) + 1
+		k := rng.Intn(25) + 1
+		n := rng.Intn(25) + 1
+		a := Rand(rng, m, k)
+		b := Rand(rng, k, n)
+		ab, _ := a.Mul(b)
+		lhs := ab.Transpose()
+		rhs, _ := b.Transpose().Mul(a.Transpose())
+		return lhs.Equal(rhs, 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGramMatchesExplicit(t *testing.T) {
+	rng := xrand.New(4)
+	for trial := 0; trial < 10; trial++ {
+		m := rng.Intn(40) + 2
+		n := rng.Intn(40) + 2
+		a := Rand(rng, m, n)
+		g := a.Gram()
+		want, _ := a.Transpose().Mul(a)
+		if !g.Equal(want, 1e-10) {
+			t.Fatalf("Gram mismatch for %dx%d", m, n)
+		}
+		// Symmetry.
+		if !g.Equal(g.Transpose(), 0) {
+			t.Fatal("Gram not exactly symmetric")
+		}
+	}
+}
+
+func TestMulTMatchesExplicit(t *testing.T) {
+	rng := xrand.New(5)
+	a := Rand(rng, 17, 9)
+	b := Rand(rng, 17, 5)
+	got, err := a.MulT(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := a.Transpose().Mul(b)
+	if !got.Equal(want, 1e-10) {
+		t.Fatal("MulT mismatch")
+	}
+}
+
+func TestMulParallelWorkerEdgeCases(t *testing.T) {
+	rng := xrand.New(6)
+	a := Rand(rng, 5, 5)
+	b := Rand(rng, 5, 5)
+	want, _ := a.MulNaive(b)
+	for _, w := range []int{0, 1, 5, 16} {
+		got, err := a.MulParallel(b, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want, 1e-10) {
+			t.Fatalf("parallel with %d workers wrong", w)
+		}
+	}
+}
+
+// spd builds a random symmetric positive-definite matrix AᵀA + I.
+func spd(rng *xrand.Rand, n int) *Mat {
+	a := Rand(rng, n, n)
+	g := a.Gram()
+	s, _ := g.AddScaledIdentity(float64(n))
+	return s
+}
+
+func TestCholeskyRoundTrip(t *testing.T) {
+	rng := xrand.New(7)
+	for trial := 0; trial < 10; trial++ {
+		n := rng.Intn(30) + 2
+		m := spd(rng, n)
+		L, err := m.Cholesky()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// L is lower triangular.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if L.At(i, j) != 0 {
+					t.Fatal("Cholesky factor not lower triangular")
+				}
+			}
+		}
+		back, _ := L.Mul(L.Transpose())
+		if !back.Equal(m, 1e-8*float64(n)) {
+			t.Fatalf("L·Lᵀ != m for n=%d", n)
+		}
+	}
+}
+
+func TestCholeskyRejectsNonPD(t *testing.T) {
+	m := FromSlice(2, 2, []float64{1, 0, 0, -1})
+	if _, err := m.Cholesky(); err != ErrNotPD {
+		t.Fatalf("expected ErrNotPD, got %v", err)
+	}
+	if _, err := New(2, 3).Cholesky(); err != ErrShape {
+		t.Fatal("non-square should be ErrShape")
+	}
+}
+
+func TestTriangularSolves(t *testing.T) {
+	rng := xrand.New(8)
+	n := 12
+	m := spd(rng, n)
+	L, _ := m.Cholesky()
+	B := Rand(rng, n, 3)
+	Y, err := SolveLowerTri(L, B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	LY, _ := L.Mul(Y)
+	if !LY.Equal(B, 1e-8) {
+		t.Fatal("lower solve residual too large")
+	}
+	U := L.Transpose()
+	X, err := SolveUpperTri(U, B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	UX, _ := U.Mul(X)
+	if !UX.Equal(B, 1e-8) {
+		t.Fatal("upper solve residual too large")
+	}
+}
+
+func TestTriangularSolveErrors(t *testing.T) {
+	if _, err := SolveLowerTri(New(2, 3), New(2, 1)); err != ErrShape {
+		t.Fatal("lower tri shape check missing")
+	}
+	if _, err := SolveUpperTri(New(2, 3), New(2, 1)); err != ErrShape {
+		t.Fatal("upper tri shape check missing")
+	}
+	zeroDiag := New(2, 2)
+	if _, err := SolveLowerTri(zeroDiag, New(2, 1)); err != ErrSingular {
+		t.Fatal("singular lower solve not detected")
+	}
+	if _, err := SolveUpperTri(zeroDiag, New(2, 1)); err != ErrSingular {
+		t.Fatal("singular upper solve not detected")
+	}
+}
+
+func TestCholSolve(t *testing.T) {
+	rng := xrand.New(9)
+	n := 15
+	m := spd(rng, n)
+	B := Rand(rng, n, 4)
+	X, err := m.CholSolve(B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	MX, _ := m.Mul(X)
+	if !MX.Equal(B, 1e-7) {
+		t.Fatal("CholSolve residual too large")
+	}
+}
+
+func TestLUSolve(t *testing.T) {
+	rng := xrand.New(10)
+	for trial := 0; trial < 8; trial++ {
+		n := rng.Intn(25) + 2
+		// Rand matrices are almost surely nonsingular; diag boost makes sure.
+		a := Rand(rng, n, n)
+		for i := 0; i < n; i++ {
+			a.Data[i*n+i] += 3
+		}
+		B := Rand(rng, n, 3)
+		f, err := a.LUFactor()
+		if err != nil {
+			t.Fatal(err)
+		}
+		X, err := f.Solve(B)
+		if err != nil {
+			t.Fatal(err)
+		}
+		AX, _ := a.Mul(X)
+		if !AX.Equal(B, 1e-7) {
+			t.Fatalf("LU solve residual too large (n=%d)", n)
+		}
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	sing := FromSlice(2, 2, []float64{1, 2, 2, 4})
+	if _, err := sing.LUFactor(); err != ErrSingular {
+		t.Fatalf("expected ErrSingular, got %v", err)
+	}
+	if _, err := New(2, 3).LUFactor(); err != ErrShape {
+		t.Fatal("non-square should be ErrShape")
+	}
+}
+
+func TestLUDet(t *testing.T) {
+	m := FromSlice(2, 2, []float64{3, 1, 4, 2})
+	f, err := m.LUFactor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := f.Det(); math.Abs(d-2) > 1e-12 {
+		t.Fatalf("Det = %v, want 2", d)
+	}
+	// Permutation parity: swap rows, determinant negates.
+	ms := FromSlice(2, 2, []float64{4, 2, 3, 1})
+	fs, _ := ms.LUFactor()
+	if d := fs.Det(); math.Abs(d+2) > 1e-12 {
+		t.Fatalf("Det after row swap = %v, want -2", d)
+	}
+}
+
+func TestLUSolveShapeError(t *testing.T) {
+	f, _ := Eye(3).LUFactor()
+	if _, err := f.Solve(New(2, 1)); err != ErrShape {
+		t.Fatal("Solve shape check missing")
+	}
+}
+
+func TestInverse(t *testing.T) {
+	rng := xrand.New(11)
+	n := 10
+	a := Rand(rng, n, n)
+	for i := 0; i < n; i++ {
+		a.Data[i*n+i] += 4
+	}
+	inv, err := a.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, _ := a.Mul(inv)
+	if !prod.Equal(Eye(n), 1e-8) {
+		t.Fatal("A·A⁻¹ != I")
+	}
+}
+
+func TestSolveRLSAgainstInverse(t *testing.T) {
+	rng := xrand.New(12)
+	for _, n := range []int{3, 8, 20} {
+		A := Rand(rng, n, n)
+		B := Rand(rng, n, n)
+		lambda := 0.5
+		Z, err := SolveRLS(A, B, lambda)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Reference: explicit inverse.
+		G := A.Gram()
+		M, _ := G.AddScaledIdentity(lambda)
+		Minv, err := M.Inverse()
+		if err != nil {
+			t.Fatal(err)
+		}
+		Atb, _ := A.MulT(B)
+		want, _ := Minv.Mul(Atb)
+		if !Z.Equal(want, 1e-6) {
+			t.Fatalf("RLS mismatch at n=%d", n)
+		}
+	}
+}
+
+func TestSolveRLSNormalEquationsHold(t *testing.T) {
+	rng := xrand.New(13)
+	A := Rand(rng, 30, 12) // overdetermined
+	B := Rand(rng, 30, 4)
+	lambda := 0.1
+	Z, err := SolveRLS(A, B, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (AᵀA + λI) Z must equal AᵀB.
+	G := A.Gram()
+	M, _ := G.AddScaledIdentity(lambda)
+	MZ, _ := M.Mul(Z)
+	Atb, _ := A.MulT(B)
+	if !MZ.Equal(Atb, 1e-8) {
+		t.Fatal("normal equations violated")
+	}
+}
+
+func TestSolveRLSShapeError(t *testing.T) {
+	if _, err := SolveRLS(New(3, 2), New(4, 1), 1); err != ErrShape {
+		t.Fatal("row mismatch not detected")
+	}
+}
+
+func TestSolveRLSZeroLambdaFallback(t *testing.T) {
+	// With λ=0 and a well-conditioned A the Cholesky path still works; with a
+	// rank-deficient A it must fall back (and then fail as singular) rather
+	// than return garbage silently.
+	rng := xrand.New(14)
+	A := Rand(rng, 10, 10)
+	B := Rand(rng, 10, 2)
+	if _, err := SolveRLS(A, B, 0); err != nil {
+		t.Fatalf("well-conditioned λ=0 solve failed: %v", err)
+	}
+	// Rank-deficient: duplicate column.
+	Adef := Rand(rng, 6, 3)
+	for i := 0; i < 6; i++ {
+		Adef.Set(i, 2, Adef.At(i, 1))
+	}
+	if _, err := SolveRLS(Adef, Rand(rng, 6, 1), 0); err == nil {
+		t.Fatal("rank-deficient λ=0 should error")
+	}
+}
+
+func TestRLSResidualDecreasesWithLambda(t *testing.T) {
+	// For λ1 < λ2 the residual of the λ1 solution is no larger (regularization
+	// trades residual for solution norm).
+	rng := xrand.New(15)
+	A := Rand(rng, 25, 10)
+	B := Rand(rng, 25, 3)
+	z1, _ := SolveRLS(A, B, 0.01)
+	z2, _ := SolveRLS(A, B, 10)
+	r1, err := RLSResidual(A, z1, B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := RLSResidual(A, z2, B)
+	if r1 > r2+1e-9 {
+		t.Fatalf("residual not monotone in λ: r(0.01)=%v > r(10)=%v", r1, r2)
+	}
+}
+
+func TestRLSResidualErrors(t *testing.T) {
+	if _, err := RLSResidual(New(3, 2), New(3, 1), New(3, 1)); err != ErrShape {
+		t.Fatal("inner-dim mismatch not detected")
+	}
+	if _, err := RLSResidual(New(3, 2), New(2, 1), New(4, 1)); err != ErrShape {
+		t.Fatal("B shape mismatch not detected")
+	}
+}
+
+func TestFlopsFormulas(t *testing.T) {
+	if FlopsGEMM(2, 3, 4) != 48 {
+		t.Fatal("FlopsGEMM")
+	}
+	if FlopsGram(3, 2) != 18 {
+		t.Fatal("FlopsGram")
+	}
+	if FlopsTriSolve(4, 2) != 32 {
+		t.Fatal("FlopsTriSolve")
+	}
+	// Cholesky count for n=1: 1/3+1/2+1/6 = 1.
+	if FlopsCholesky(1) != 1 {
+		t.Fatalf("FlopsCholesky(1) = %d", FlopsCholesky(1))
+	}
+	if FlopsLU(3) != 18 {
+		t.Fatal("FlopsLU")
+	}
+	// Composite counts are sums of parts and strictly increasing in size.
+	if FlopsRLS(5, 5, 5) <= 0 {
+		t.Fatal("FlopsRLS not positive")
+	}
+	if FlopsMathTask(50) >= FlopsMathTask(75) {
+		t.Fatal("composite flops not increasing in size")
+	}
+	// The Table-I task ratio: size 300 must dominate 50 by ~(300/50)^3.
+	r := float64(FlopsMathTask(300)) / float64(FlopsMathTask(50))
+	if r < 100 || r > 400 {
+		t.Fatalf("task-flop ratio 300/50 = %v, want O(216)", r)
+	}
+}
+
+func TestRandMatrices(t *testing.T) {
+	rng := xrand.New(16)
+	u := Rand(rng, 8, 8)
+	for _, v := range u.Data {
+		if v < -1 || v >= 1 {
+			t.Fatal("Rand out of range")
+		}
+	}
+	n := RandNormal(rng, 100, 100)
+	var mean float64
+	for _, v := range n.Data {
+		mean += v
+	}
+	mean /= float64(len(n.Data))
+	if math.Abs(mean) > 0.05 {
+		t.Fatalf("RandNormal mean = %v", mean)
+	}
+}
+
+func BenchmarkGEMMNaive64(b *testing.B)    { benchGEMM(b, 64, (*Mat).MulNaive) }
+func BenchmarkGEMMBlocked64(b *testing.B)  { benchGEMM(b, 64, (*Mat).MulBlocked) }
+func BenchmarkGEMMBlocked256(b *testing.B) { benchGEMM(b, 256, (*Mat).MulBlocked) }
+func BenchmarkGEMMNaive256(b *testing.B)   { benchGEMM(b, 256, (*Mat).MulNaive) }
+
+func benchGEMM(b *testing.B, n int, mul func(*Mat, *Mat) (*Mat, error)) {
+	rng := xrand.New(1)
+	x := Rand(rng, n, n)
+	y := Rand(rng, n, n)
+	b.SetBytes(int64(n) * int64(n) * 8 * 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mul(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCholesky128(b *testing.B) {
+	rng := xrand.New(1)
+	m := spd(rng, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Cholesky(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveRLS100(b *testing.B) {
+	rng := xrand.New(1)
+	A := Rand(rng, 100, 100)
+	B := Rand(rng, 100, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveRLS(A, B, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package mat
+
+import (
+	"math"
+	"testing"
+
+	"relperf/internal/xrand"
+)
+
+func TestQRReconstruction(t *testing.T) {
+	rng := xrand.New(1)
+	for _, dims := range [][2]int{{5, 3}, {10, 10}, {30, 12}, {7, 1}} {
+		m, n := dims[0], dims[1]
+		A := Rand(rng, m, n)
+		f, err := A.QRFactor()
+		if err != nil {
+			t.Fatalf("%dx%d: %v", m, n, err)
+		}
+		// Verify via the solve: for square nonsingular A, X = A⁻¹B exactly.
+		if m == n {
+			B := Rand(rng, m, 2)
+			X, err := f.Solve(B)
+			if err != nil {
+				t.Fatal(err)
+			}
+			AX, _ := A.Mul(X)
+			if !AX.Equal(B, 1e-8) {
+				t.Fatalf("%dx%d: QR solve residual too large", m, n)
+			}
+		}
+		// R is upper triangular.
+		R := f.R()
+		for i := 0; i < n; i++ {
+			for j := 0; j < i; j++ {
+				if R.At(i, j) != 0 {
+					t.Fatal("R not upper triangular")
+				}
+			}
+		}
+	}
+}
+
+func TestQRRejectsWide(t *testing.T) {
+	if _, err := New(2, 3).QRFactor(); err != ErrShape {
+		t.Fatal("wide matrix accepted")
+	}
+}
+
+func TestQRRejectsZeroColumn(t *testing.T) {
+	A := New(4, 2) // all zeros
+	if _, err := A.QRFactor(); err != ErrSingular {
+		t.Fatalf("zero matrix: %v", err)
+	}
+}
+
+func TestQRSolveShapeError(t *testing.T) {
+	rng := xrand.New(2)
+	A := Rand(rng, 6, 3)
+	f, err := A.QRFactor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Solve(New(5, 1)); err != ErrShape {
+		t.Fatal("mismatched B accepted")
+	}
+}
+
+func TestQRLeastSquaresNormalEquations(t *testing.T) {
+	// The QR least-squares solution satisfies AᵀA·X = AᵀB.
+	rng := xrand.New(3)
+	A := Rand(rng, 20, 7)
+	B := Rand(rng, 20, 3)
+	f, err := A.QRFactor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	X, err := f.Solve(B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	G := A.Gram()
+	GX, _ := G.Mul(X)
+	Atb, _ := A.MulT(B)
+	if !GX.Equal(Atb, 1e-8) {
+		t.Fatal("QR solution violates the normal equations")
+	}
+}
+
+func TestSolveRLSQRMatchesCholeskyRoute(t *testing.T) {
+	// The three RLS algorithms are mathematically equivalent: QR, Cholesky
+	// and explicit-inverse solutions agree to numerical precision.
+	rng := xrand.New(4)
+	for _, dims := range [][2]int{{10, 10}, {25, 12}, {40, 8}} {
+		A := Rand(rng, dims[0], dims[1])
+		B := Rand(rng, dims[0], 3)
+		lambda := 0.3
+		zChol, err := SolveRLS(A, B, lambda)
+		if err != nil {
+			t.Fatal(err)
+		}
+		zQR, err := SolveRLSQR(A, B, lambda)
+		if err != nil {
+			t.Fatal(err)
+		}
+		zInv, err := SolveRLSInverse(A, B, lambda)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !zQR.Equal(zChol, 1e-7) {
+			t.Fatalf("%v: QR route disagrees with Cholesky route", dims)
+		}
+		if !zInv.Equal(zChol, 1e-7) {
+			t.Fatalf("%v: inverse route disagrees with Cholesky route", dims)
+		}
+	}
+}
+
+func TestSolveRLSQRBetterConditioned(t *testing.T) {
+	// On an ill-conditioned A, the QR route (which never forms AᵀA) must
+	// produce a residual no worse than the normal-equations route.
+	rng := xrand.New(5)
+	n := 12
+	A := Rand(rng, n, n)
+	// Make columns nearly dependent.
+	for i := 0; i < n; i++ {
+		A.Set(i, 1, A.At(i, 0)*(1+1e-7)+1e-9*rng.Norm())
+	}
+	B := Rand(rng, n, 1)
+	lambda := 1e-12
+	zQR, err := SolveRLSQR(A, B, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rQR, err := RLSResidual(A, zQR, B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zChol, cholErr := SolveRLS(A, B, lambda)
+	if cholErr == nil {
+		rChol, _ := RLSResidual(A, zChol, B)
+		if rQR > rChol*10+1e-6 {
+			t.Fatalf("QR residual %v much worse than Cholesky %v", rQR, rChol)
+		}
+	}
+	if math.IsNaN(rQR) {
+		t.Fatal("QR produced NaN")
+	}
+}
+
+func TestSolveRLSQRErrors(t *testing.T) {
+	if _, err := SolveRLSQR(New(3, 2), New(4, 1), 1); err != ErrShape {
+		t.Fatal("row mismatch accepted")
+	}
+	if _, err := SolveRLSQR(New(3, 2), New(3, 1), -1); err != ErrNotPD {
+		t.Fatal("negative lambda accepted")
+	}
+}
+
+func TestSolveRLSInverseErrors(t *testing.T) {
+	if _, err := SolveRLSInverse(New(3, 2), New(4, 1), 1); err != ErrShape {
+		t.Fatal("row mismatch accepted")
+	}
+	// Singular shifted Gram: zero matrix with lambda 0.
+	if _, err := SolveRLSInverse(New(3, 2), New(3, 1), 0); err == nil {
+		t.Fatal("singular system accepted")
+	}
+}
+
+func TestFlopsQRFormulas(t *testing.T) {
+	// 2n²(m−n/3): for m=n: 2n³·(2/3) = 4n³/3.
+	if got := FlopsQR(3, 3); got != 36 {
+		t.Fatalf("FlopsQR(3,3) = %d, want 36", got)
+	}
+	if FlopsQR(10, 3) <= FlopsQR(5, 3) {
+		t.Fatal("QR flops not increasing in m")
+	}
+	if FlopsRLSQR(10, 5, 2) <= FlopsQR(15, 5) {
+		t.Fatal("RLS-QR flops must exceed the bare factorization")
+	}
+	// The QR route costs more than the Cholesky route for square problems —
+	// the trade-off the kernel-variant experiment measures.
+	if FlopsRLSQR(50, 50, 50) <= FlopsRLS(50, 50, 50) {
+		t.Fatal("QR route should be more expensive than normal equations")
+	}
+}
+
+func BenchmarkQRFactor100(b *testing.B) {
+	rng := xrand.New(1)
+	A := Rand(rng, 100, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := A.QRFactor(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveRLSQR100(b *testing.B) {
+	rng := xrand.New(1)
+	A := Rand(rng, 100, 100)
+	B := Rand(rng, 100, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveRLSQR(A, B, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

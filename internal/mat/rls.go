@@ -1,0 +1,48 @@
+package mat
+
+// SolveRLS solves the Regularized Least Squares (Tikhonov) problem of the
+// paper's MathTask, line 4 of Procedure 6:
+//
+//	Z = (AᵀA + λI)⁻¹ AᵀB
+//
+// via the normal equations and a Cholesky solve: AᵀA+λI is symmetric positive
+// definite for λ > 0, so Cholesky is both the cheapest and the numerically
+// appropriate route. When λ is so small (or negative) that positive
+// definiteness fails numerically, it falls back to an LU solve.
+func SolveRLS(A, B *Mat, lambda float64) (*Mat, error) {
+	if A.Rows != B.Rows {
+		return nil, ErrShape
+	}
+	G := A.Gram() // AᵀA
+	M, err := G.AddScaledIdentity(lambda)
+	if err != nil {
+		return nil, err
+	}
+	Atb, err := A.MulT(B) // AᵀB
+	if err != nil {
+		return nil, err
+	}
+	Z, err := M.CholSolve(Atb)
+	if err == ErrNotPD {
+		f, luErr := M.LUFactor()
+		if luErr != nil {
+			return nil, luErr
+		}
+		return f.Solve(Atb)
+	}
+	return Z, err
+}
+
+// RLSResidual returns the squared residual ‖A·Z − B‖² — the "penalty" that
+// Procedure 6 threads from one MathTask to the next.
+func RLSResidual(A, Z, B *Mat) (float64, error) {
+	AZ, err := A.Mul(Z)
+	if err != nil {
+		return 0, err
+	}
+	R, err := AZ.Sub(B)
+	if err != nil {
+		return 0, err
+	}
+	return R.FrobeniusNorm2(), nil
+}

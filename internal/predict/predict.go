@@ -1,0 +1,374 @@
+// Package predict implements the paper's stated downstream use of the
+// performance clusters: training models that predict relative performance
+// without executing the algorithms ("these clusters can be used as ground
+// truth to train performance models that can automatically identify the
+// algorithm of required performance without executing them", §I). The paper
+// further notes that such models train better with a Triplet loss, "where
+// both positive (fast algorithm) and negative (worst algorithm) examples are
+// used" — which requires algorithms from *all* performance classes, the
+// reason the paper clusters beyond the fastest subset.
+//
+// The model is a linear scorer s(x) = w·x over static placement features
+// (no execution needed): per-device FLOP loads, launch counts, transferred
+// bytes. Training minimizes a pairwise hinge ("algorithm of a better class
+// must score lower") or a triplet hinge (anchor/positive from one class,
+// negative from a worse class, separated by a margin). Scores order the
+// algorithms; thresholding the gaps recovers predicted classes.
+package predict
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"relperf/internal/sim"
+	"relperf/internal/stats"
+	"relperf/internal/xrand"
+)
+
+// FeatureDim is the length of the feature vector produced by Features.
+const FeatureDim = 8
+
+// FeatureNames documents the feature vector layout.
+var FeatureNames = [FeatureDim]string{
+	"edge-flop-seconds",  // Σ flops/(edge peak · eff) for edge-placed tasks
+	"accel-flop-seconds", // Σ flops/(accel peak · eff) for accel-placed tasks
+	"edge-launch-cost",   // Σ launches · edge launch overhead
+	"accel-launch-cost",  // Σ launches · accel launch overhead + task overheads
+	"transfer-seconds",   // Σ bytes / link bandwidth
+	"transfer-latency",   // Σ transactions · link latency
+	"cache-penalties",    // Σ same-device carry penalties
+	"bias",
+}
+
+// Features maps (program, placement) to the static descriptor the model
+// scores. Every entry is a *time-dimensioned* resource count derived from
+// task metadata and platform constants — no measurement involved. A linear
+// model with unit weights would reproduce the analytical cost model; the
+// learning task is recovering effective weights from cluster labels alone.
+func Features(pl *sim.Platform, prog *sim.Program, placement sim.Placement) ([]float64, error) {
+	if len(placement) != len(prog.Tasks) {
+		return nil, fmt.Errorf("predict: placement %s does not fit %d tasks", placement, len(prog.Tasks))
+	}
+	f := make([]float64, FeatureDim)
+	for i := range prog.Tasks {
+		t := &prog.Tasks[i]
+		onAccel := placement[i].Letter() == "A"
+		if onAccel {
+			eff := t.AccelEff
+			if eff <= 0 {
+				eff = 1
+			}
+			f[1] += float64(t.Flops) / (pl.Accel.PeakFlops * eff)
+			f[3] += float64(t.Launches)*pl.Accel.LaunchOverhead.Seconds() + pl.Accel.TaskOverhead.Seconds()
+			moved := t.HostInBytes + t.HostOutBytes
+			f[4] += float64(moved) / pl.Link.Bandwidth
+			f[5] += float64(t.Transfers) * pl.Link.Latency.Seconds()
+		} else {
+			eff := t.EdgeEff
+			if eff <= 0 {
+				eff = 1
+			}
+			f[0] += float64(t.Flops) / (pl.Edge.PeakFlops * eff)
+			f[2] += float64(t.Launches)*pl.Edge.LaunchOverhead.Seconds() + pl.Edge.TaskOverhead.Seconds()
+		}
+		if i > 0 && placement[i-1] == placement[i] {
+			f[6] += t.CachePenaltySeconds
+		}
+	}
+	f[7] = 1
+	return f, nil
+}
+
+// Example is one labelled training instance.
+type Example struct {
+	// X is the feature vector.
+	X []float64
+	// Class is the final performance class (1 = fastest).
+	Class int
+	// Name labels the instance in diagnostics.
+	Name string
+}
+
+// Model is a trained linear scorer: lower score = faster class.
+type Model struct {
+	W []float64
+}
+
+// Score returns the predicted slowness of a feature vector.
+func (m *Model) Score(x []float64) float64 {
+	var s float64
+	for i, w := range m.W {
+		s += w * x[i]
+	}
+	return s
+}
+
+// TrainConfig controls training.
+type TrainConfig struct {
+	// Epochs over the pair/triplet set (default 200).
+	Epochs int
+	// LearningRate for SGD (default 0.1).
+	LearningRate float64
+	// Margin required between classes (default 1.0 in normalized units).
+	Margin float64
+	// L2 regularization strength (default 1e-4).
+	L2 float64
+	// Seed shuffles the training pairs.
+	Seed uint64
+	// Triplet switches from pairwise hinge to the triplet objective.
+	Triplet bool
+}
+
+func (c *TrainConfig) defaults() {
+	if c.Epochs <= 0 {
+		c.Epochs = 200
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.1
+	}
+	if c.Margin <= 0 {
+		c.Margin = 1
+	}
+	if c.L2 <= 0 {
+		c.L2 = 1e-4
+	}
+}
+
+// normalize scales each feature to zero mean, unit deviation over the
+// training set (bias column excluded) and returns the scaler.
+type scaler struct {
+	mean, std []float64
+}
+
+func fitScaler(xs [][]float64) *scaler {
+	d := len(xs[0])
+	s := &scaler{mean: make([]float64, d), std: make([]float64, d)}
+	for j := 0; j < d; j++ {
+		var sum float64
+		for _, x := range xs {
+			sum += x[j]
+		}
+		s.mean[j] = sum / float64(len(xs))
+		var ss float64
+		for _, x := range xs {
+			dv := x[j] - s.mean[j]
+			ss += dv * dv
+		}
+		s.std[j] = math.Sqrt(ss / float64(len(xs)))
+		if s.std[j] == 0 {
+			s.std[j] = 1
+			s.mean[j] = 0 // keep constant columns (bias) as-is
+		}
+	}
+	return s
+}
+
+func (s *scaler) apply(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for j := range x {
+		out[j] = (x[j] - s.mean[j]) / s.std[j]
+	}
+	return out
+}
+
+// Trained bundles the model with its feature scaler.
+type Trained struct {
+	Model  Model
+	scaler *scaler
+	// TrainViolations is the fraction of constraints still violated after
+	// training (0 = perfectly separable ordering).
+	TrainViolations float64
+}
+
+// Score returns the predicted slowness of raw (unscaled) features.
+func (t *Trained) Score(x []float64) float64 {
+	return t.Model.Score(t.scaler.apply(x))
+}
+
+// Train fits the scorer on labelled examples.
+func Train(examples []Example, cfg TrainConfig) (*Trained, error) {
+	if len(examples) < 2 {
+		return nil, errors.New("predict: need at least two examples")
+	}
+	cfg.defaults()
+	d := len(examples[0].X)
+	for _, e := range examples {
+		if len(e.X) != d {
+			return nil, errors.New("predict: inconsistent feature dimensions")
+		}
+	}
+	raw := make([][]float64, len(examples))
+	for i, e := range examples {
+		raw[i] = e.X
+	}
+	sc := fitScaler(raw)
+	xs := make([][]float64, len(examples))
+	for i := range raw {
+		xs[i] = sc.apply(raw[i])
+	}
+
+	// Build the constraint set.
+	type pair struct{ fast, slow int }
+	var pairs []pair
+	type triplet struct{ anchor, pos, neg int }
+	var triplets []triplet
+	for i := range examples {
+		for j := range examples {
+			if examples[i].Class < examples[j].Class {
+				pairs = append(pairs, pair{i, j})
+			}
+		}
+	}
+	if cfg.Triplet {
+		for a := range examples {
+			for p := range examples {
+				if p == a || examples[p].Class != examples[a].Class {
+					continue
+				}
+				for n := range examples {
+					if examples[n].Class > examples[a].Class {
+						triplets = append(triplets, triplet{a, p, n})
+					}
+				}
+			}
+		}
+	}
+	if len(pairs) == 0 {
+		return nil, errors.New("predict: all examples share one class; nothing to order")
+	}
+
+	w := make([]float64, d)
+	rng := xrand.New(cfg.Seed)
+	dot := func(x []float64) float64 {
+		var s float64
+		for i := range w {
+			s += w[i] * x[i]
+		}
+		return s
+	}
+	update := func(fast, slow []float64) bool {
+		// Hinge: score(slow) - score(fast) >= margin.
+		if dot(slow)-dot(fast) >= cfg.Margin {
+			return false
+		}
+		for i := range w {
+			g := fast[i] - slow[i] // d(loss)/dw
+			w[i] -= cfg.LearningRate * (g + cfg.L2*w[i])
+		}
+		return true
+	}
+
+	order := make([]int, len(pairs))
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.ShuffleInts(order)
+		for _, k := range order {
+			update(xs[pairs[k].fast], xs[pairs[k].slow])
+		}
+		if cfg.Triplet {
+			for _, t := range triplets {
+				// Triplet: |s(a)-s(p)| small, s(n) - s(a) >= margin.
+				update(xs[t.anchor], xs[t.neg])
+				update(xs[t.pos], xs[t.neg])
+				// Pull same-class scores together.
+				da := dot(xs[t.anchor]) - dot(xs[t.pos])
+				if math.Abs(da) > cfg.Margin/4 {
+					sign := 1.0
+					if da < 0 {
+						sign = -1
+					}
+					for i := range w {
+						g := sign * (xs[t.anchor][i] - xs[t.pos][i])
+						w[i] -= cfg.LearningRate * 0.1 * g
+					}
+				}
+			}
+		}
+	}
+
+	violations := 0
+	for _, p := range pairs {
+		if dot(xs[p.slow])-dot(xs[p.fast]) < 0 {
+			violations++
+		}
+	}
+	return &Trained{
+		Model:           Model{W: w},
+		scaler:          sc,
+		TrainViolations: float64(violations) / float64(len(pairs)),
+	}, nil
+}
+
+// Evaluation summarizes predicted-vs-true ordering quality.
+type Evaluation struct {
+	// KendallTau between predicted scores and true class labels.
+	KendallTau float64
+	// PairAccuracy is the fraction of cross-class pairs ordered correctly.
+	PairAccuracy float64
+	// TopClassHit reports whether the best-scored example belongs to the
+	// true top class — the "automatically identify the fast algorithm"
+	// objective.
+	TopClassHit bool
+}
+
+// Evaluate scores held-out examples.
+func Evaluate(t *Trained, examples []Example) (*Evaluation, error) {
+	if len(examples) < 2 {
+		return nil, errors.New("predict: need at least two examples to evaluate")
+	}
+	scores := make([]float64, len(examples))
+	classes := make([]float64, len(examples))
+	for i, e := range examples {
+		scores[i] = t.Score(e.X)
+		classes[i] = float64(e.Class)
+	}
+	tau, err := stats.KendallTau(scores, classes)
+	if err != nil {
+		return nil, err
+	}
+	var correct, total int
+	for i := range examples {
+		for j := range examples {
+			if examples[i].Class < examples[j].Class {
+				total++
+				if scores[i] < scores[j] {
+					correct++
+				}
+			}
+		}
+	}
+	ev := &Evaluation{KendallTau: tau}
+	if total > 0 {
+		ev.PairAccuracy = float64(correct) / float64(total)
+	}
+	best := 0
+	for i := range scores {
+		if scores[i] < scores[best] {
+			best = i
+		}
+	}
+	minClass := examples[0].Class
+	for _, e := range examples {
+		if e.Class < minClass {
+			minClass = e.Class
+		}
+	}
+	ev.TopClassHit = examples[best].Class == minClass
+	return ev, nil
+}
+
+// PredictRanking orders example indices by predicted score (fastest first).
+func PredictRanking(t *Trained, examples []Example) []int {
+	idx := make([]int, len(examples))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return t.Score(examples[idx[a]].X) < t.Score(examples[idx[b]].X)
+	})
+	return idx
+}

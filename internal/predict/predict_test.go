@@ -1,0 +1,257 @@
+package predict
+
+import (
+	"testing"
+
+	"relperf/internal/sim"
+	"relperf/internal/workload"
+)
+
+// labelled builds examples from a program by ranking placements with the
+// noiseless cost model (classes = quartiles of the nominal ordering). This
+// stands in for measured cluster labels in unit tests; the integration test
+// below uses real clustering output.
+func labelled(t *testing.T, plat *sim.Platform, prog *sim.Program) []Example {
+	t.Helper()
+	s, err := sim.NewSimulator(plat, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pls := sim.EnumeratePlacements(len(prog.Tasks))
+	type scored struct {
+		pl  sim.Placement
+		sec float64
+	}
+	arr := make([]scored, len(pls))
+	for i, pl := range pls {
+		v, err := s.NominalSeconds(prog, pl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arr[i] = scored{pl, v}
+	}
+	// Class by rank position in the nominal ordering (pairs of two).
+	sorted := append([]scored(nil), arr...)
+	for i := 0; i < len(sorted); i++ {
+		for j := i + 1; j < len(sorted); j++ {
+			if sorted[j].sec < sorted[i].sec {
+				sorted[i], sorted[j] = sorted[j], sorted[i]
+			}
+		}
+	}
+	classOf := map[string]int{}
+	for i, sc := range sorted {
+		classOf[sc.pl.String()] = i/2 + 1
+	}
+	var out []Example
+	for _, sc := range arr {
+		x, err := Features(plat, prog, sc.pl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, Example{X: x, Class: classOf[sc.pl.String()], Name: sc.pl.String()})
+	}
+	return out
+}
+
+func TestFeaturesShapeAndContent(t *testing.T) {
+	plat := workload.TableIPlatform()
+	prog := workload.TableI(10, plat.Accel.PeakFlops)
+	pls := sim.EnumeratePlacements(3)
+	for _, pl := range pls {
+		x, err := Features(plat, prog, pl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(x) != FeatureDim {
+			t.Fatalf("dim = %d", len(x))
+		}
+		if x[FeatureDim-1] != 1 {
+			t.Fatal("bias feature missing")
+		}
+		for j, v := range x {
+			if v < 0 {
+				t.Fatalf("negative feature %s = %v", FeatureNames[j], v)
+			}
+		}
+	}
+	// DDD has zero accelerator features; AAA zero edge features.
+	ddd, _ := sim.ParsePlacement("DDD")
+	x, _ := Features(plat, prog, ddd)
+	if x[1] != 0 || x[3] != 0 || x[4] != 0 || x[5] != 0 {
+		t.Fatalf("DDD has accel features: %v", x)
+	}
+	aaa, _ := sim.ParsePlacement("AAA")
+	x, _ = Features(plat, prog, aaa)
+	if x[0] != 0 || x[2] != 0 {
+		t.Fatalf("AAA has edge features: %v", x)
+	}
+	if x[1] == 0 || x[4] == 0 {
+		t.Fatalf("AAA missing accel features: %v", x)
+	}
+}
+
+func TestFeaturesPlacementMismatch(t *testing.T) {
+	plat := workload.TableIPlatform()
+	prog := workload.TableI(10, plat.Accel.PeakFlops)
+	pl, _ := sim.ParsePlacement("DD")
+	if _, err := Features(plat, prog, pl); err == nil {
+		t.Fatal("short placement accepted")
+	}
+}
+
+func TestTrainRecoversOrdering(t *testing.T) {
+	plat := workload.TableIPlatform()
+	prog := workload.TableI(10, plat.Accel.PeakFlops)
+	examples := labelled(t, plat, prog)
+	trained, err := Train(examples, TrainConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := Evaluate(trained, examples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.PairAccuracy < 0.9 {
+		t.Fatalf("train pair accuracy = %v", ev.PairAccuracy)
+	}
+	if ev.KendallTau < 0.7 {
+		t.Fatalf("train tau = %v", ev.KendallTau)
+	}
+	if !ev.TopClassHit {
+		t.Fatal("failed to identify the fastest class")
+	}
+}
+
+func TestTrainGeneralizesAcrossWorkloads(t *testing.T) {
+	// Train on the Table-I workload (n=10), evaluate on a DIFFERENT
+	// configuration of the same code family (n=40 and other sizes): the
+	// model must order unseen placements correctly without executing them.
+	plat := workload.TableIPlatform()
+	train := labelled(t, plat, workload.TableI(10, plat.Accel.PeakFlops))
+	trained, err := Train(train, TrainConfig{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	heldSpecs := []workload.MathTaskSpec{
+		{Name: "H1", Size: 60, Iters: 20, Lambda: 0.5},
+		{Name: "H2", Size: 120, Iters: 20, Lambda: 0.5},
+		{Name: "H3", Size: 250, Iters: 20, Lambda: 0.5},
+	}
+	heldProg := &sim.Program{Name: "held-out"}
+	for i := range heldSpecs {
+		heldProg.Tasks = append(heldProg.Tasks, heldSpecs[i].Task(plat.Accel.PeakFlops))
+	}
+	held := labelled(t, plat, heldProg)
+	ev, err := Evaluate(trained, held)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.PairAccuracy < 0.75 {
+		t.Fatalf("held-out pair accuracy = %v", ev.PairAccuracy)
+	}
+	if ev.KendallTau < 0.5 {
+		t.Fatalf("held-out tau = %v", ev.KendallTau)
+	}
+}
+
+func TestTripletTrainingAtLeastAsGood(t *testing.T) {
+	plat := workload.TableIPlatform()
+	prog := workload.TableI(10, plat.Accel.PeakFlops)
+	examples := labelled(t, plat, prog)
+	pairwise, err := Train(examples, TrainConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	triplet, err := Train(examples, TrainConfig{Seed: 7, Triplet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evP, _ := Evaluate(pairwise, examples)
+	evT, _ := Evaluate(triplet, examples)
+	// The triplet objective uses more constraints; it must not be
+	// meaningfully worse on the training distribution.
+	if evT.PairAccuracy < evP.PairAccuracy-0.1 {
+		t.Fatalf("triplet accuracy %v much worse than pairwise %v", evT.PairAccuracy, evP.PairAccuracy)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(nil, TrainConfig{}); err == nil {
+		t.Fatal("empty training set accepted")
+	}
+	same := []Example{
+		{X: []float64{1, 1}, Class: 1},
+		{X: []float64{2, 1}, Class: 1},
+	}
+	if _, err := Train(same, TrainConfig{}); err == nil {
+		t.Fatal("single-class training set accepted")
+	}
+	mixedDim := []Example{
+		{X: []float64{1, 1}, Class: 1},
+		{X: []float64{2}, Class: 2},
+	}
+	if _, err := Train(mixedDim, TrainConfig{}); err == nil {
+		t.Fatal("inconsistent dims accepted")
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	plat := workload.TableIPlatform()
+	prog := workload.TableI(10, plat.Accel.PeakFlops)
+	examples := labelled(t, plat, prog)
+	trained, _ := Train(examples, TrainConfig{Seed: 1})
+	if _, err := Evaluate(trained, examples[:1]); err == nil {
+		t.Fatal("single example evaluation accepted")
+	}
+}
+
+func TestPredictRanking(t *testing.T) {
+	plat := workload.TableIPlatform()
+	prog := workload.TableI(10, plat.Accel.PeakFlops)
+	examples := labelled(t, plat, prog)
+	trained, _ := Train(examples, TrainConfig{Seed: 9})
+	order := PredictRanking(trained, examples)
+	if len(order) != len(examples) {
+		t.Fatal("ranking length wrong")
+	}
+	// Scores must be non-decreasing along the predicted order.
+	prev := trained.Score(examples[order[0]].X)
+	for _, i := range order[1:] {
+		s := trained.Score(examples[i].X)
+		if s < prev {
+			t.Fatal("ranking not sorted by score")
+		}
+		prev = s
+	}
+	// The predicted-fastest should be DDA (the true best placement).
+	if examples[order[0]].Name != "DDA" {
+		t.Logf("predicted fastest = %s (true best DDA)", examples[order[0]].Name)
+		if examples[order[0]].Class > 2 {
+			t.Fatal("predicted fastest is from a slow class")
+		}
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	plat := workload.TableIPlatform()
+	prog := workload.TableI(10, plat.Accel.PeakFlops)
+	examples := labelled(t, plat, prog)
+	a, _ := Train(examples, TrainConfig{Seed: 11})
+	b, _ := Train(examples, TrainConfig{Seed: 11})
+	for i := range a.Model.W {
+		if a.Model.W[i] != b.Model.W[i] {
+			t.Fatal("training not deterministic under fixed seed")
+		}
+	}
+}
+
+func TestScalerConstantColumn(t *testing.T) {
+	xs := [][]float64{{1, 5}, {2, 5}, {3, 5}}
+	sc := fitScaler(xs)
+	out := sc.apply([]float64{2, 5})
+	if out[1] != 5 {
+		t.Fatalf("constant column rescaled: %v", out)
+	}
+}

@@ -1,0 +1,254 @@
+// Package report renders the artefacts of a relative-performance study as
+// text: cluster tables in the style of the paper's Table I, ASCII histograms
+// in the style of Figure 1b, and sort traces in the style of Figure 2.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"relperf/internal/core"
+	"relperf/internal/stats"
+)
+
+// Table renders rows with left-aligned columns separated by two spaces.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given header.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.header))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// Render writes the formatted table.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		return strings.TrimRight(strings.Join(parts, "  "), " ")
+	}
+	var b strings.Builder
+	b.WriteString(line(t.header))
+	b.WriteByte('\n')
+	total := len(widths) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		b.WriteString(line(row))
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// ClusterTable renders a core.ClusterResult in the format of the paper's
+// Table I: one row per (cluster, algorithm, relative score).
+func ClusterTable(w io.Writer, res *core.ClusterResult, names []string) error {
+	tbl := NewTable("Cluster", "Algorithm", "Relative Score")
+	for r := 1; r <= res.K; r++ {
+		members, err := res.GetCluster(r)
+		if err != nil {
+			return err
+		}
+		first := true
+		for _, m := range members {
+			label := ""
+			if first {
+				label = fmt.Sprintf("C%d", r)
+				first = false
+			}
+			tbl.AddRow(label, algName(names, m.Alg), fmt.Sprintf("%.2f", m.Score))
+		}
+	}
+	return tbl.Render(w)
+}
+
+// FinalTable renders a core.FinalAssignment: the paper's "final clustering".
+func FinalTable(w io.Writer, fa *core.FinalAssignment, names []string) error {
+	tbl := NewTable("Cluster", "Algorithm", "Final Score")
+	for r := 1; r <= fa.K; r++ {
+		first := true
+		for _, m := range fa.Classes[r-1] {
+			label := ""
+			if first {
+				label = fmt.Sprintf("C%d", r)
+				first = false
+			}
+			tbl.AddRow(label, algName(names, m.Alg), fmt.Sprintf("%.2f", m.Score))
+		}
+	}
+	return tbl.Render(w)
+}
+
+func algName(names []string, i int) string {
+	if i >= 0 && i < len(names) {
+		return names[i]
+	}
+	return fmt.Sprintf("alg%d", i)
+}
+
+// SummaryTable renders per-algorithm descriptive statistics of the measured
+// distributions (milliseconds).
+func SummaryTable(w io.Writer, names []string, samples [][]float64) error {
+	tbl := NewTable("Algorithm", "N", "Mean(ms)", "Median(ms)", "Std(ms)", "Min(ms)", "Max(ms)")
+	for i, name := range names {
+		s := stats.Summarize(samples[i])
+		tbl.AddRow(name,
+			fmt.Sprintf("%d", s.N),
+			fmt.Sprintf("%.3f", s.Mean*1e3),
+			fmt.Sprintf("%.3f", s.Median*1e3),
+			fmt.Sprintf("%.3f", s.StdDev*1e3),
+			fmt.Sprintf("%.3f", s.Min*1e3),
+			fmt.Sprintf("%.3f", s.Max*1e3))
+	}
+	return tbl.Render(w)
+}
+
+// Histograms renders the Figure-1b style overlayed distribution view: one
+// ASCII histogram per algorithm over a shared range, so the overlap between
+// equivalent algorithms is visible.
+func Histograms(w io.Writer, names []string, samples [][]float64, bins, width int) error {
+	if bins <= 0 {
+		bins = 30
+	}
+	if width <= 0 {
+		width = 50
+	}
+	lo, hi := sharedRange(samples)
+	if !(hi > lo) {
+		hi = lo + 1
+	}
+	for i, name := range names {
+		h, err := stats.NewHistogram(samples[i], lo, hi, bins)
+		if err != nil {
+			return err
+		}
+		maxCount := 0
+		for _, c := range h.Counts {
+			if c > maxCount {
+				maxCount = c
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s (N=%d)\n", name, len(samples[i])); err != nil {
+			return err
+		}
+		for b := 0; b < bins; b++ {
+			bar := 0
+			if maxCount > 0 {
+				bar = h.Counts[b] * width / maxCount
+			}
+			if _, err := fmt.Fprintf(w, "  %8.3fms |%s\n",
+				h.BinCenter(b)*1e3, strings.Repeat("#", bar)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+		_ = i
+	}
+	return nil
+}
+
+func sharedRange(samples [][]float64) (lo, hi float64) {
+	first := true
+	for _, s := range samples {
+		for _, v := range s {
+			if first {
+				lo, hi = v, v
+				first = false
+				continue
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	return lo, hi
+}
+
+// SortTrace renders a core sort trace in the style of the paper's Figure 2:
+// one line per comparison showing the outcome and the sequence state.
+func SortTrace(w io.Writer, res *core.SortResult, names []string) error {
+	for i, st := range res.Trace {
+		state := make([]string, len(st.OrderAfter))
+		for p, a := range st.OrderAfter {
+			state[p] = fmt.Sprintf("(%s,%d)", algName(names, a), st.RanksAfter[p])
+		}
+		action := "keep"
+		if st.Swapped {
+			action = "swap"
+		}
+		shift := ""
+		switch st.RankShift {
+		case -1:
+			shift = " merge↓"
+		case +1:
+			shift = " split↑"
+		}
+		if _, err := fmt.Fprintf(w, "step %d (pass %d): %s vs %s → %s [%s%s]  ⟨%s⟩\n",
+			i+1, st.Pass,
+			algName(names, st.Left), algName(names, st.Right),
+			st.Outcome, action, shift, strings.Join(state, " ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RankedNames returns names sorted by final rank then score — handy for
+// compact one-line summaries.
+func RankedNames(fa *core.FinalAssignment, names []string) []string {
+	idx := make([]int, len(names))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		if fa.Rank[idx[a]] != fa.Rank[idx[b]] {
+			return fa.Rank[idx[a]] < fa.Rank[idx[b]]
+		}
+		return fa.Score[idx[a]] > fa.Score[idx[b]]
+	})
+	out := make([]string, len(names))
+	for i, j := range idx {
+		out[i] = fmt.Sprintf("%s(C%d)", algName(names, j), fa.Rank[j])
+	}
+	return out
+}

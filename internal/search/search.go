@@ -1,0 +1,206 @@
+// Package search implements measurement-efficient algorithm selection for
+// the paper's concluding scenario: "in case of exponential explosion of the
+// search space, our methodology can still be applied on a subset of possible
+// solutions and the resulting clusters ... can be used ... to guide the
+// search of algorithm". Instead of measuring every placement N times and
+// clustering once, a Racer interleaves measurement and comparison: it
+// measures candidates in small rounds and eliminates any candidate that the
+// three-way comparator declares Worse than some surviving rival, so the
+// measurement budget concentrates on the contenders. An optional predicted
+// ranking (from package predict) orders the initial subset.
+package search
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"relperf/internal/compare"
+)
+
+// Arm is one candidate algorithm the racer can measure.
+type Arm struct {
+	// Name identifies the candidate.
+	Name string
+	// Measure returns one fresh execution-time measurement.
+	Measure func() (float64, error)
+	// Prior orders the initial candidate set (lower = expected faster);
+	// zero priors mean no prior knowledge.
+	Prior float64
+}
+
+// Config controls a race.
+type Config struct {
+	// RoundSize is the number of new measurements per surviving arm per
+	// round (default 10).
+	RoundSize int
+	// MaxRounds bounds the race length (default 10).
+	MaxRounds int
+	// Budget caps the total number of measurements across all arms;
+	// 0 means unlimited (bounded only by MaxRounds).
+	Budget int
+	// Keep stops the race early once at most Keep arms survive
+	// (default 1).
+	Keep int
+	// MaxArms measures only the MaxArms best-prior candidates (the
+	// paper's "subset of possible solutions"); 0 means all.
+	MaxArms int
+}
+
+func (c *Config) defaults() {
+	if c.RoundSize <= 0 {
+		c.RoundSize = 10
+	}
+	if c.MaxRounds <= 0 {
+		c.MaxRounds = 10
+	}
+	if c.Keep <= 0 {
+		c.Keep = 1
+	}
+}
+
+// ArmResult reports one candidate's fate.
+type ArmResult struct {
+	Name string
+	// Survived reports whether the arm was still alive at the end.
+	Survived bool
+	// Measurements is the number of times the arm was executed.
+	Measurements int
+	// EliminatedInRound is the 1-based round of elimination (0 = never).
+	EliminatedInRound int
+	// Sample holds the collected measurements.
+	Sample []float64
+}
+
+// Result is the outcome of a race.
+type Result struct {
+	// Arms holds per-candidate results in the (possibly prior-sorted)
+	// race order.
+	Arms []ArmResult
+	// Survivors lists the names of surviving arms, best-median first.
+	Survivors []string
+	// TotalMeasurements across all arms — the quantity racing minimizes.
+	TotalMeasurements int
+	// Rounds actually run.
+	Rounds int
+	// SkippedArms counts candidates excluded by MaxArms.
+	SkippedArms int
+}
+
+// Race runs the eliminate-the-worse loop with the given three-way
+// comparator.
+func Race(arms []Arm, cmp compare.Comparator, cfg Config) (*Result, error) {
+	if len(arms) == 0 {
+		return nil, errors.New("search: no candidates")
+	}
+	if cmp == nil {
+		return nil, errors.New("search: nil comparator")
+	}
+	cfg.defaults()
+
+	// Order by prior and apply the subset cap.
+	order := make([]int, len(arms))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return arms[order[a]].Prior < arms[order[b]].Prior })
+	skipped := 0
+	if cfg.MaxArms > 0 && cfg.MaxArms < len(order) {
+		skipped = len(order) - cfg.MaxArms
+		order = order[:cfg.MaxArms]
+	}
+
+	res := &Result{SkippedArms: skipped}
+	res.Arms = make([]ArmResult, len(order))
+	alive := make([]bool, len(order))
+	for i, idx := range order {
+		res.Arms[i] = ArmResult{Name: arms[idx].Name, Survived: true}
+		alive[i] = true
+	}
+	aliveCount := len(order)
+
+	for round := 1; round <= cfg.MaxRounds && aliveCount > cfg.Keep; round++ {
+		res.Rounds = round
+		// Measure every surviving arm.
+		for i, idx := range order {
+			if !alive[i] {
+				continue
+			}
+			for k := 0; k < cfg.RoundSize; k++ {
+				if cfg.Budget > 0 && res.TotalMeasurements >= cfg.Budget {
+					break
+				}
+				v, err := arms[idx].Measure()
+				if err != nil {
+					return nil, fmt.Errorf("search: measuring %s: %w", arms[idx].Name, err)
+				}
+				res.Arms[i].Sample = append(res.Arms[i].Sample, v)
+				res.Arms[i].Measurements++
+				res.TotalMeasurements++
+			}
+		}
+		// Eliminate every arm that is Worse than some surviving rival.
+		worse := make([]bool, len(order))
+		for i := range order {
+			if !alive[i] || len(res.Arms[i].Sample) == 0 {
+				continue
+			}
+			for j := range order {
+				if i == j || !alive[j] || len(res.Arms[j].Sample) == 0 {
+					continue
+				}
+				o, err := cmp.Compare(res.Arms[i].Sample, res.Arms[j].Sample)
+				if err != nil {
+					return nil, fmt.Errorf("search: comparing %s vs %s: %w",
+						res.Arms[i].Name, res.Arms[j].Name, err)
+				}
+				if o == compare.Worse {
+					worse[i] = true
+					break
+				}
+			}
+		}
+		for i := range order {
+			if worse[i] && aliveCount > cfg.Keep {
+				alive[i] = false
+				res.Arms[i].Survived = false
+				res.Arms[i].EliminatedInRound = round
+				aliveCount--
+			}
+		}
+		if cfg.Budget > 0 && res.TotalMeasurements >= cfg.Budget {
+			break
+		}
+	}
+
+	// Survivors, best median first.
+	type surv struct {
+		name string
+		med  float64
+	}
+	var ss []surv
+	for i := range order {
+		if alive[i] {
+			ss = append(ss, surv{res.Arms[i].Name, median(res.Arms[i].Sample)})
+		}
+	}
+	sort.SliceStable(ss, func(a, b int) bool { return ss[a].med < ss[b].med })
+	for _, s := range ss {
+		res.Survivors = append(res.Survivors, s.name)
+	}
+	return res, nil
+}
+
+// median of a sample (copy + nth element would be overkill at these sizes).
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}

@@ -1,0 +1,243 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"relperf/internal/device"
+	"relperf/internal/xrand"
+)
+
+// Multi-device generalization. The paper's methodology "extends naturally to
+// any Device-Accelerator(s) combinations (such as CPU-Raspbian,
+// Smartphone-GPU(s) etc.)" — with k devices an L-task code has k^L
+// equivalent algorithms. This file provides the k-device platform and
+// simulator; the two-device Platform remains the common case and the
+// calibrated reproduction target.
+
+// MultiPlatform is a host (device 0, the edge device where data lives) plus
+// any number of offload targets, each behind its own link.
+type MultiPlatform struct {
+	// Devices[0] is the host; Devices[1:] are offload targets.
+	Devices []*device.Device
+	// Links[i] connects the host to Devices[i]; Links[0] is ignored (may
+	// be nil). len(Links) must equal len(Devices).
+	Links []*device.Link
+}
+
+// Validate checks the configuration.
+func (mp *MultiPlatform) Validate() error {
+	if len(mp.Devices) < 2 {
+		return fmt.Errorf("sim: multi platform needs a host and at least one target")
+	}
+	if len(mp.Links) != len(mp.Devices) {
+		return fmt.Errorf("sim: need one link slot per device (%d links for %d devices)",
+			len(mp.Links), len(mp.Devices))
+	}
+	if mp.Devices[0] == nil || mp.Devices[0].Kind != device.EdgeDevice {
+		return fmt.Errorf("sim: device 0 must be the edge host")
+	}
+	for i, d := range mp.Devices {
+		if d == nil {
+			return fmt.Errorf("sim: device %d is nil", i)
+		}
+		if err := d.Validate(); err != nil {
+			return err
+		}
+		if i > 0 {
+			if mp.Links[i] == nil {
+				return fmt.Errorf("sim: device %d has no link to the host", i)
+			}
+			if err := mp.Links[i].Validate(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// deviceLetters maps device indices to placement letters: the host is "D",
+// offload targets are "A", "B", "C", ...
+const deviceLetters = "DABCEFGHIJKLMNOPQRSTUVWXYZ"
+
+// MultiPlacement assigns each task to a device index.
+type MultiPlacement []int
+
+// String renders the placement with one letter per task.
+func (p MultiPlacement) String() string {
+	var b strings.Builder
+	for _, d := range p {
+		if d >= 0 && d < len(deviceLetters) {
+			b.WriteByte(deviceLetters[d])
+		} else {
+			b.WriteByte('?')
+		}
+	}
+	return b.String()
+}
+
+// ParseMultiPlacement converts a letter string back to device indices.
+func ParseMultiPlacement(s string) (MultiPlacement, error) {
+	if s == "" {
+		return nil, fmt.Errorf("sim: empty placement")
+	}
+	p := make(MultiPlacement, 0, len(s))
+	for _, r := range s {
+		idx := strings.IndexRune(deviceLetters, r)
+		if idx < 0 {
+			return nil, fmt.Errorf("sim: invalid placement letter %q in %q", r, s)
+		}
+		p = append(p, idx)
+	}
+	return p, nil
+}
+
+// EnumerateMultiPlacements returns all devices^tasks placements in
+// lexicographic order (host-first). The count grows exponentially; callers
+// with large L should race a subset instead (package search).
+func EnumerateMultiPlacements(tasks, devices int) []MultiPlacement {
+	if tasks <= 0 || devices <= 0 {
+		return nil
+	}
+	total := 1
+	for i := 0; i < tasks; i++ {
+		total *= devices
+	}
+	out := make([]MultiPlacement, 0, total)
+	cur := make(MultiPlacement, tasks)
+	var rec func(pos int)
+	rec = func(pos int) {
+		if pos == tasks {
+			out = append(out, append(MultiPlacement(nil), cur...))
+			return
+		}
+		for d := 0; d < devices; d++ {
+			cur[pos] = d
+			rec(pos + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+// MultiSimulator produces execution-time samples on a MultiPlatform. Task
+// efficiency on device i is taken from Task.EffByDevice when the task's
+// program was built with per-device efficiencies (see TaskEffs), otherwise
+// from the task's EdgeEff/AccelEff by device kind.
+type MultiSimulator struct {
+	Platform *MultiPlatform
+	rng      *xrand.Rand
+	// Effs[taskIndex][deviceIndex] overrides efficiencies when non-nil.
+	Effs [][]float64
+}
+
+// NewMultiSimulator validates the platform and returns a simulator.
+func NewMultiSimulator(mp *MultiPlatform, seed uint64) (*MultiSimulator, error) {
+	if err := mp.Validate(); err != nil {
+		return nil, err
+	}
+	return &MultiSimulator{Platform: mp, rng: xrand.New(seed)}, nil
+}
+
+// effFor resolves the efficiency of task t (index ti) on device di.
+func (s *MultiSimulator) effFor(t *Task, ti, di int) float64 {
+	if s.Effs != nil && ti < len(s.Effs) && di < len(s.Effs[ti]) && s.Effs[ti][di] > 0 {
+		return s.Effs[ti][di]
+	}
+	return t.effOn(s.Platform.Devices[di].Kind)
+}
+
+// NominalSeconds returns the noiseless execution time of a placement.
+func (s *MultiSimulator) NominalSeconds(prog *Program, pl MultiPlacement) (float64, error) {
+	if err := s.check(prog, pl); err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for i := range prog.Tasks {
+		task := &prog.Tasks[i]
+		di := pl[i]
+		dev := s.Platform.Devices[di]
+		eff := s.effFor(task, i, di)
+		tc := float64(task.Flops) / eff / dev.PeakFlops
+		if tm := float64(task.MemBytes) / dev.MemBandwidth; tm > tc {
+			tc = tm
+		}
+		total += dev.TaskOverhead.Seconds() + float64(task.Launches)*dev.LaunchOverhead.Seconds() + tc
+		if i > 0 && pl[i-1] == di {
+			total += task.CachePenaltySeconds
+		}
+		if di != 0 {
+			moved := task.HostInBytes + task.HostOutBytes
+			if moved > 0 {
+				link := s.Platform.Links[di]
+				total += float64(task.Transfers)*link.Latency.Seconds() +
+					float64(moved)/link.Bandwidth
+			}
+		}
+	}
+	return total, nil
+}
+
+// Seconds returns one noisy execution-time sample.
+func (s *MultiSimulator) Seconds(prog *Program, pl MultiPlacement) (float64, error) {
+	if err := s.check(prog, pl); err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for i := range prog.Tasks {
+		task := &prog.Tasks[i]
+		di := pl[i]
+		dev := s.Platform.Devices[di]
+		eff := s.effFor(task, i, di)
+		tc := float64(task.Flops) / eff / dev.PeakFlops
+		if tm := float64(task.MemBytes) / dev.MemBandwidth; tm > tc {
+			tc = tm
+		}
+		compute := dev.TaskOverhead.Seconds() + float64(task.Launches)*dev.LaunchOverhead.Seconds() + tc
+		if i > 0 && pl[i-1] == di {
+			compute += task.CachePenaltySeconds
+		}
+		if dev.Noise != nil && compute > 0 {
+			compute = dev.Noise.Perturb(s.rng, compute)
+		}
+		total += compute
+		if di != 0 {
+			moved := task.HostInBytes + task.HostOutBytes
+			if moved > 0 {
+				link := s.Platform.Links[di]
+				transfer := float64(task.Transfers)*link.Latency.Seconds() +
+					float64(moved)/link.Bandwidth
+				if link.Noise != nil {
+					transfer = link.Noise.Perturb(s.rng, transfer)
+				}
+				total += transfer
+			}
+		}
+	}
+	return total, nil
+}
+
+// Sample collects n measurements of a placement.
+func (s *MultiSimulator) Sample(prog *Program, pl MultiPlacement, n int) ([]float64, error) {
+	out := make([]float64, n)
+	for i := range out {
+		v, err := s.Seconds(prog, pl)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func (s *MultiSimulator) check(prog *Program, pl MultiPlacement) error {
+	if len(pl) != len(prog.Tasks) {
+		return fmt.Errorf("sim: placement %s has %d slots for %d tasks", pl, len(pl), len(prog.Tasks))
+	}
+	for _, di := range pl {
+		if di < 0 || di >= len(s.Platform.Devices) {
+			return fmt.Errorf("sim: placement %s references device %d of %d", pl, di, len(s.Platform.Devices))
+		}
+	}
+	return nil
+}

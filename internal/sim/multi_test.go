@@ -1,0 +1,259 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"relperf/internal/device"
+)
+
+// threeDevicePlatform: host at 1 GFLOP/s, a fast local accelerator at
+// 10 GFLOP/s over a fast link, and a very fast remote device behind a slow
+// high-latency link.
+func threeDevicePlatform() *MultiPlatform {
+	return &MultiPlatform{
+		Devices: []*device.Device{
+			{Name: "host", Kind: device.EdgeDevice, PeakFlops: 1e9, MemBandwidth: 1e9},
+			{Name: "gpu", Kind: device.Accelerator, PeakFlops: 10e9, MemBandwidth: 100e9},
+			{Name: "server", Kind: device.Accelerator, PeakFlops: 100e9, MemBandwidth: 100e9},
+		},
+		Links: []*device.Link{
+			nil,
+			{Name: "pcie", Latency: 10 * time.Microsecond, Bandwidth: 10e9},
+			{Name: "wan", Latency: 20 * time.Millisecond, Bandwidth: 50e6},
+		},
+	}
+}
+
+func TestMultiPlatformValidate(t *testing.T) {
+	if err := threeDevicePlatform().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &MultiPlatform{Devices: []*device.Device{device.XeonCore()}, Links: []*device.Link{nil}}
+	if bad.Validate() == nil {
+		t.Fatal("single-device platform accepted")
+	}
+	wrongHost := threeDevicePlatform()
+	wrongHost.Devices[0] = device.P100()
+	if wrongHost.Validate() == nil {
+		t.Fatal("accelerator host accepted")
+	}
+	missingLink := threeDevicePlatform()
+	missingLink.Links[2] = nil
+	if missingLink.Validate() == nil {
+		t.Fatal("target without link accepted")
+	}
+	shortLinks := threeDevicePlatform()
+	shortLinks.Links = shortLinks.Links[:2]
+	if shortLinks.Validate() == nil {
+		t.Fatal("mismatched link count accepted")
+	}
+	nilDevice := threeDevicePlatform()
+	nilDevice.Devices[1] = nil
+	if nilDevice.Validate() == nil {
+		t.Fatal("nil device accepted")
+	}
+}
+
+func TestMultiPlacementString(t *testing.T) {
+	p := MultiPlacement{0, 1, 2, 0}
+	if p.String() != "DABD" {
+		t.Fatalf("String = %q", p.String())
+	}
+	weird := MultiPlacement{99}
+	if weird.String() != "?" {
+		t.Fatalf("out-of-range letter = %q", weird.String())
+	}
+}
+
+func TestParseMultiPlacement(t *testing.T) {
+	p, err := ParseMultiPlacement("DAB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p[0] != 0 || p[1] != 1 || p[2] != 2 {
+		t.Fatalf("parsed = %v", p)
+	}
+	if _, err := ParseMultiPlacement(""); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := ParseMultiPlacement("D1"); err == nil {
+		t.Fatal("digit accepted")
+	}
+}
+
+func TestEnumerateMultiPlacements(t *testing.T) {
+	ps := EnumerateMultiPlacements(3, 3)
+	if len(ps) != 27 {
+		t.Fatalf("count = %d, want 27", len(ps))
+	}
+	seen := map[string]bool{}
+	for _, p := range ps {
+		if len(p) != 3 {
+			t.Fatal("wrong length")
+		}
+		seen[p.String()] = true
+	}
+	if len(seen) != 27 {
+		t.Fatal("duplicates")
+	}
+	if ps[0].String() != "DDD" {
+		t.Fatalf("first = %s", ps[0])
+	}
+	// Two devices reduces to the binary enumeration count.
+	if len(EnumerateMultiPlacements(4, 2)) != 16 {
+		t.Fatal("binary count wrong")
+	}
+	if EnumerateMultiPlacements(0, 3) != nil || EnumerateMultiPlacements(3, 0) != nil {
+		t.Fatal("degenerate inputs should be nil")
+	}
+}
+
+func TestMultiNominalSeconds(t *testing.T) {
+	mp := threeDevicePlatform()
+	s, err := NewMultiSimulator(mp, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := &Program{Name: "m", Tasks: []Task{
+		{Name: "T", Flops: 1e9, HostInBytes: 1e6, HostOutBytes: 0, Transfers: 1},
+	}}
+	// Host: 1 s, no transfer.
+	tD, err := s.NominalSeconds(prog, MultiPlacement{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tD-1.0) > 1e-12 {
+		t.Fatalf("host = %v", tD)
+	}
+	// GPU: 0.1 s + 10 µs + 1e6/10e9 = 0.1001100 s.
+	tA, _ := s.NominalSeconds(prog, MultiPlacement{1})
+	if math.Abs(tA-(0.1+10e-6+1e-4)) > 1e-12 {
+		t.Fatalf("gpu = %v", tA)
+	}
+	// Server: 0.01 s compute but 20 ms latency + 1e6/50e6 = 0.02 s transfer.
+	tB, _ := s.NominalSeconds(prog, MultiPlacement{2})
+	if math.Abs(tB-(0.01+0.02+0.02)) > 1e-12 {
+		t.Fatalf("server = %v", tB)
+	}
+}
+
+func TestMultiSimulatorMatchesBinarySimulator(t *testing.T) {
+	// On a two-device MultiPlatform built from a Platform, nominal times
+	// must agree with the binary simulator for every placement.
+	pl := quietPlatform()
+	mp := &MultiPlatform{
+		Devices: []*device.Device{pl.Edge, pl.Accel},
+		Links:   []*device.Link{nil, pl.Link},
+	}
+	ms, err := NewMultiSimulator(mp, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, _ := NewSimulator(pl, 1)
+	prog := twoTaskProgram()
+	for _, name := range []string{"DD", "DA", "AD", "AA"} {
+		bp, _ := ParsePlacement(name)
+		mpPl, _ := ParseMultiPlacement(name)
+		want, err := bs.NominalSeconds(prog, bp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ms.NominalSeconds(prog, mpPl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("%s: multi %v != binary %v", name, got, want)
+		}
+	}
+}
+
+func TestMultiEffOverride(t *testing.T) {
+	mp := threeDevicePlatform()
+	s, _ := NewMultiSimulator(mp, 1)
+	prog := &Program{Name: "e", Tasks: []Task{{Name: "T", Flops: 1e9}}}
+	// Without override the server runs at full peak: 0.01 s.
+	base, _ := s.NominalSeconds(prog, MultiPlacement{2})
+	if math.Abs(base-0.01) > 1e-12 {
+		t.Fatalf("base = %v", base)
+	}
+	// With a 10% efficiency override on device 2 the time grows 10x.
+	s.Effs = [][]float64{{0, 0, 0.1}}
+	over, _ := s.NominalSeconds(prog, MultiPlacement{2})
+	if math.Abs(over-0.1) > 1e-12 {
+		t.Fatalf("override = %v", over)
+	}
+	// Device 0 falls back to kind-based efficiency (zero entry).
+	host, _ := s.NominalSeconds(prog, MultiPlacement{0})
+	if math.Abs(host-1.0) > 1e-12 {
+		t.Fatalf("host fallback = %v", host)
+	}
+}
+
+func TestMultiCachePenalty(t *testing.T) {
+	mp := threeDevicePlatform()
+	s, _ := NewMultiSimulator(mp, 1)
+	prog := &Program{Name: "c", Tasks: []Task{
+		{Name: "L1", Flops: 1e9},
+		{Name: "L2", Flops: 1e9, CachePenaltySeconds: 0.5},
+	}}
+	same, _ := s.NominalSeconds(prog, MultiPlacement{0, 0})
+	diff, _ := s.NominalSeconds(prog, MultiPlacement{1, 0})
+	// same-device run pays the penalty; the split run does not (and the
+	// GPU leg is 10x faster).
+	if math.Abs(same-2.5) > 1e-12 {
+		t.Fatalf("same-device = %v", same)
+	}
+	if math.Abs(diff-1.1) > 1e-12 {
+		t.Fatalf("split = %v", diff)
+	}
+}
+
+func TestMultiErrors(t *testing.T) {
+	mp := threeDevicePlatform()
+	s, _ := NewMultiSimulator(mp, 1)
+	prog := twoTaskProgram()
+	if _, err := s.NominalSeconds(prog, MultiPlacement{0}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := s.Seconds(prog, MultiPlacement{0, 9}); err == nil {
+		t.Fatal("out-of-range device accepted")
+	}
+	if _, err := NewMultiSimulator(&MultiPlatform{}, 1); err == nil {
+		t.Fatal("invalid platform accepted")
+	}
+}
+
+func TestMultiSampleReproducible(t *testing.T) {
+	mk := func() *MultiPlatform {
+		mp := threeDevicePlatform()
+		mp.Devices[0].Noise = device.LogNormalNoise{Sigma: 0.1}
+		mp.Devices[1].Noise = device.LogNormalNoise{Sigma: 0.1}
+		return mp
+	}
+	prog := twoTaskProgram()
+	pl := MultiPlacement{1, 0}
+	a, _ := NewMultiSimulator(mk(), 5)
+	b, _ := NewMultiSimulator(mk(), 5)
+	sa, err := a.Sample(prog, pl, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, _ := b.Sample(prog, pl, 10)
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatal("not reproducible")
+		}
+	}
+	varied := false
+	for i := 1; i < len(sa); i++ {
+		if sa[i] != sa[0] {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("noisy multi samples constant")
+	}
+}

@@ -1,0 +1,459 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"relperf/internal/device"
+)
+
+// quietPlatform returns a deterministic platform with easy numbers:
+// edge 1 GFLOP/s, accel 10 GFLOP/s with 1 ms launch, link 1 GB/s + 1 ms.
+func quietPlatform() *Platform {
+	return &Platform{
+		Edge: &device.Device{
+			Name: "edge", Kind: device.EdgeDevice,
+			PeakFlops: 1e9, MemBandwidth: 1e9,
+		},
+		Accel: &device.Device{
+			Name: "accel", Kind: device.Accelerator,
+			PeakFlops: 10e9, MemBandwidth: 100e9,
+			LaunchOverhead: time.Millisecond,
+		},
+		Link: &device.Link{Name: "link", Latency: time.Millisecond, Bandwidth: 1e9},
+	}
+}
+
+func twoTaskProgram() *Program {
+	return &Program{
+		Name: "p",
+		Tasks: []Task{
+			{Name: "L1", Flops: 1e8, Launches: 1, HostInBytes: 1e6, HostOutBytes: 1e6, Transfers: 2},
+			{Name: "L2", Flops: 1e9, Launches: 1, HostInBytes: 1e7, HostOutBytes: 1e6, Transfers: 2},
+		},
+	}
+}
+
+func TestPlacementString(t *testing.T) {
+	p := Placement{device.EdgeDevice, device.Accelerator, device.EdgeDevice}
+	if p.String() != "DAD" {
+		t.Fatalf("String = %q", p.String())
+	}
+}
+
+func TestParsePlacement(t *testing.T) {
+	p, err := ParsePlacement("dAD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.String() != "DAD" {
+		t.Fatalf("round trip = %q", p.String())
+	}
+	if _, err := ParsePlacement("DXA"); err == nil {
+		t.Fatal("invalid letter accepted")
+	}
+	if _, err := ParsePlacement(""); err == nil {
+		t.Fatal("empty placement accepted")
+	}
+}
+
+func TestEnumeratePlacements(t *testing.T) {
+	ps := EnumeratePlacements(3)
+	if len(ps) != 8 {
+		t.Fatalf("count = %d", len(ps))
+	}
+	// Lexicographic with D first; the paper's Table I covers exactly these.
+	want := []string{"DDD", "DDA", "DAD", "DAA", "ADD", "ADA", "AAD", "AAA"}
+	for i, w := range want {
+		if ps[i].String() != w {
+			t.Fatalf("placement %d = %s, want %s", i, ps[i], w)
+		}
+	}
+	if EnumeratePlacements(0) != nil {
+		t.Fatal("n=0 should be nil")
+	}
+	seen := map[string]bool{}
+	for _, p := range EnumeratePlacements(4) {
+		seen[p.String()] = true
+	}
+	if len(seen) != 16 {
+		t.Fatalf("duplicates among 4-task placements: %d unique", len(seen))
+	}
+}
+
+func TestTaskValidate(t *testing.T) {
+	good := Task{Name: "x"}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Task{
+		{},
+		{Name: "x", Flops: -1},
+		{Name: "x", EdgeEff: 1.5},
+		{Name: "x", AccelEff: -0.1},
+		{Name: "x", Transfers: -2},
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("bad task %d accepted", i)
+		}
+	}
+}
+
+func TestProgramValidate(t *testing.T) {
+	if err := (&Program{Name: "empty"}).Validate(); err == nil {
+		t.Fatal("empty program accepted")
+	}
+	p := twoTaskProgram()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p.Tasks[1].Flops = -1
+	if err := p.Validate(); err == nil {
+		t.Fatal("bad task in program accepted")
+	}
+}
+
+func TestPlatformValidate(t *testing.T) {
+	if err := (&Platform{}).Validate(); err == nil {
+		t.Fatal("nil platform members accepted")
+	}
+	pl := quietPlatform()
+	if err := pl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Swapped kinds must be rejected.
+	swapped := &Platform{Edge: device.P100(), Accel: device.P100(), Link: device.PCIe3x16()}
+	if err := swapped.Validate(); err == nil {
+		t.Fatal("accelerator in edge slot accepted")
+	}
+	wrongAccel := &Platform{Edge: device.XeonCore(), Accel: device.XeonCore(), Link: device.PCIe3x16()}
+	if err := wrongAccel.Validate(); err == nil {
+		t.Fatal("edge device in accel slot accepted")
+	}
+	if err := DefaultPlatform().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNominalSecondsDD(t *testing.T) {
+	s, err := NewSimulator(quietPlatform(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := twoTaskProgram()
+	pl, _ := ParsePlacement("DD")
+	got, err := s.NominalSeconds(prog, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Edge at 1 GFLOP/s, no launch cost, no transfers: 0.1 + 1.0 s.
+	if math.Abs(got-1.1) > 1e-12 {
+		t.Fatalf("DD nominal = %v, want 1.1", got)
+	}
+}
+
+func TestNominalSecondsAA(t *testing.T) {
+	s, _ := NewSimulator(quietPlatform(), 1)
+	prog := twoTaskProgram()
+	pl, _ := ParsePlacement("AA")
+	got, err := s.NominalSeconds(prog, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Accel: launch 1ms each; compute 0.01 + 0.1; transfers:
+	// L1: 2*1ms + 2e6/1e9 = 0.004 ; L2: 2*1ms + 1.1e7/1e9 = 0.013
+	want := (0.001 + 0.01 + 0.002 + 0.002) + (0.001 + 0.1 + 0.002 + 0.011)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("AA nominal = %v, want %v", got, want)
+	}
+}
+
+func TestNominalRooflineMemoryBound(t *testing.T) {
+	s, _ := NewSimulator(quietPlatform(), 1)
+	prog := &Program{Name: "m", Tasks: []Task{
+		{Name: "T", Flops: 1e6, MemBytes: 5e8}, // mem time 0.5 s >> compute 1 ms on edge
+	}}
+	pl, _ := ParsePlacement("D")
+	got, _ := s.NominalSeconds(prog, pl)
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("memory-bound nominal = %v, want 0.5", got)
+	}
+}
+
+func TestEfficiencyScalesCompute(t *testing.T) {
+	s, _ := NewSimulator(quietPlatform(), 1)
+	prog := &Program{Name: "e", Tasks: []Task{
+		{Name: "T", Flops: 1e9, AccelEff: 0.1}, // only 10% of accel peak usable
+	}}
+	pl, _ := ParsePlacement("A")
+	got, _ := s.NominalSeconds(prog, pl)
+	// 1e9 / (0.1 * 10e9) = 1.0 s (plus no launches, no transfer).
+	if math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("eff-scaled nominal = %v, want 1.0", got)
+	}
+	// EdgeEff defaults to 1.
+	plD, _ := ParsePlacement("D")
+	gotD, _ := s.NominalSeconds(prog, plD)
+	if math.Abs(gotD-1.0) > 1e-12 {
+		t.Fatalf("edge nominal = %v, want 1.0", gotD)
+	}
+}
+
+func TestRunMatchesNominalWithoutNoise(t *testing.T) {
+	s, _ := NewSimulator(quietPlatform(), 7)
+	prog := twoTaskProgram()
+	for _, ps := range []string{"DD", "DA", "AD", "AA"} {
+		pl, _ := ParsePlacement(ps)
+		nominal, err := s.NominalSeconds(prog, pl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.Seconds(prog, pl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-nominal) > 1e-12 {
+			t.Fatalf("%s: noiseless Run %v != nominal %v", ps, got, nominal)
+		}
+	}
+}
+
+func TestRunTraceAccounting(t *testing.T) {
+	s, _ := NewSimulator(quietPlatform(), 1)
+	prog := twoTaskProgram()
+	pl, _ := ParsePlacement("DA")
+	res, err := s.Run(prog, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) != 2 {
+		t.Fatalf("trace length %d", len(res.Trace))
+	}
+	if res.Trace[0].On != device.EdgeDevice || res.Trace[1].On != device.Accelerator {
+		t.Fatal("trace devices wrong")
+	}
+	if res.Trace[0].Start != 0 {
+		t.Fatal("first task should start at 0")
+	}
+	if math.Abs(res.Trace[1].Start-res.Trace[0].End()) > 1e-15 {
+		t.Fatal("second task should start when first ends")
+	}
+	if math.Abs(res.Seconds-res.Trace[1].End()) > 1e-15 {
+		t.Fatal("total should equal last task end")
+	}
+	if res.EdgeFlops != 1e8 || res.AccelFlops != 1e9 {
+		t.Fatalf("flop split wrong: %d / %d", res.EdgeFlops, res.AccelFlops)
+	}
+	if res.BytesMoved != 1.1e7 {
+		t.Fatalf("bytes moved = %d", res.BytesMoved)
+	}
+	if res.Trace[0].Moved != 0 {
+		t.Fatal("edge task should move nothing")
+	}
+	// Busy times partition into the placement.
+	if math.Abs(res.EdgeBusy-res.Trace[0].Compute) > 1e-15 {
+		t.Fatal("edge busy accounting wrong")
+	}
+	if math.Abs(res.AccelBusy-res.Trace[1].Compute) > 1e-15 {
+		t.Fatal("accel busy accounting wrong")
+	}
+}
+
+func TestRunEnergyPositiveAndOrdered(t *testing.T) {
+	pl := DefaultPlatform()
+	s, _ := NewSimulator(pl, 11)
+	prog := twoTaskProgram()
+	pd, _ := ParsePlacement("DD")
+	pa, _ := ParsePlacement("AA")
+	rd, err := s.Run(prog, pd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := s.Run(prog, pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.EdgeJoules <= 0 || rd.AccelJoules <= 0 || ra.EdgeJoules <= 0 {
+		t.Fatal("energies must be positive")
+	}
+	// All-offloaded runs burn fewer active joules on the edge device per
+	// second of busy time; the edge should do zero flops under AA.
+	if ra.EdgeFlops != 0 {
+		t.Fatalf("AA edge flops = %d, want 0", ra.EdgeFlops)
+	}
+	if rd.AccelFlops != 0 {
+		t.Fatalf("DD accel flops = %d, want 0", rd.AccelFlops)
+	}
+}
+
+func TestRunPlacementLengthMismatch(t *testing.T) {
+	s, _ := NewSimulator(quietPlatform(), 1)
+	prog := twoTaskProgram()
+	pl, _ := ParsePlacement("DDD")
+	if _, err := s.Run(prog, pl); err == nil {
+		t.Fatal("length mismatch accepted by Run")
+	}
+	if _, err := s.NominalSeconds(prog, pl); err == nil {
+		t.Fatal("length mismatch accepted by NominalSeconds")
+	}
+}
+
+func TestNewSimulatorRejectsBadPlatform(t *testing.T) {
+	if _, err := NewSimulator(&Platform{}, 1); err == nil {
+		t.Fatal("bad platform accepted")
+	}
+}
+
+func TestSampleReproducible(t *testing.T) {
+	prog := twoTaskProgram()
+	pl, _ := ParsePlacement("AD")
+	a, _ := NewSimulator(DefaultPlatform(), 42)
+	b, _ := NewSimulator(DefaultPlatform(), 42)
+	sa, err := a.Sample(prog, pl, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, _ := b.Sample(prog, pl, 20)
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatal("same-seed samples differ")
+		}
+	}
+	c, _ := NewSimulator(DefaultPlatform(), 43)
+	sc, _ := c.Sample(prog, pl, 20)
+	same := true
+	for i := range sa {
+		if sa[i] != sc[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical samples")
+	}
+}
+
+func TestSampleNoisySpread(t *testing.T) {
+	s, _ := NewSimulator(DefaultPlatform(), 3)
+	prog := twoTaskProgram()
+	pl, _ := ParsePlacement("DD")
+	xs, err := s.Sample(prog, pl, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x <= 0 {
+			t.Fatalf("non-positive sample %v", x)
+		}
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if lo == hi {
+		t.Fatal("noisy platform produced constant samples")
+	}
+}
+
+func TestZeroTransferTasksStayLocalCost(t *testing.T) {
+	// A task with no host bytes costs no link time even on the accelerator.
+	s, _ := NewSimulator(quietPlatform(), 1)
+	prog := &Program{Name: "z", Tasks: []Task{{Name: "T", Flops: 1e9}}}
+	pl, _ := ParsePlacement("A")
+	res, err := s.Run(prog, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace[0].Transfer != 0 || res.BytesMoved != 0 {
+		t.Fatal("transfer charged for zero-byte task")
+	}
+}
+
+func BenchmarkSimulateTableIShape(b *testing.B) {
+	s, _ := NewSimulator(DefaultPlatform(), 1)
+	prog := twoTaskProgram()
+	pl, _ := ParsePlacement("DA")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Seconds(prog, pl); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestTaskOverheadCharged(t *testing.T) {
+	pl := quietPlatform()
+	pl.Accel.TaskOverhead = 3 * time.Millisecond
+	s, _ := NewSimulator(pl, 1)
+	prog := &Program{Name: "o", Tasks: []Task{{Name: "T", Flops: 1e9}}}
+	pA, _ := ParsePlacement("A")
+	got, err := s.NominalSeconds(prog, pA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// accel: 3 ms task overhead + 0.1 s compute (no launches, no bytes).
+	if math.Abs(got-0.103) > 1e-12 {
+		t.Fatalf("task overhead nominal = %v, want 0.103", got)
+	}
+}
+
+func TestCachePenaltyChargedOnlyOnSameDevice(t *testing.T) {
+	s, _ := NewSimulator(quietPlatform(), 1)
+	prog := &Program{Name: "c", Tasks: []Task{
+		{Name: "L1", Flops: 1e9},
+		{Name: "L2", Flops: 1e9, CachePenaltySeconds: 0.5},
+	}}
+	dd, _ := ParsePlacement("DD")
+	ad, _ := ParsePlacement("AD")
+	tDD, err := s.NominalSeconds(prog, dd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tAD, err := s.NominalSeconds(prog, ad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DD: both on edge (1 GFLOP/s): 1 + (1 + 0.5 penalty) = 2.5 s.
+	if math.Abs(tDD-2.5) > 1e-12 {
+		t.Fatalf("DD with cache penalty = %v, want 2.5", tDD)
+	}
+	// AD: L1 on accel (0.1 + 1 ms launch? no launches set → 0.1), then L2
+	// on edge with a DIFFERENT predecessor device: no penalty: 0.1 + 1.
+	if math.Abs(tAD-1.1) > 1e-12 {
+		t.Fatalf("AD with cache penalty = %v, want 1.1", tAD)
+	}
+	// The noisy Run path agrees on the noiseless platform.
+	rDD, err := s.Seconds(prog, dd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rDD-2.5) > 1e-12 {
+		t.Fatalf("Run with cache penalty = %v", rDD)
+	}
+}
+
+func TestCachePenaltyFirstTaskNeverCharged(t *testing.T) {
+	s, _ := NewSimulator(quietPlatform(), 1)
+	prog := &Program{Name: "c1", Tasks: []Task{
+		{Name: "L1", Flops: 1e9, CachePenaltySeconds: 99},
+	}}
+	d, _ := ParsePlacement("D")
+	got, err := s.NominalSeconds(prog, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("first task charged a cache penalty: %v", got)
+	}
+}
+
+func TestNegativeCachePenaltyRejected(t *testing.T) {
+	task := Task{Name: "x", CachePenaltySeconds: -1}
+	if task.Validate() == nil {
+		t.Fatal("negative cache penalty accepted")
+	}
+}

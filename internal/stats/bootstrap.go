@@ -1,0 +1,67 @@
+package stats
+
+import (
+	"relperf/internal/xrand"
+)
+
+// Statistic maps a sample to a scalar summary. The canonical statistics used
+// by the relative-performance methodology are quantiles, but any reduction
+// (mean, trimmed mean, minimum) fits.
+type Statistic func(sorted []float64) float64
+
+// QuantileStat returns a Statistic computing the q-th quantile. The input to
+// the returned function must be sorted ascending (the bootstrap engine
+// guarantees this).
+func QuantileStat(q float64) Statistic {
+	return func(sorted []float64) float64 { return QuantileSorted(sorted, q) }
+}
+
+// MeanStat computes the sample mean (ignores sortedness).
+func MeanStat(sorted []float64) float64 { return Mean(sorted) }
+
+// MinStat computes the sample minimum of a sorted sample.
+func MinStat(sorted []float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return sorted[0]
+}
+
+// Bootstrap draws B resamples (with replacement, same size as xs) and returns
+// the statistic evaluated on each, in draw order. The resamples are sorted
+// before stat is applied, so quantile statistics are cheap.
+func Bootstrap(rng *xrand.Rand, xs []float64, stat Statistic, B int) []float64 {
+	out := make([]float64, B)
+	buf := make([]float64, len(xs))
+	for b := 0; b < B; b++ {
+		rng.Resample(buf, xs)
+		insertionSort(buf)
+		out[b] = stat(buf)
+	}
+	return out
+}
+
+// BootstrapCI returns the percentile bootstrap confidence interval
+// [lo, hi] at confidence level conf (e.g. 0.95) for stat over xs.
+func BootstrapCI(rng *xrand.Rand, xs []float64, stat Statistic, B int, conf float64) (lo, hi float64) {
+	draws := Bootstrap(rng, xs, stat, B)
+	alpha := (1 - conf) / 2
+	qs := Quantiles(draws, []float64{alpha, 1 - alpha})
+	return qs[0], qs[1]
+}
+
+// insertionSort sorts small slices in place. Bootstrap resamples of
+// performance measurements are short (N is typically 30–500) and already
+// nearly sorted after a few iterations' cache warmup, which makes insertion
+// sort faster than sort.Float64s here and allocation-free.
+func insertionSort(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		v := xs[i]
+		j := i - 1
+		for j >= 0 && xs[j] > v {
+			xs[j+1] = xs[j]
+			j--
+		}
+		xs[j+1] = v
+	}
+}

@@ -1,0 +1,37 @@
+package workload
+
+import (
+	"relperf/internal/device"
+	"relperf/internal/sim"
+)
+
+// TableIPlatform returns the testbed model used for the Table-I experiment:
+// the default Xeon-core + P100 + PCIe platform.
+func TableIPlatform() *sim.Platform {
+	return sim.DefaultPlatform()
+}
+
+// Figure1Platform returns the testbed model for the Figure-1 experiment.
+// The Figure-1b histograms show visibly wider, overlapping distributions
+// than the Table-I runs (longer-running loops on a shared node), so the
+// same devices carry a larger noise amplitude here.
+func Figure1Platform() *sim.Platform {
+	pl := sim.DefaultPlatform()
+	pl.Edge.Noise = device.SpikyNoise{
+		Base:  device.LogNormalNoise{Sigma: 0.15},
+		P:     0.03,
+		Scale: 0.08,
+		Alpha: 1.5,
+	}
+	pl.Accel.Noise = device.SpikyNoise{
+		Base:  device.LogNormalNoise{Sigma: 0.15},
+		P:     0.03,
+		Scale: 0.08,
+		Alpha: 1.5,
+	}
+	// Pageable-memory transfers on a shared node jitter far more than the
+	// dedicated-link default; without this, offloaded placements would have
+	// unrealistically narrow distributions.
+	pl.Link.Noise = device.LogNormalNoise{Sigma: 0.2}
+	return pl
+}

@@ -1,0 +1,168 @@
+package workload
+
+import (
+	"fmt"
+
+	"relperf/internal/mat"
+	"relperf/internal/measure"
+	"relperf/internal/sim"
+	"relperf/internal/xrand"
+)
+
+// This file implements the paper's Procedures 5 and 6 *literally*: real dense
+// linear algebra executed on the host. It serves two purposes:
+//
+//  1. It proves the mathematical equivalence of the placement algorithms —
+//     every placement computes the identical penalty chain, because the
+//     computation does not depend on where it runs.
+//  2. It provides the hybrid measurement mode of the paper's footnote 2
+//     ("other device-accelerator settings can be simulated by adding
+//     artificial delays and controlling the number of threads"): kernels run
+//     for real on the host, the measured wall time is rescaled to the
+//     modeled device's rate, and modeled transfer/overhead delays are added.
+//     The noise in the resulting samples is the host's genuine system noise.
+
+// RunMathTask executes Procedure 6: n iterations of generating A, B ∈
+// R^(size×size), solving Z = (AᵀA + (λ+penalty)·I)⁻¹AᵀB and updating the
+// penalty to ‖AZ − B‖². It returns the final penalty.
+func RunMathTask(rng *xrand.Rand, spec *MathTaskSpec, penalty float64) (float64, error) {
+	if err := spec.Validate(); err != nil {
+		return 0, err
+	}
+	for i := 0; i < spec.Iters; i++ {
+		A := mat.Rand(rng, spec.Size, spec.Size)
+		B := mat.Rand(rng, spec.Size, spec.Size)
+		lambda := spec.Lambda + penalty
+		Z, err := mat.SolveRLS(A, B, lambda)
+		if err != nil {
+			return 0, fmt.Errorf("workload: %s iteration %d: %w", spec.Name, i, err)
+		}
+		penalty, err = mat.RLSResidual(A, Z, B)
+		if err != nil {
+			return 0, fmt.Errorf("workload: %s iteration %d residual: %w", spec.Name, i, err)
+		}
+		// Normalize so the penalty stays O(1) across sizes; the raw
+		// residual grows with the matrix volume and would swamp λ.
+		penalty /= float64(spec.Size) * float64(spec.Size)
+	}
+	return penalty, nil
+}
+
+// RealRunResult is one real execution of the scientific code.
+type RealRunResult struct {
+	// FinalPenalty is the value returned by the last MathTask; identical
+	// across placements for a fixed seed — the mathematical-equivalence
+	// witness.
+	FinalPenalty float64
+	// TaskSeconds are the measured host wall times per task.
+	TaskSeconds []float64
+}
+
+// RunScientificCode executes Procedure 5 on the host: the task chain with
+// the penalty threaded through, timing each task.
+func RunScientificCode(seed uint64, specs []MathTaskSpec) (*RealRunResult, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("workload: no tasks")
+	}
+	rng := xrand.New(seed)
+	res := &RealRunResult{TaskSeconds: make([]float64, len(specs))}
+	penalty := 0.0
+	for i := range specs {
+		spec := &specs[i]
+		var err error
+		res.TaskSeconds[i] = measure.Time(func() {
+			penalty, err = RunMathTask(rng, spec, penalty)
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	res.FinalPenalty = penalty
+	return res, nil
+}
+
+// HybridExecutor measures real host kernel executions and rescales them to a
+// modeled platform: per task, the measured wall time w is converted to
+//
+//	t(device) = overheads(device) + w · hostRate/deviceRate + transfer(link)
+//
+// where hostRate is calibrated once from a reference run. The multiplicative
+// system noise of the host machine carries through into the samples, so the
+// distributions have genuine (not synthetic) measurement noise.
+type HybridExecutor struct {
+	Platform *sim.Platform
+	Specs    []MathTaskSpec
+	// hostRate is the calibrated host FLOP rate (flop/s).
+	hostRate float64
+	rng      *xrand.Rand
+}
+
+// NewHybridExecutor calibrates the host against one reference execution of
+// the spec chain and returns an executor.
+func NewHybridExecutor(pl *sim.Platform, specs []MathTaskSpec, seed uint64) (*HybridExecutor, error) {
+	if err := pl.Validate(); err != nil {
+		return nil, err
+	}
+	ref, err := RunScientificCode(seed, specs)
+	if err != nil {
+		return nil, err
+	}
+	var totalFlops int64
+	var totalSecs float64
+	for i := range specs {
+		totalFlops += specs[i].Flops()
+		totalSecs += ref.TaskSeconds[i]
+	}
+	if totalSecs <= 0 {
+		return nil, fmt.Errorf("workload: calibration run took no measurable time")
+	}
+	return &HybridExecutor{
+		Platform: pl,
+		Specs:    specs,
+		hostRate: float64(totalFlops) / totalSecs,
+		rng:      xrand.New(seed + 1),
+	}, nil
+}
+
+// HostRate returns the calibrated host FLOP rate.
+func (h *HybridExecutor) HostRate() float64 { return h.hostRate }
+
+// Run executes the chain once for the given placement: real kernels, scaled
+// times, modeled overheads and transfers.
+func (h *HybridExecutor) Run(pl sim.Placement) (float64, error) {
+	if len(pl) != len(h.Specs) {
+		return 0, fmt.Errorf("workload: placement %s has %d slots for %d tasks", pl, len(pl), len(h.Specs))
+	}
+	total := 0.0
+	penalty := 0.0
+	for i := range h.Specs {
+		spec := &h.Specs[i]
+		var err error
+		w := measure.Time(func() {
+			penalty, err = RunMathTask(h.rng, spec, penalty)
+		})
+		if err != nil {
+			return 0, err
+		}
+		task := spec.Task(h.Platform.Accel.PeakFlops)
+		var dev = h.Platform.Edge
+		eff := task.EdgeEff
+		if pl[i].Letter() == "A" {
+			dev = h.Platform.Accel
+			eff = task.AccelEff
+		}
+		if eff <= 0 {
+			eff = 1
+		}
+		deviceRate := dev.PeakFlops * eff
+		scaled := w * h.hostRate / deviceRate
+		scaled += dev.TaskOverhead.Seconds() + float64(task.Launches)*dev.LaunchOverhead.Seconds()
+		if pl[i].Letter() == "A" {
+			moved := task.HostInBytes + task.HostOutBytes
+			scaled += float64(task.Transfers)*h.Platform.Link.Latency.Seconds() +
+				float64(moved)/h.Platform.Link.Bandwidth
+		}
+		total += scaled
+	}
+	return total, nil
+}

@@ -1,0 +1,315 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"relperf/internal/mat"
+	"relperf/internal/sim"
+	"relperf/internal/xrand"
+)
+
+func TestMathTaskSpecValidate(t *testing.T) {
+	good := MathTaskSpec{Name: "L1", Size: 50, Iters: 10}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []MathTaskSpec{
+		{Size: 50, Iters: 10},
+		{Name: "L", Size: 0, Iters: 10},
+		{Name: "L", Size: 50, Iters: 0},
+	}
+	for i, b := range bad {
+		if b.Validate() == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+}
+
+func TestGEMMTaskSpecValidate(t *testing.T) {
+	good := GEMMTaskSpec{Name: "L1", Size: 64, Iters: 5}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if (&GEMMTaskSpec{Size: 1, Iters: 1}).Validate() == nil {
+		t.Fatal("nameless accepted")
+	}
+	if (&GEMMTaskSpec{Name: "x", Size: 0, Iters: 1}).Validate() == nil {
+		t.Fatal("zero size accepted")
+	}
+}
+
+func TestMathTaskSpecFlops(t *testing.T) {
+	s := MathTaskSpec{Name: "L", Size: 50, Iters: 10}
+	if s.FlopsPerIter() != mat.FlopsMathTask(50) {
+		t.Fatal("FlopsPerIter mismatch")
+	}
+	if s.Flops() != 10*mat.FlopsMathTask(50) {
+		t.Fatal("Flops mismatch")
+	}
+}
+
+func TestMathTaskToSimTask(t *testing.T) {
+	s := MathTaskSpec{Name: "L3", Size: 300, Iters: 10}
+	task := s.Task(4.7e12)
+	if err := task.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if task.Launches != 80 {
+		t.Fatalf("launches = %d, want 80", task.Launches)
+	}
+	// Host-centric data: 2 inputs over, 1 result back, per iteration.
+	perMat := int64(300 * 300 * 8)
+	if task.HostInBytes != 10*2*perMat || task.HostOutBytes != 10*perMat {
+		t.Fatalf("host bytes = %d/%d", task.HostInBytes, task.HostOutBytes)
+	}
+	if task.Transfers != 30 {
+		t.Fatalf("transfers = %d", task.Transfers)
+	}
+	if task.EdgeEff != 1 {
+		t.Fatal("edge efficiency should be 1")
+	}
+	if task.AccelEff <= 0 || task.AccelEff > 1 {
+		t.Fatalf("accel efficiency = %v", task.AccelEff)
+	}
+}
+
+func TestAccelEfficiencyMonotoneInSize(t *testing.T) {
+	// Larger RLS tasks must sustain a larger fraction of accelerator peak.
+	prev := 0.0
+	for _, size := range []int{25, 50, 75, 150, 300, 600} {
+		s := MathTaskSpec{Name: "L", Size: size, Iters: 10}
+		e := s.Task(4.7e12).AccelEff
+		if e <= prev {
+			t.Fatalf("efficiency not increasing at size %d: %v <= %v", size, e, prev)
+		}
+		prev = e
+	}
+}
+
+func TestGEMMEfficiencyMonotoneAndCapped(t *testing.T) {
+	prev := 0.0
+	for _, size := range []int{32, 64, 128, 320, 1024, 4096} {
+		s := GEMMTaskSpec{Name: "L", Size: size, Iters: 1}
+		e := s.Task(4.7e12).AccelEff
+		if e < prev {
+			t.Fatalf("GEMM efficiency decreasing at size %d", size)
+		}
+		if e > 1 {
+			t.Fatalf("efficiency above 1 at size %d", size)
+		}
+		prev = e
+	}
+	// Huge products hit the physical ceiling, not the fit's asymptote.
+	if r := gemmAccelRate(1e15); r != gemmAccelCap {
+		t.Fatalf("asymptotic rate = %v, want the %v cap", r, gemmAccelCap)
+	}
+}
+
+func TestTableISpecs(t *testing.T) {
+	specs := TableISpecs(10)
+	if len(specs) != 3 {
+		t.Fatal("want 3 tasks")
+	}
+	wantSizes := []int{50, 75, 300}
+	for i, s := range specs {
+		if s.Size != wantSizes[i] || s.Iters != 10 {
+			t.Fatalf("spec %d = %+v", i, s)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestTableIProgramValid(t *testing.T) {
+	p := TableI(10, 4.7e12)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Tasks) != 3 {
+		t.Fatal("want 3 tasks")
+	}
+}
+
+func TestFigure1ProgramValid(t *testing.T) {
+	p := Figure1(4.7e12)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Tasks) != 2 {
+		t.Fatal("want 2 tasks")
+	}
+}
+
+// TestTableINominalOrdering asserts the calibrated noiseless ordering that
+// induces the paper's Table-I cluster structure:
+//
+//	DDA < DAA < DDD < ADA < DAD < AAA < ADD < AAD
+func TestTableINominalOrdering(t *testing.T) {
+	plat := TableIPlatform()
+	s, err := sim.NewSimulator(plat, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := TableI(10, plat.Accel.PeakFlops)
+	times := map[string]float64{}
+	for _, pl := range sim.EnumeratePlacements(3) {
+		v, err := s.NominalSeconds(prog, pl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[pl.String()] = v
+	}
+	order := []string{"DDA", "DAA", "DDD", "ADA", "DAD", "AAA", "ADD", "AAD"}
+	for i := 1; i < len(order); i++ {
+		if times[order[i-1]] >= times[order[i]] {
+			t.Fatalf("ordering violated: %s (%v) >= %s (%v)",
+				order[i-1], times[order[i-1]], order[i], times[order[i]])
+		}
+	}
+	// The paper-critical margins.
+	if gap := times["DDD"] - times["DDA"]; gap < 2e-3 || gap > 5e-3 {
+		t.Fatalf("DDA advantage = %v s, want a few ms", gap)
+	}
+	if times["AAD"] != math.Inf(1) && times["AAD"] <= times["AAA"] {
+		t.Fatal("AAD must be strictly worst")
+	}
+}
+
+// TestFigure1NominalShape asserts the Figure-1b shape: AD clearly fastest,
+// AA close behind it, DD and DA nearly identical and far slower.
+func TestFigure1NominalShape(t *testing.T) {
+	plat := Figure1Platform()
+	s, err := sim.NewSimulator(plat, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := Figure1(plat.Accel.PeakFlops)
+	times := map[string]float64{}
+	for _, pl := range sim.EnumeratePlacements(2) {
+		v, err := s.NominalSeconds(prog, pl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[pl.String()] = v
+	}
+	if !(times["AD"] < times["AA"] && times["AA"] < times["DD"] && times["DD"] < times["DA"]) {
+		t.Fatalf("shape violated: %v", times)
+	}
+	// AD's margin over DD is large (offloading L1 pays off hugely)...
+	if times["DD"]-times["AD"] < 10e-3 {
+		t.Fatalf("AD advantage too small: %v", times["DD"]-times["AD"])
+	}
+	// ...but offloading L2 costs slightly more than it gains — the paper's
+	// data-movement observation: DA is within a whisker of DD (the cache
+	// penalty L2 pays in DD almost exactly offsets the offload cost in DA).
+	if d := times["DA"] - times["DD"]; d < 0 || d > 0.5e-3 {
+		t.Fatalf("L2 offload penalty = %v s, want tiny positive", d)
+	}
+	// AA trails AD by more: L2-on-A pays the offload cost AND L2 inherits
+	// no cache relief, so the margin includes the full delta.
+	if d := times["AA"] - times["AD"]; d < 0.8e-3 || d > 2.5e-3 {
+		t.Fatalf("AA-AD margin = %v s", d)
+	}
+}
+
+func TestRunMathTaskPenaltyChain(t *testing.T) {
+	spec := MathTaskSpec{Name: "L1", Size: 20, Iters: 3, Lambda: 0.5}
+	rngSeed := uint64(42)
+	p1, err := RunMathTask(xrand.New(rngSeed), &spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 <= 0 || math.IsNaN(p1) || math.IsInf(p1, 0) {
+		t.Fatalf("penalty = %v", p1)
+	}
+	// Deterministic given the seed.
+	p2, err := RunMathTask(xrand.New(rngSeed), &spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatal("penalty not reproducible")
+	}
+	// Different starting penalty changes the chain.
+	p3, err := RunMathTask(xrand.New(rngSeed), &spec, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3 == p1 {
+		t.Fatal("starting penalty ignored")
+	}
+	// Invalid spec rejected.
+	badSpec := MathTaskSpec{Name: "", Size: 20, Iters: 3}
+	if _, err := RunMathTask(xrand.New(1), &badSpec, 0); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}
+
+func TestRunScientificCodeEquivalenceWitness(t *testing.T) {
+	// The final penalty depends only on the seed — never on placement —
+	// because the algorithms are mathematically equivalent. Two runs with
+	// the same seed agree exactly.
+	specs := []MathTaskSpec{
+		{Name: "L1", Size: 15, Iters: 2, Lambda: 0.5},
+		{Name: "L2", Size: 20, Iters: 2, Lambda: 0.5},
+	}
+	a, err := RunScientificCode(7, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunScientificCode(7, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FinalPenalty != b.FinalPenalty {
+		t.Fatal("equivalent runs disagree")
+	}
+	if len(a.TaskSeconds) != 2 {
+		t.Fatal("task timing missing")
+	}
+	for _, s := range a.TaskSeconds {
+		if s < 0 {
+			t.Fatal("negative task time")
+		}
+	}
+	if _, err := RunScientificCode(1, nil); err == nil {
+		t.Fatal("empty spec list accepted")
+	}
+}
+
+func TestHybridExecutor(t *testing.T) {
+	specs := []MathTaskSpec{
+		{Name: "L1", Size: 15, Iters: 2, Lambda: 0.5},
+		{Name: "L2", Size: 25, Iters: 2, Lambda: 0.5},
+	}
+	h, err := NewHybridExecutor(sim.DefaultPlatform(), specs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.HostRate() <= 0 {
+		t.Fatalf("host rate = %v", h.HostRate())
+	}
+	for _, ps := range []string{"DD", "DA", "AD", "AA"} {
+		pl, _ := sim.ParsePlacement(ps)
+		v, err := h.Run(pl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v <= 0 {
+			t.Fatalf("%s: non-positive hybrid time %v", ps, v)
+		}
+	}
+	// Placement length mismatch rejected.
+	pl3, _ := sim.ParsePlacement("DDD")
+	if _, err := h.Run(pl3); err == nil {
+		t.Fatal("placement mismatch accepted")
+	}
+}
+
+func TestHybridExecutorRejectsBadPlatform(t *testing.T) {
+	if _, err := NewHybridExecutor(&sim.Platform{}, TableISpecs(1), 1); err == nil {
+		t.Fatal("bad platform accepted")
+	}
+}

@@ -1,0 +1,251 @@
+// Package xrand provides the deterministic pseudo-random substrate used by
+// every stochastic component of the repository: noise models, bootstrap
+// resampling, workload generation and the shuffles of the clustering
+// procedure.
+//
+// The package deliberately avoids math/rand so that (a) every experiment is
+// reproducible from a single uint64 seed, (b) independent sub-streams can be
+// split off deterministically (Split), and (c) the generators are safe to
+// embed in value types without hidden global state.
+//
+// The core generator is xoshiro256++ seeded through SplitMix64, the
+// construction recommended by Blackman & Vigna. It passes BigCrush and is
+// more than adequate for simulation workloads.
+package xrand
+
+import "math"
+
+// splitMix64 advances a SplitMix64 state and returns the next value.
+// It is used for seeding and for Split; it must never be exposed raw.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Rand is a xoshiro256++ generator. The zero value is not usable; construct
+// with New. Rand is not safe for concurrent use; use Split to derive
+// independent generators for concurrent goroutines.
+type Rand struct {
+	s [4]uint64
+}
+
+// New returns a generator deterministically seeded from seed.
+func New(seed uint64) *Rand {
+	r := &Rand{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed resets the generator to the state derived from seed.
+func (r *Rand) Seed(seed uint64) {
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitMix64(&sm)
+	}
+	// xoshiro256++ must not be seeded with the all-zero state; SplitMix64
+	// cannot produce four consecutive zeros, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Rand) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[0]+s[3], 23) + s[0]
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Split returns a new generator whose stream is statistically independent of
+// r's future output. It draws a fresh seed through a SplitMix64 step keyed by
+// r, so repeated Splits yield distinct generators.
+func (r *Rand) Split() *Rand {
+	return New(r.Uint64())
+}
+
+// Int63 returns a non-negative int64.
+func (r *Rand) Int63() int64 {
+	return int64(r.Uint64() >> 1)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+// Lemire's multiply-shift rejection method avoids modulo bias.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	bound := uint64(n)
+	for {
+		v := r.Uint64()
+		hi, lo := mul64(v, bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 1<<32 - 1
+	a0, a1 := a&mask, a>>32
+	b0, b1 := b&mask, b>>32
+	t := a1*b0 + (a0*b0)>>32
+	w1 := t&mask + a0*b1
+	hi = a1*b1 + t>>32 + w1>>32
+	lo = a * b
+	return hi, lo
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Uniform returns a uniform float64 in [lo, hi).
+func (r *Rand) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Norm returns a standard normal variate (polar Box–Muller; the spare value
+// is intentionally discarded to keep Rand a single-word-of-state value type).
+func (r *Rand) Norm() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Normal returns a normal variate with the given mean and standard deviation.
+func (r *Rand) Normal(mean, sigma float64) float64 {
+	return mean + sigma*r.Norm()
+}
+
+// LogNormal returns exp(N(mu, sigma)); the distribution of multiplicative
+// timing noise, and the paper's measured execution-time histograms are well
+// described by it (right-skewed with a hard lower bound).
+func (r *Rand) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(r.Normal(mu, sigma))
+}
+
+// Exp returns an exponential variate with rate lambda (mean 1/lambda).
+func (r *Rand) Exp(lambda float64) float64 {
+	if lambda <= 0 {
+		panic("xrand: Exp with non-positive rate")
+	}
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -math.Log(u) / lambda
+		}
+	}
+}
+
+// Pareto returns a Pareto(xm, alpha) variate: heavy-tailed, used to model the
+// rare large OS-noise spikes observed in repeated kernel timings.
+func (r *Rand) Pareto(xm, alpha float64) float64 {
+	if xm <= 0 || alpha <= 0 {
+		panic("xrand: Pareto requires positive parameters")
+	}
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return xm / math.Pow(u, 1/alpha)
+		}
+	}
+}
+
+// Gamma returns a Gamma(shape k, scale theta) variate using the
+// Marsaglia–Tsang method (with Johnk boost for k < 1).
+func (r *Rand) Gamma(k, theta float64) float64 {
+	if k <= 0 || theta <= 0 {
+		panic("xrand: Gamma requires positive parameters")
+	}
+	if k < 1 {
+		// Boost: Gamma(k) = Gamma(k+1) * U^(1/k).
+		u := r.Float64()
+		for u == 0 {
+			u = r.Float64()
+		}
+		return r.Gamma(k+1, theta) * math.Pow(u, 1/k)
+	}
+	d := k - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := r.Norm()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.Float64()
+		if u == 0 {
+			continue
+		}
+		if math.Log(u) < 0.5*x*x+d-d*v+d*math.Log(v) {
+			return d * v * theta
+		}
+	}
+}
+
+// Bernoulli returns true with probability p.
+func (r *Rand) Bernoulli(p float64) bool {
+	return r.Float64() < p
+}
+
+// Perm returns a uniformly random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.ShuffleInts(p)
+	return p
+}
+
+// ShuffleInts shuffles s in place (Fisher–Yates).
+func (r *Rand) ShuffleInts(s []int) {
+	for i := len(s) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+// Shuffle shuffles n elements using the provided swap function.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// ResampleIdx fills dst with uniform indices in [0, n): one bootstrap
+// resample of size len(dst) from a sample of size n.
+func (r *Rand) ResampleIdx(dst []int, n int) {
+	for i := range dst {
+		dst[i] = r.Intn(n)
+	}
+}
+
+// Resample draws len(dst) values from src with replacement into dst.
+func (r *Rand) Resample(dst, src []float64) {
+	n := len(src)
+	for i := range dst {
+		dst[i] = src[r.Intn(n)]
+	}
+}

@@ -1,0 +1,275 @@
+// Package relperf is the public entry point of the library: it wires the
+// measurement substrate, the three-way bootstrap comparison and the
+// rank-clustering procedure into an end-to-end relative-performance study,
+// reproducing the methodology of Sankaran & Bientinesi, "Performance
+// Comparison for Scientific Computations on the Edge via Relative
+// Performance" (2021).
+//
+// A Study measures every placement of a program on a modeled edge platform,
+// compares the resulting execution-time distributions pairwise (better /
+// worse / equivalent), clusters the algorithms into performance classes with
+// relative scores, and derives the per-algorithm profiles the decision
+// models consume:
+//
+//	study, _ := relperf.NewStudy(relperf.StudyConfig{
+//		Platform: relperf.DefaultPlatform(),
+//		Program:  relperf.TableIProgram(10),
+//		N:        30,
+//	})
+//	result, _ := study.Run()
+//	result.WriteReport(os.Stdout)
+package relperf
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"relperf/internal/compare"
+	"relperf/internal/core"
+	"relperf/internal/decision"
+	"relperf/internal/measure"
+	"relperf/internal/report"
+	"relperf/internal/sim"
+	"relperf/internal/stats"
+	"relperf/internal/workload"
+)
+
+// Re-exported constructors so example applications can stay on the public
+// surface.
+
+// DefaultPlatform returns the paper's testbed model (Xeon core + P100 +
+// PCIe).
+func DefaultPlatform() *sim.Platform { return sim.DefaultPlatform() }
+
+// Figure1Platform returns the testbed model used by the Figure-1 workload.
+func Figure1Platform() *sim.Platform { return workload.Figure1Platform() }
+
+// TableIProgram returns the paper's three-MathTask scientific code
+// (Procedure 5) with n loop iterations per task.
+func TableIProgram(n int) *sim.Program {
+	return workload.TableI(n, sim.DefaultPlatform().Accel.PeakFlops)
+}
+
+// Figure1Program returns the paper's two-loop Figure-1 workload.
+func Figure1Program() *sim.Program {
+	return workload.Figure1(sim.DefaultPlatform().Accel.PeakFlops)
+}
+
+// StudyConfig configures an end-to-end study.
+type StudyConfig struct {
+	// Platform is the modeled hardware; DefaultPlatform() if nil.
+	Platform *sim.Platform
+	// Program is the scientific code whose placements form the algorithm
+	// set A. Required.
+	Program *sim.Program
+	// Placements restricts the algorithm set; nil means all 2^L.
+	Placements []sim.Placement
+	// N is the number of measurements per algorithm (default 30, the
+	// paper's Table-I setting).
+	N int
+	// Warmup measurements are discarded first (default 0).
+	Warmup int
+	// Reps is the number of clustering repetitions (default 100).
+	Reps int
+	// Seed drives every stochastic component; studies with equal seeds
+	// and configs produce identical results.
+	Seed uint64
+	// Comparator overrides the default bootstrap comparator.
+	Comparator compare.Comparator
+}
+
+// Study is a configured, not-yet-run experiment.
+type Study struct {
+	cfg        StudyConfig
+	placements []sim.Placement
+}
+
+// NewStudy validates the configuration.
+func NewStudy(cfg StudyConfig) (*Study, error) {
+	if cfg.Program == nil {
+		return nil, errors.New("relperf: StudyConfig.Program is required")
+	}
+	if cfg.Platform == nil {
+		cfg.Platform = sim.DefaultPlatform()
+	}
+	if err := cfg.Platform.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Program.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.N <= 0 {
+		cfg.N = 30
+	}
+	if cfg.Reps <= 0 {
+		cfg.Reps = 100
+	}
+	placements := cfg.Placements
+	if placements == nil {
+		placements = sim.EnumeratePlacements(len(cfg.Program.Tasks))
+	}
+	for _, pl := range placements {
+		if len(pl) != len(cfg.Program.Tasks) {
+			return nil, fmt.Errorf("relperf: placement %s does not fit program with %d tasks",
+				pl, len(cfg.Program.Tasks))
+		}
+	}
+	return &Study{cfg: cfg, placements: placements}, nil
+}
+
+// Result is the outcome of a study: the measured distributions, the
+// clustering with relative scores, the final assignment and the decision
+// profiles.
+type Result struct {
+	// Names are the placement names, index-aligned with everything else.
+	Names []string
+	// Samples holds the measured execution-time distributions.
+	Samples *measure.SampleSet
+	// Clusters is the repeated-clustering outcome (Procedure 4).
+	Clusters *core.ClusterResult
+	// Final is the max-score assignment with cumulated scores.
+	Final *core.FinalAssignment
+	// Profiles feed the decision models of §IV.
+	Profiles []decision.AlgorithmProfile
+}
+
+// Run executes the study: measure, compare, cluster, score, profile.
+func (s *Study) Run() (*Result, error) {
+	simulator, err := sim.NewSimulator(s.cfg.Platform, s.cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Samples: &measure.SampleSet{Workload: s.cfg.Program.Name},
+	}
+
+	type aggregate struct {
+		edgeFlops, accelFlops int64
+		edgeJoules            float64
+		accelJoules           float64
+		accelBusy             float64
+	}
+	aggs := make([]aggregate, len(s.placements))
+
+	for i, pl := range s.placements {
+		name := "alg" + pl.String()
+		res.Names = append(res.Names, name)
+		var agg aggregate
+		runner := func() (float64, error) {
+			r, err := simulator.Run(s.cfg.Program, pl)
+			if err != nil {
+				return 0, err
+			}
+			agg.edgeFlops = r.EdgeFlops
+			agg.accelFlops = r.AccelFlops
+			agg.edgeJoules += r.EdgeJoules
+			agg.accelJoules += r.AccelJoules
+			agg.accelBusy += r.AccelBusy
+			return r.Seconds, nil
+		}
+		sample, err := measure.Collect(name, runner, measure.Options{N: s.cfg.N, Warmup: s.cfg.Warmup})
+		if err != nil {
+			return nil, err
+		}
+		res.Samples.Samples = append(res.Samples.Samples, sample)
+		// Warmup runs contaminate the energy sums only negligibly relative
+		// to N runs; normalize by the total runner invocations.
+		runs := float64(s.cfg.N + s.cfg.Warmup)
+		agg.edgeJoules /= runs
+		agg.accelJoules /= runs
+		agg.accelBusy /= runs
+		aggs[i] = agg
+	}
+
+	cmp := s.cfg.Comparator
+	if cmp == nil {
+		cmp = compare.NewBootstrapFrom(simulator.SplitRNG())
+	}
+	data := res.Samples.Data()
+	cf := func(i, j int) (compare.Outcome, error) { return cmp.Compare(data[i], data[j]) }
+	res.Clusters, err = core.Cluster(len(s.placements), cf, core.ClusterOptions{
+		Reps: s.cfg.Reps,
+		Seed: s.cfg.Seed + 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Final, err = res.Clusters.Finalize()
+	if err != nil {
+		return nil, err
+	}
+
+	for i := range s.placements {
+		res.Profiles = append(res.Profiles, decision.AlgorithmProfile{
+			Name:         s.placements[i].String(),
+			Rank:         res.Final.Rank[i],
+			Score:        res.Final.Score[i],
+			MeanSeconds:  stats.Mean(data[i]),
+			EdgeFlops:    aggs[i].edgeFlops,
+			AccelFlops:   aggs[i].accelFlops,
+			EdgeJoules:   aggs[i].edgeJoules,
+			AccelJoules:  aggs[i].accelJoules,
+			AccelSeconds: aggs[i].accelBusy,
+		})
+	}
+	return res, nil
+}
+
+// ClusterSamples runs the comparison and clustering stages over pre-measured
+// distributions (e.g. loaded from CSV with measure.ReadCSV) — the paper's
+// footnote-5 workflow of re-clustering archived measurements.
+func ClusterSamples(ss *measure.SampleSet, cmp compare.Comparator, reps int, seed uint64) (*core.ClusterResult, *core.FinalAssignment, error) {
+	if err := ss.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if cmp == nil {
+		cmp = compare.NewBootstrap(seed)
+	}
+	if reps <= 0 {
+		reps = 100
+	}
+	data := ss.Data()
+	cf := func(i, j int) (compare.Outcome, error) { return cmp.Compare(data[i], data[j]) }
+	cr, err := core.Cluster(len(data), cf, core.ClusterOptions{Reps: reps, Seed: seed})
+	if err != nil {
+		return nil, nil, err
+	}
+	fa, err := cr.Finalize()
+	if err != nil {
+		return nil, nil, err
+	}
+	return cr, fa, nil
+}
+
+// WriteReport renders the study in the paper's format: distribution
+// summaries, the Table-I-style cluster table and the final clustering.
+func (r *Result) WriteReport(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Workload: %s\n\nMeasured distributions:\n", r.Samples.Workload); err != nil {
+		return err
+	}
+	if err := report.SummaryTable(w, r.Names, r.Samples.Data()); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "\nClustering (Rep=%d):\n", r.Clusters.Reps); err != nil {
+		return err
+	}
+	if err := report.ClusterTable(w, r.Clusters, r.Names); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "\nFinal clustering:"); err != nil {
+		return err
+	}
+	return report.FinalTable(w, r.Final, r.Names)
+}
+
+// ProfileByName returns the decision profile for a placement name like
+// "DDA", or an error when absent.
+func (r *Result) ProfileByName(name string) (decision.AlgorithmProfile, error) {
+	for _, p := range r.Profiles {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return decision.AlgorithmProfile{}, fmt.Errorf("relperf: no profile named %q", name)
+}
