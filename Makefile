@@ -1,0 +1,32 @@
+# Development targets for the relperf repository. `make race` exercises the
+# parallel study engine under the race detector and is expected on every
+# change; `make bench` regenerates BENCH_engine.json for perf tracking.
+
+GO ?= go
+
+.PHONY: all build test race vet bench clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The determinism property tests and TestEngineRaceExercise drive the
+# worker pools at full width, so -race patrols every concurrent path.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Runs the engine benchmarks with allocation reporting and emits the
+# machine-readable BENCH_engine.json snapshot.
+bench:
+	RELPERF_EMIT_BENCH=1 $(GO) test -run TestEmitEngineBenchJSON -count=1 .
+	$(GO) test -run xxx -bench 'EngineSerialVsParallel|Allocs' -benchmem .
+
+clean:
+	rm -f BENCH_engine.json

@@ -11,6 +11,7 @@
 package relperf_test
 
 import (
+	"runtime"
 	"testing"
 
 	"relperf"
@@ -450,5 +451,72 @@ func BenchmarkPredictorAblation(b *testing.B) {
 			}
 			b.ReportMetric(tau, "train-tau")
 		})
+	}
+}
+
+// P1 — the parallel study engine: the full Table-I-sized pipeline (P=8
+// placements, N=30 measurements, Rep=100 clustering repetitions) at one
+// worker vs the full machine. The determinism contract makes the two
+// configurations produce bit-identical Results, so the comparison is pure
+// wall-clock. The workload body lives in benchStudy (benchjson_test.go),
+// shared with the BENCH_engine.json emitter so both measure the same thing.
+func BenchmarkEngineSerialVsParallel(b *testing.B) {
+	for _, cfg := range []struct {
+		name    string
+		workers int
+		matrix  bool
+	}{
+		{"serial", 1, false},
+		{"parallel", 0, false}, // 0 = GOMAXPROCS
+		{"parallel-matrix", 0, true},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			benchStudy(cfg.workers, cfg.matrix)(b)
+			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+		})
+	}
+}
+
+// P2 — comparator hot path: Bootstrap.Compare over two N=30 samples must be
+// allocation-free after its scratch warms up (run with -benchmem).
+func BenchmarkBootstrapCompareAllocs(b *testing.B) {
+	rng := xrand.New(1)
+	a := make([]float64, 30)
+	c := make([]float64, 30)
+	for i := range a {
+		a[i] = rng.LogNormal(0, 0.1)
+		c[i] = 1.1 * rng.LogNormal(0, 0.1)
+	}
+	cmp := compare.NewBootstrap(2)
+	if _, err := cmp.Compare(a, c); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cmp.Compare(a, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// P3 — simulator hot path: Seconds must be allocation-free after warm-up
+// (run with -benchmem).
+func BenchmarkSimulatorSecondsAllocs(b *testing.B) {
+	s, err := sim.NewSimulator(relperf.DefaultPlatform(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog := relperf.TableIProgram(10)
+	pl, _ := sim.ParsePlacement("DDA")
+	if _, err := s.Seconds(prog, pl); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Seconds(prog, pl); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -1,0 +1,110 @@
+// Machine-readable benchmark emission: TestEmitEngineBenchJSON re-runs the
+// engine benchmarks through testing.Benchmark and writes BENCH_engine.json,
+// so successive PRs can track the perf trajectory without parsing go-bench
+// text output. It is opt-in (RELPERF_EMIT_BENCH=1, wired to `make bench`)
+// because it costs several full study executions.
+package relperf_test
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+
+	"relperf"
+)
+
+// benchRecord is one benchmark's result in BENCH_engine.json.
+type benchRecord struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// engineBenchReport is the top-level BENCH_engine.json document.
+type engineBenchReport struct {
+	GoMaxProcs int           `json:"gomaxprocs"`
+	GoVersion  string        `json:"go_version"`
+	Benchmarks []benchRecord `json:"benchmarks"`
+	// SpeedupParallel is serial ns/op over parallel ns/op for the
+	// Table-I-sized study; ≈1 on a single-core runner, ≥2 expected on 4
+	// cores.
+	SpeedupParallel float64 `json:"speedup_parallel"`
+	// SpeedupMatrix is serial ns/op over parallel-matrix ns/op.
+	SpeedupMatrix float64 `json:"speedup_matrix"`
+}
+
+// benchStudy is the Table-I-sized engine workload shared by
+// BenchmarkEngineSerialVsParallel and the JSON emitter below, so the
+// go-bench output and BENCH_engine.json always measure the same thing.
+func benchStudy(workers int, matrix bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			study, err := relperf.NewStudy(relperf.StudyConfig{
+				Program: relperf.TableIProgram(10),
+				N:       30,
+				Reps:    100,
+				Seed:    1,
+				Workers: workers,
+				Matrix:  matrix,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := study.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestEmitEngineBenchJSON(t *testing.T) {
+	if os.Getenv("RELPERF_EMIT_BENCH") == "" {
+		t.Skip("set RELPERF_EMIT_BENCH=1 (or run `make bench`) to emit BENCH_engine.json")
+	}
+	record := func(name string, r testing.BenchmarkResult) benchRecord {
+		return benchRecord{
+			Name:        name,
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+		}
+	}
+
+	serial := testing.Benchmark(benchStudy(1, false))
+	parallel := testing.Benchmark(benchStudy(0, false))
+	matrix := testing.Benchmark(benchStudy(0, true))
+	cmpBench := testing.Benchmark(BenchmarkBootstrapCompareAllocs)
+
+	report := engineBenchReport{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		Benchmarks: []benchRecord{
+			record("EngineStudy/serial", serial),
+			record("EngineStudy/parallel", parallel),
+			record("EngineStudy/parallel-matrix", matrix),
+			record("BootstrapCompare", cmpBench),
+		},
+		SpeedupParallel: float64(serial.NsPerOp()) / float64(parallel.NsPerOp()),
+		SpeedupMatrix:   float64(serial.NsPerOp()) / float64(matrix.NsPerOp()),
+	}
+	if cmpBench.AllocsPerOp() != 0 {
+		t.Errorf("Bootstrap.Compare allocates %d/op after warm-up, want 0", cmpBench.AllocsPerOp())
+	}
+
+	f, err := os.Create("BENCH_engine.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("BENCH_engine.json: parallel speedup %.2fx, matrix speedup %.2fx (GOMAXPROCS=%d)",
+		report.SpeedupParallel, report.SpeedupMatrix, report.GoMaxProcs)
+}

@@ -28,12 +28,22 @@ import (
 	"relperf/internal/workload"
 )
 
+// workers is the -workers flag: the pool size every study engine uses.
+// Results are identical at any value (the engine's determinism contract).
+var workers int
+
+// matrix is the -matrix flag: route every study's clustering stage through
+// the precomputed pairwise-statistics path (core.ClusterMatrix).
+var matrix bool
+
 func main() {
 	exp := flag.String("exp", "all", "experiment: fig1|fig2|scores|table1|decision|energy|kernels|predict|race|hybrid|all")
 	n := flag.Int("n", 10, "loop iterations per MathTask (the paper's n)")
 	nMeas := flag.Int("N", 30, "measurements per algorithm for table1/scores")
 	reps := flag.Int("reps", 100, "clustering repetitions (the paper's Rep)")
 	seed := flag.Uint64("seed", 1, "master seed")
+	flag.IntVar(&workers, "workers", 0, "worker pool size for study engines (0 = GOMAXPROCS)")
+	flag.BoolVar(&matrix, "matrix", false, "cluster via precomputed pairwise outcome statistics")
 	flag.Parse()
 
 	run := func(name string, f func() error) {
@@ -93,6 +103,8 @@ func fig1(seed uint64) error {
 		N:        500,
 		Reps:     50,
 		Seed:     seed,
+		Workers:  workers,
+		Matrix:   matrix,
 	})
 	if err != nil {
 		return err
@@ -155,6 +167,8 @@ func scores(reps int, seed uint64) error {
 		N:        30,
 		Reps:     reps,
 		Seed:     seed,
+		Workers:  workers,
+		Matrix:   matrix,
 	})
 	if err != nil {
 		return err
@@ -178,6 +192,8 @@ func table1(n, nMeas, reps int, seed uint64) error {
 		N:       nMeas,
 		Reps:    reps,
 		Seed:    seed,
+		Workers: workers,
+		Matrix:  matrix,
 	})
 	if err != nil {
 		return err
@@ -227,6 +243,8 @@ func decisionExp(nMeas, reps int, seed uint64) error {
 		N:       nMeas,
 		Reps:    reps,
 		Seed:    seed,
+		Workers: workers,
+		Matrix:  matrix,
 	})
 	if err != nil {
 		return err
@@ -258,6 +276,8 @@ func energy(nMeas, reps int, seed uint64) error {
 		N:       nMeas,
 		Reps:    reps,
 		Seed:    seed,
+		Workers: workers,
+		Matrix:  matrix,
 	})
 	if err != nil {
 		return err
@@ -334,7 +354,9 @@ func kernels(nMeas, reps int, seed uint64) error {
 	if err := report.SummaryTable(os.Stdout, ss.Names(), ss.Data()); err != nil {
 		return err
 	}
-	cr, fa, err := relperf.ClusterSamples(ss, nil, reps, seed+1)
+	cr, fa, err := relperf.ClusterSamplesWith(ss, nil, relperf.ClusterSamplesOptions{
+		Reps: reps, Seed: seed + 1, Workers: workers, Matrix: matrix,
+	})
 	if err != nil {
 		return err
 	}
@@ -357,6 +379,8 @@ func predictExp(nMeas, reps int, seed uint64) error {
 		N:       nMeas,
 		Reps:    reps,
 		Seed:    seed,
+		Workers: workers,
+		Matrix:  matrix,
 	})
 	if err != nil {
 		return err
@@ -503,7 +527,9 @@ func hybrid(nMeas, reps int, seed uint64) error {
 	if err := report.SummaryTable(os.Stdout, ss.Names(), ss.Data()); err != nil {
 		return err
 	}
-	_, fa, err := relperf.ClusterSamples(ss, nil, reps, seed+1)
+	_, fa, err := relperf.ClusterSamplesWith(ss, nil, relperf.ClusterSamplesOptions{
+		Reps: reps, Seed: seed + 1, Workers: workers, Matrix: matrix,
+	})
 	if err != nil {
 		return err
 	}

@@ -60,8 +60,9 @@ func main() {
 	}
 }
 
-// buildStudy assembles a study for one of the named workloads.
-func buildStudy(workloadName string, n, nMeas, reps int, seed uint64) (*relperf.Study, error) {
+// buildStudy assembles a study for one of the named workloads. workers and
+// matrix configure the parallel engine; results are worker-count-invariant.
+func buildStudy(workloadName string, n, nMeas, reps int, seed uint64, workers int, matrix bool) (*relperf.Study, error) {
 	var cfg relperf.StudyConfig
 	switch workloadName {
 	case "tableI", "table1":
@@ -76,6 +77,8 @@ func buildStudy(workloadName string, n, nMeas, reps int, seed uint64) (*relperf.
 	cfg.N = nMeas
 	cfg.Reps = reps
 	cfg.Seed = seed
+	cfg.Workers = workers
+	cfg.Matrix = matrix
 	return relperf.NewStudy(cfg)
 }
 
@@ -86,10 +89,11 @@ func cmdMeasure(args []string) error {
 	nMeas := fs.Int("N", 30, "measurements per algorithm")
 	seed := fs.Uint64("seed", 1, "seed")
 	out := fs.String("out", "", "CSV output path (default stdout)")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	study, err := buildStudy(*wl, *n, *nMeas, 1, *seed)
+	study, err := buildStudy(*wl, *n, *nMeas, 1, *seed, *workers, false)
 	if err != nil {
 		return err
 	}
@@ -114,6 +118,8 @@ func cmdCluster(args []string) error {
 	in := fs.String("in", "", "CSV file of measurements (required)")
 	reps := fs.Int("reps", 100, "clustering repetitions")
 	seed := fs.Uint64("seed", 1, "seed")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	matrix := fs.Bool("matrix", false, "precompute pairwise outcome statistics")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -129,7 +135,9 @@ func cmdCluster(args []string) error {
 	if err != nil {
 		return err
 	}
-	cr, fa, err := relperf.ClusterSamples(ss, nil, *reps, *seed)
+	cr, fa, err := relperf.ClusterSamplesWith(ss, nil, relperf.ClusterSamplesOptions{
+		Reps: *reps, Seed: *seed, Workers: *workers, Matrix: *matrix,
+	})
 	if err != nil {
 		return err
 	}
@@ -149,10 +157,12 @@ func cmdStudy(args []string) error {
 	nMeas := fs.Int("N", 30, "measurements per algorithm")
 	reps := fs.Int("reps", 100, "clustering repetitions")
 	seed := fs.Uint64("seed", 1, "seed")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	matrix := fs.Bool("matrix", false, "precompute pairwise outcome statistics")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	study, err := buildStudy(*wl, *n, *nMeas, *reps, *seed)
+	study, err := buildStudy(*wl, *n, *nMeas, *reps, *seed, *workers, *matrix)
 	if err != nil {
 		return err
 	}
@@ -186,6 +196,8 @@ func cmdKernels(args []string) error {
 	nMeas := fs.Int("N", 30, "measurements per variant")
 	reps := fs.Int("reps", 100, "clustering repetitions")
 	seed := fs.Uint64("seed", 1, "seed")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	matrix := fs.Bool("matrix", false, "precompute pairwise outcome statistics")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -203,7 +215,9 @@ func cmdKernels(args []string) error {
 	if err := report.SummaryTable(os.Stdout, ss.Names(), ss.Data()); err != nil {
 		return err
 	}
-	_, fa, err := relperf.ClusterSamples(ss, nil, *reps, *seed+1)
+	_, fa, err := relperf.ClusterSamplesWith(ss, nil, relperf.ClusterSamplesOptions{
+		Reps: *reps, Seed: *seed + 1, Workers: *workers, Matrix: *matrix,
+	})
 	if err != nil {
 		return err
 	}

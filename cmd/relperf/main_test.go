@@ -7,13 +7,13 @@ import (
 )
 
 func TestBuildStudy(t *testing.T) {
-	if _, err := buildStudy("tableI", 5, 10, 20, 1); err != nil {
+	if _, err := buildStudy("tableI", 5, 10, 20, 1, 0, false); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := buildStudy("fig1", 5, 10, 20, 1); err != nil {
+	if _, err := buildStudy("fig1", 5, 10, 20, 1, 2, true); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := buildStudy("nope", 5, 10, 20, 1); err == nil {
+	if _, err := buildStudy("nope", 5, 10, 20, 1, 0, false); err == nil {
 		t.Fatal("unknown workload accepted")
 	}
 }

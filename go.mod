@@ -1,0 +1,3 @@
+module relperf
+
+go 1.22

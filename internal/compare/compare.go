@@ -17,6 +17,19 @@
 // Deterministic alternatives (Kolmogorov–Smirnov, Mann–Whitney, mean
 // difference with bootstrap CI) are provided for the comparator-ablation
 // benchmarks.
+//
+// # Concurrency and determinism
+//
+// Comparators are not safe for concurrent use (the bootstrap owns an RNG and
+// scratch buffers). Parallel engines instead rely on the Forker interface:
+// Fork(seed) returns an independent comparator clone whose randomness is
+// fully determined by the seed, so a clustering layer can hand every
+// concurrent repetition its own deterministically-seeded comparator and
+// produce bit-identical results at any worker count. Every named comparator
+// in this package implements Forker — the deterministic ones (KS,
+// MannWhitney, MeanThreshold) are stateless and fork to themselves — but the
+// plain-function Func adapter deliberately does not, so function-backed
+// comparators take the serial clustering path unless wrapped in a Forker.
 package compare
 
 import (
@@ -70,6 +83,18 @@ type Comparator interface {
 	Compare(a, b []float64) (Outcome, error)
 }
 
+// Forker is implemented by comparators that can produce independent,
+// deterministically-seeded clones of themselves. Parallel clustering engines
+// fork one comparator per repetition (or per pair) so that concurrent
+// comparisons never share RNG state and results are bit-identical for equal
+// seeds regardless of scheduling. Deterministic comparators may simply return
+// themselves.
+type Forker interface {
+	// Fork returns a comparator with the same decision parameters whose
+	// stochastic behaviour (if any) is fully determined by seed.
+	Fork(seed uint64) Comparator
+}
+
 // Bootstrap is the paper's comparator. For each of Rounds bootstrap rounds it
 // draws one resample (with replacement) from each measurement set, evaluates
 // the configured quantiles on both resamples, and counts, quantile by
@@ -90,6 +115,11 @@ type Bootstrap struct {
 	// Margin is the half-width of the equivalence band around 0.5
 	// (default 0.3: win rates within [0.2, 0.8] are "equivalent").
 	Margin float64
+
+	// scratchA/scratchB hold the resample buffers, grown on demand and
+	// reused across rounds and calls: after the first Compare at a given
+	// sample size, Compare performs zero heap allocations.
+	scratchA, scratchB []float64
 }
 
 // DefaultQuantiles probe the body of the distribution.
@@ -107,11 +137,33 @@ func NewBootstrap(seed uint64) *Bootstrap {
 }
 
 // NewBootstrapFrom returns a bootstrap comparator drawing randomness from an
-// existing generator (e.g. one Split off a study-level RNG).
+// existing generator. Serial callers only: parallel engines should seed
+// per-unit comparators with NewBootstrap(xrand.Mix(seed, unit)) or Fork,
+// never by threading a shared stream through this constructor.
 func NewBootstrapFrom(rng *xrand.Rand) *Bootstrap {
 	b := NewBootstrap(0)
 	b.rng = rng
 	return b
+}
+
+// Fork implements Forker: the clone shares the decision parameters but owns a
+// fresh generator seeded by seed and its own scratch, so forks are safe to
+// use concurrently with each other and with the parent.
+func (c *Bootstrap) Fork(seed uint64) Comparator {
+	return &Bootstrap{
+		rng:       xrand.New(seed),
+		Quantiles: c.Quantiles,
+		Rounds:    c.Rounds,
+		Margin:    c.Margin,
+	}
+}
+
+// grow returns (*buf)[:n], reallocating only when capacity is insufficient.
+func grow(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	return (*buf)[:n]
 }
 
 // WinRate runs the bootstrap and returns the aggregate rate at which a beats
@@ -129,12 +181,13 @@ func (c *Bootstrap) WinRate(a, b []float64) (float64, error) {
 	if len(qs) == 0 {
 		qs = DefaultQuantiles
 	}
-	bufA := make([]float64, len(a))
-	bufB := make([]float64, len(b))
-	var wins, total float64
+	bufA := grow(&c.scratchA, len(a))
+	bufB := grow(&c.scratchB, len(b))
+	var wins float64
 	for r := 0; r < rounds; r++ {
 		c.rng.Resample(bufA, a)
 		c.rng.Resample(bufB, b)
+		// One sort per resample serves every quantile below.
 		sortInPlace(bufA)
 		sortInPlace(bufB)
 		for _, q := range qs {
@@ -146,10 +199,9 @@ func (c *Bootstrap) WinRate(a, b []float64) (float64, error) {
 			case va == vb:
 				wins += 0.5
 			}
-			total++
 		}
 	}
-	return wins / total, nil
+	return wins / float64(rounds*len(qs)), nil
 }
 
 // Compare implements Comparator.
@@ -213,6 +265,10 @@ func (c KS) Compare(a, b []float64) (Outcome, error) {
 	return Worse, nil
 }
 
+// Fork implements Forker; KS is deterministic and stateless, so the fork is
+// the comparator itself.
+func (c KS) Fork(uint64) Comparator { return c }
+
 // MannWhitney is a deterministic comparator using the Mann–Whitney U test.
 type MannWhitney struct {
 	// Alpha is the significance level (default 0.05).
@@ -238,6 +294,9 @@ func (c MannWhitney) Compare(a, b []float64) (Outcome, error) {
 	}
 	return Worse, nil
 }
+
+// Fork implements Forker; MannWhitney is deterministic and stateless.
+func (c MannWhitney) Fork(uint64) Comparator { return c }
 
 // MeanThreshold is the naive single-number baseline the paper argues
 // against: compare sample means and call anything within RelTol equivalent.
@@ -273,6 +332,9 @@ func (c MeanThreshold) Compare(a, b []float64) (Outcome, error) {
 		return Equivalent, nil
 	}
 }
+
+// Fork implements Forker; MeanThreshold is deterministic and stateless.
+func (c MeanThreshold) Fork(uint64) Comparator { return c }
 
 // Func adapts a plain function to the Comparator interface.
 type Func func(a, b []float64) (Outcome, error)

@@ -314,3 +314,61 @@ func BenchmarkBootstrapCompareN500(b *testing.B) {
 		}
 	}
 }
+
+func TestBootstrapCompareZeroAllocs(t *testing.T) {
+	rng := xrand.New(17)
+	a := sample(rng, 30, 1.0, 0.1)
+	b := sample(rng, 30, 1.2, 0.1)
+	c := NewBootstrap(18)
+	// Warm the scratch buffers once, then Compare must not allocate.
+	if _, err := c.Compare(a, b); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := c.Compare(a, b); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Compare allocates %v times per op after warm-up, want 0", allocs)
+	}
+}
+
+func TestBootstrapForkDeterministic(t *testing.T) {
+	rng := xrand.New(19)
+	a := sample(rng, 30, 1.0, 0.1)
+	b := sample(rng, 30, 1.05, 0.1)
+	proto := NewBootstrap(0)
+	proto.Rounds = 40
+	// Equal fork seeds reproduce the exact win-rate sequence; the parent
+	// is untouched by fork usage.
+	f1 := proto.Fork(7).(*Bootstrap)
+	f2 := proto.Fork(7).(*Bootstrap)
+	if f1.Rounds != proto.Rounds {
+		t.Fatal("fork did not inherit parameters")
+	}
+	for i := 0; i < 5; i++ {
+		r1, err := f1.WinRate(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, _ := f2.WinRate(a, b)
+		if r1 != r2 {
+			t.Fatalf("fork streams diverge at call %d: %v vs %v", i, r1, r2)
+		}
+	}
+	// Different seeds give different streams.
+	r1, _ := proto.Fork(1).(*Bootstrap).WinRate(a, b)
+	r3, _ := proto.Fork(2).(*Bootstrap).WinRate(a, b)
+	if r1 == r3 {
+		t.Fatal("distinct fork seeds produced identical win rates (suspicious)")
+	}
+}
+
+func TestDeterministicForkersReturnSelf(t *testing.T) {
+	for _, c := range []Forker{KS{}, MannWhitney{}, MeanThreshold{}} {
+		if c.Fork(123) != c.(Comparator) {
+			t.Fatalf("%T fork is not itself", c)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"relperf/internal/pool"
 	"relperf/internal/xrand"
 )
 
@@ -15,9 +16,22 @@ type ClusterOptions struct {
 	// repetitions (paper footnote 5) — only the initial order and the
 	// comparator's internal bootstrap randomness vary.
 	Reps int
-	// Seed drives the shuffles; the comparator's own randomness is
-	// whatever the caller built into cmp.
+	// Seed drives the shuffles; on the legacy serial path the comparator's
+	// own randomness is whatever the caller built into cmp, while on the
+	// Fork path it also keys the per-repetition comparator streams.
 	Seed uint64
+	// Workers bounds the number of concurrent repetitions; 0 means
+	// GOMAXPROCS. Parallel execution requires Fork; without it repetitions
+	// share cmp and must run serially.
+	Workers int
+	// Fork returns an independent comparison function for one repetition,
+	// fully determined by seed. When set, every repetition — at any worker
+	// count, including 1 — derives its shuffle and its comparator from
+	// per-repetition keyed streams (xrand.Mix of Seed and the repetition
+	// index), so equal seeds produce bit-identical ClusterResults
+	// regardless of Workers. When nil, the legacy serial path is used and
+	// cmp is shared across repetitions.
+	Fork func(seed uint64) CompareFunc
 }
 
 // Membership is one algorithm's relative score with respect to a cluster.
@@ -48,31 +62,30 @@ type ClusterResult struct {
 // Cluster repeats Procedure 1 Reps times over shuffled initial sequences and
 // aggregates the rank assignments into relative scores (Procedure 4 for
 // every rank at once).
+//
+// When opts.Fork is set the repetitions are independent work units: each
+// derives its shuffle and its comparator from streams keyed by the
+// repetition index, and they execute on a pool of opts.Workers goroutines
+// with ordered result collection. The output is bit-identical for equal
+// (p, Reps, Seed, Fork) at every worker count.
 func Cluster(p int, cmp CompareFunc, opts ClusterOptions) (*ClusterResult, error) {
 	if p <= 0 {
 		return nil, ErrNoAlgorithms
+	}
+	if cmp == nil && opts.Fork == nil {
+		return nil, errors.New("core: nil compare function")
 	}
 	reps := opts.Reps
 	if reps <= 0 {
 		reps = 100
 	}
-	rng := xrand.New(opts.Seed)
 	counts := make([][]int, p)
 	for i := range counts {
 		counts[i] = make([]int, p) // rank r stored at r-1; ranks never exceed p
 	}
-	initial := make([]int, p)
-	for i := range initial {
-		initial[i] = i
-	}
 	res := &ClusterResult{P: p, Reps: reps}
 	var sumK int
-	for rep := 0; rep < reps; rep++ {
-		rng.ShuffleInts(initial)
-		sr, err := Sort(p, cmp, SortOptions{Initial: initial})
-		if err != nil {
-			return nil, fmt.Errorf("core: clustering repetition %d: %w", rep, err)
-		}
+	accumulate := func(sr *SortResult) {
 		for pos, alg := range sr.Order {
 			r := sr.Ranks[pos]
 			counts[alg][r-1]++
@@ -81,6 +94,29 @@ func Cluster(p int, cmp CompareFunc, opts ClusterOptions) (*ClusterResult, error
 			}
 		}
 		sumK += sr.K()
+	}
+	if opts.Fork != nil {
+		results, err := runRepsParallel(p, reps, opts)
+		if err != nil {
+			return nil, err
+		}
+		for _, sr := range results {
+			accumulate(sr)
+		}
+	} else {
+		rng := xrand.New(opts.Seed)
+		initial := make([]int, p)
+		for i := range initial {
+			initial[i] = i
+		}
+		for rep := 0; rep < reps; rep++ {
+			rng.ShuffleInts(initial)
+			sr, err := Sort(p, cmp, SortOptions{Initial: initial})
+			if err != nil {
+				return nil, fmt.Errorf("core: clustering repetition %d: %w", rep, err)
+			}
+			accumulate(sr)
+		}
 	}
 	res.MeanK = float64(sumK) / float64(reps)
 
@@ -103,6 +139,30 @@ func Cluster(p int, cmp CompareFunc, opts ClusterOptions) (*ClusterResult, error
 		})
 	}
 	return res, nil
+}
+
+// runRepsParallel executes the clustering repetitions on a bounded worker
+// pool. Repetition rep shuffles with the stream keyed by 2·rep and forks its
+// comparator with the seed keyed by 2·rep+1, so no randomness flows between
+// repetitions and the per-repetition results do not depend on scheduling.
+// Results are collected into a rep-indexed slice (ordered collection); the
+// first error in repetition order wins.
+func runRepsParallel(p, reps int, opts ClusterOptions) ([]*SortResult, error) {
+	results := make([]*SortResult, reps)
+	err := pool.ForEach(reps, opts.Workers, func(rep int) error {
+		rng := xrand.NewKeyed(opts.Seed, uint64(2*rep))
+		cmp := opts.Fork(xrand.Mix(opts.Seed, uint64(2*rep+1)))
+		sr, err := Sort(p, cmp, SortOptions{Initial: rng.Perm(p)})
+		if err != nil {
+			return fmt.Errorf("core: clustering repetition %d: %w", rep, err)
+		}
+		results[rep] = sr
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
 }
 
 // GetCluster returns Procedure 4's output for a single rank r (1-based): the

@@ -17,6 +17,18 @@
 //
 // The semantics of the rank updates are pinned by the worked example of the
 // paper's Figure 2, which TestFigure2TraceExact reproduces step by step.
+//
+// # Parallel clustering and the determinism contract
+//
+// Cluster executes its repetitions concurrently when ClusterOptions.Fork is
+// set: every repetition derives its shuffle and its comparator from RNG
+// streams keyed by the repetition index (xrand.Mix), results land in
+// rep-indexed slots, and the aggregation happens after all repetitions
+// complete — so equal seeds produce bit-identical ClusterResults at every
+// worker count. ClusterMatrix additionally precomputes each pair's outcome
+// distribution once (in parallel) and lets the repetitions sample outcomes
+// from the cache, preserving the fractional-score semantics at a fraction
+// of the comparator cost.
 package core
 
 import (

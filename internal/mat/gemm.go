@@ -10,9 +10,23 @@ import (
 // target the paper considers (Xeon, Raspberry Pi, phone SoCs).
 const gemmBlock = 64
 
-// Mul returns m · n using the blocked kernel. This is the default GEMM used
-// by the workloads.
-func (m *Mat) Mul(n *Mat) (*Mat, error) { return m.MulBlocked(n) }
+// mulParallelFlops is the multiply-add count (M·N·K) above which Mul
+// dispatches to the row-parallel kernel. Below it the goroutine fan-out
+// costs more than the arithmetic saved; 128³ = 2 Mi multiply-adds is the
+// first square size where parallel rows win consistently.
+const mulParallelFlops = 1 << 21
+
+// Mul returns m · n. Small products use the blocked serial kernel; above
+// mulParallelFlops multiply-adds the rows are partitioned over GOMAXPROCS
+// goroutines. In-repo, the threshold is crossed by the real-kernel RLS
+// variants from square size 128 up (e.g. `relperf kernels -size 128`);
+// smaller studies stay on the serial kernel.
+func (m *Mat) Mul(n *Mat) (*Mat, error) {
+	if int64(m.Rows)*int64(m.Cols)*int64(n.Cols) >= mulParallelFlops {
+		return m.MulParallel(n, 0)
+	}
+	return m.MulBlocked(n)
+}
 
 // MulNaive is the reference triple-loop product, kept as the correctness
 // oracle for the optimized kernels and as the slow baseline in the kernel

@@ -300,6 +300,51 @@ func TestMulParallelWorkerEdgeCases(t *testing.T) {
 	}
 }
 
+func TestMulDispatchesParallelAboveThreshold(t *testing.T) {
+	// 160³ > mulParallelFlops: Mul must route through the parallel kernel
+	// and still agree with the serial blocked product.
+	rng := xrand.New(8)
+	a := Rand(rng, 160, 160)
+	b := Rand(rng, 160, 160)
+	if int64(a.Rows)*int64(a.Cols)*int64(b.Cols) < mulParallelFlops {
+		t.Fatal("test size below dispatch threshold")
+	}
+	want, _ := a.MulBlocked(b)
+	got, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want, 1e-9) {
+		t.Fatal("dispatched product disagrees with blocked kernel")
+	}
+	// Small sizes stay on the serial kernel and remain correct.
+	a, b = Rand(rng, 7, 9), Rand(rng, 9, 4)
+	want, _ = a.MulNaive(b)
+	got, err = a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want, 1e-10) {
+		t.Fatal("small product wrong")
+	}
+}
+
+func TestMulParallelTallThin(t *testing.T) {
+	// More workers than rows: the clamp must leave every row covered
+	// exactly once.
+	rng := xrand.New(9)
+	a := Rand(rng, 3, 200)
+	b := Rand(rng, 200, 2)
+	want, _ := a.MulNaive(b)
+	got, err := a.MulParallel(b, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want, 1e-9) {
+		t.Fatal("tall-thin parallel product wrong")
+	}
+}
+
 // spd builds a random symmetric positive-definite matrix AᵀA + I.
 func spd(rng *xrand.Rand, n int) *Mat {
 	a := Rand(rng, n, n)

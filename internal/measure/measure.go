@@ -130,23 +130,33 @@ func Collect(name string, run Runner, opts Options) (Sample, error) {
 	if opts.N <= 0 {
 		return Sample{}, fmt.Errorf("measure: N must be positive, got %d", opts.N)
 	}
+	return CollectInto(name, make([]float64, opts.N), run, opts.Warmup)
+}
+
+// CollectInto is the allocation-free core of Collect: after warmup discarded
+// runs it fills dst with len(dst) measurements and returns a Sample aliasing
+// dst, so repeated campaigns can reuse one buffer per algorithm across
+// rounds instead of allocating through Collect each time.
+func CollectInto(name string, dst []float64, run Runner, warmup int) (Sample, error) {
+	if len(dst) == 0 {
+		return Sample{}, errors.New("measure: empty destination buffer")
+	}
 	if run == nil {
 		return Sample{}, errors.New("measure: nil runner")
 	}
-	for i := 0; i < opts.Warmup; i++ {
+	for i := 0; i < warmup; i++ {
 		if _, err := run(); err != nil {
 			return Sample{}, fmt.Errorf("measure: warmup %d of %s: %w", i, name, err)
 		}
 	}
-	s := Sample{Name: name, Seconds: make([]float64, opts.N)}
-	for i := 0; i < opts.N; i++ {
+	for i := range dst {
 		v, err := run()
 		if err != nil {
 			return Sample{}, fmt.Errorf("measure: measurement %d of %s: %w", i, name, err)
 		}
-		s.Seconds[i] = v
+		dst[i] = v
 	}
-	return s, nil
+	return Sample{Name: name, Seconds: dst}, nil
 }
 
 // Time measures the wall-clock duration of f in seconds — the primitive for

@@ -233,3 +233,28 @@ func TestReadJSONErrors(t *testing.T) {
 		t.Fatal("empty set accepted")
 	}
 }
+
+func TestCollectIntoReusesBuffer(t *testing.T) {
+	buf := make([]float64, 5)
+	calls := 0
+	run := func() (float64, error) { calls++; return float64(calls), nil }
+	s, err := CollectInto("x", buf, run, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &s.Seconds[0] != &buf[0] {
+		t.Fatal("CollectInto did not alias the destination buffer")
+	}
+	// 2 warmup calls discarded: measurements are calls 3..7.
+	for i, want := range []float64{3, 4, 5, 6, 7} {
+		if s.Seconds[i] != want {
+			t.Fatalf("Seconds = %v", s.Seconds)
+		}
+	}
+	if _, err := CollectInto("x", nil, run, 0); err == nil {
+		t.Fatal("empty buffer accepted")
+	}
+	if _, err := CollectInto("x", buf, nil, 0); err == nil {
+		t.Fatal("nil runner accepted")
+	}
+}

@@ -1,0 +1,61 @@
+// Package pool provides the one concurrency primitive the deterministic
+// parallel engine needs: a bounded fan-out over an index range with ordered
+// error collection. Work units must derive any randomness from their index
+// (xrand.Mix), never from shared state, so results are identical at every
+// worker count.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach invokes fn(i) for every i in [0, n) on at most workers goroutines
+// (0 means GOMAXPROCS) and returns the error of the lowest-indexed unit
+// that ran and failed, or nil. After any unit fails, not-yet-started units
+// are skipped — the caller discards all outputs on error, so the
+// short-circuit cannot affect determinism of successful runs (which error
+// surfaces may vary with scheduling; that an error surfaces does not).
+// Results are collected by index, never by completion order.
+func ForEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	var failed atomic.Bool
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if failed.Load() {
+					continue
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package pool
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 3, 100} {
+		const n = 50
+		var hits [n]int32
+		err := ForEach(n, workers, func(i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachEmptyRange(t *testing.T) {
+	if err := ForEach(0, 4, func(int) error { t.Fatal("fn called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachReturnsError(t *testing.T) {
+	e3, e7 := errors.New("e3"), errors.New("e7")
+	fail := func(i int) error {
+		switch i {
+		case 3:
+			return e3
+		case 7:
+			return e7
+		}
+		return nil
+	}
+	// Serial: units run in index order, 3 fails first and 7 is skipped.
+	if err := ForEach(10, 1, fail); !errors.Is(err, e3) {
+		t.Fatalf("serial err = %v, want the index-3 error", err)
+	}
+	// Parallel: which injected error surfaces depends on scheduling, but
+	// one of them must.
+	if err := ForEach(10, 4, fail); !errors.Is(err, e3) && !errors.Is(err, e7) {
+		t.Fatalf("parallel err = %v, want an injected error", err)
+	}
+}
+
+func TestForEachSkipsAfterFailure(t *testing.T) {
+	boom := errors.New("boom")
+	var ran int32
+	err := ForEach(1000, 1, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		if i == 0 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatal(err)
+	}
+	if ran != 1 {
+		t.Fatalf("%d units ran after the first failure, want short-circuit to 1", ran)
+	}
+}

@@ -239,11 +239,16 @@ type RunResult struct {
 }
 
 // Simulator produces execution-time samples for (program, placement) pairs.
-// It is not safe for concurrent use (it owns a Rand); create one per
-// goroutine with independent seeds.
+// It is not safe for concurrent use (it owns a Rand and scratch state);
+// create one per goroutine with independent seeds — a Platform is immutable
+// during simulation and may be shared by concurrent simulators. For
+// determinism across worker counts, seed per-work-unit simulators with
+// xrand.Mix(seed, unitIndex) rather than splitting a shared stream.
 type Simulator struct {
 	Platform *Platform
 	rng      *xrand.Rand
+	// scratch backs the allocation-free Seconds path.
+	scratch RunResult
 }
 
 // NewSimulator validates the platform and returns a simulator seeded with
@@ -258,16 +263,38 @@ func NewSimulator(pl *Platform, seed uint64) (*Simulator, error) {
 // SplitRNG returns an independent generator split off the simulator's
 // stream, for seeding downstream stochastic components (e.g. a bootstrap
 // comparator) without sharing state.
+//
+// Deprecated: the split depends on how many runs the simulator has already
+// executed, which breaks worker-count invariance in parallel engines.
+// Derive streams with xrand.Mix / xrand.NewKeyed instead.
 func (s *Simulator) SplitRNG() *xrand.Rand { return s.rng.Split() }
 
 // Run simulates one execution and returns the full result with trace.
 func (s *Simulator) Run(prog *Program, pl Placement) (*RunResult, error) {
+	res := &RunResult{}
+	if err := s.RunInto(res, prog, pl, true); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// RunInto simulates one execution into res, reusing res's slice capacity —
+// the hot path for repeated measurement campaigns: after the first call at a
+// given program shape, subsequent calls perform no heap allocations. All
+// fields of res are overwritten. When withTrace is false the per-task trace
+// is skipped (res.Trace is truncated to empty).
+func (s *Simulator) RunInto(res *RunResult, prog *Program, pl Placement, withTrace bool) error {
 	if len(pl) != len(prog.Tasks) {
-		return nil, fmt.Errorf("sim: placement %s has %d slots for %d tasks",
+		return fmt.Errorf("sim: placement %s has %d slots for %d tasks",
 			pl, len(pl), len(prog.Tasks))
 	}
-	res := &RunResult{Placement: append(Placement(nil), pl...)}
-	res.Trace = make([]TaskTrace, 0, len(prog.Tasks))
+	res.Placement = append(res.Placement[:0], pl...)
+	res.Trace = res.Trace[:0]
+	res.Seconds = 0
+	res.EdgeBusy, res.AccelBusy = 0, 0
+	res.EdgeFlops, res.AccelFlops = 0, 0
+	res.BytesMoved = 0
+	res.EdgeJoules, res.AccelJoules = 0, 0
 	clock := 0.0
 	for i := range prog.Tasks {
 		task := &prog.Tasks[i]
@@ -305,11 +332,13 @@ func (s *Simulator) Run(prog *Program, pl Placement) (*RunResult, error) {
 			}
 		}
 
-		res.Trace = append(res.Trace, TaskTrace{
-			Task: task.Name, On: kind, Start: clock,
-			Compute: compute, Transfer: transfer,
-			Flops: task.Flops, Moved: moved,
-		})
+		if withTrace {
+			res.Trace = append(res.Trace, TaskTrace{
+				Task: task.Name, On: kind, Start: clock,
+				Compute: compute, Transfer: transfer,
+				Flops: task.Flops, Moved: moved,
+			})
+		}
 		clock += compute + transfer
 		if kind == device.Accelerator {
 			res.AccelBusy += compute
@@ -332,17 +361,17 @@ func (s *Simulator) Run(prog *Program, pl Placement) (*RunResult, error) {
 	res.AccelJoules = s.Platform.Accel.Energy.ComputeEnergy(res.AccelBusy) +
 		s.Platform.Accel.Energy.IdleEnergy(accelIdle) +
 		s.Platform.Accel.Energy.TransferEnergy(res.BytesMoved)
-	return res, nil
+	return nil
 }
 
 // Seconds simulates one execution and returns only the total time, the value
-// the measurement harness collects.
+// the measurement harness collects. It reuses the simulator's scratch result
+// and skips the trace, so it is allocation-free after the first call.
 func (s *Simulator) Seconds(prog *Program, pl Placement) (float64, error) {
-	r, err := s.Run(prog, pl)
-	if err != nil {
+	if err := s.RunInto(&s.scratch, prog, pl, false); err != nil {
 		return 0, err
 	}
-	return r.Seconds, nil
+	return s.scratch.Seconds, nil
 }
 
 // NominalSeconds returns the noiseless execution time of a placement — the

@@ -457,3 +457,64 @@ func TestNegativeCachePenaltyRejected(t *testing.T) {
 		t.Fatal("negative cache penalty accepted")
 	}
 }
+
+func TestRunIntoMatchesRun(t *testing.T) {
+	plat := DefaultPlatform()
+	prog := &Program{Name: "p", Tasks: []Task{
+		{Name: "L1", Flops: 1e9, Launches: 5, HostInBytes: 1e6, HostOutBytes: 1e6, Transfers: 2},
+		{Name: "L2", Flops: 2e9, Launches: 5, HostInBytes: 1e6, HostOutBytes: 1e6, Transfers: 2},
+	}}
+	pl, _ := ParsePlacement("DA")
+	s1, _ := NewSimulator(plat, 42)
+	s2, _ := NewSimulator(plat, 42)
+	var reused RunResult
+	for i := 0; i < 5; i++ {
+		fresh, err := s1.Run(prog, pl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s2.RunInto(&reused, prog, pl, true); err != nil {
+			t.Fatal(err)
+		}
+		if fresh.Seconds != reused.Seconds || fresh.EdgeJoules != reused.EdgeJoules ||
+			fresh.AccelJoules != reused.AccelJoules || fresh.AccelBusy != reused.AccelBusy ||
+			fresh.BytesMoved != reused.BytesMoved {
+			t.Fatalf("run %d: RunInto diverges from Run", i)
+		}
+		if len(fresh.Trace) != len(reused.Trace) {
+			t.Fatalf("run %d: trace lengths differ", i)
+		}
+		for j := range fresh.Trace {
+			if fresh.Trace[j] != reused.Trace[j] {
+				t.Fatalf("run %d: trace step %d differs", i, j)
+			}
+		}
+	}
+	// Trace-off mode truncates the trace but keeps the totals.
+	if err := s2.RunInto(&reused, prog, pl, false); err != nil {
+		t.Fatal(err)
+	}
+	if len(reused.Trace) != 0 {
+		t.Fatal("withTrace=false left a trace")
+	}
+}
+
+func TestSecondsZeroAllocs(t *testing.T) {
+	s, _ := NewSimulator(DefaultPlatform(), 3)
+	prog := &Program{Name: "p", Tasks: []Task{
+		{Name: "L1", Flops: 1e9},
+		{Name: "L2", Flops: 1e9, HostInBytes: 1e6, HostOutBytes: 1e6, Transfers: 1},
+	}}
+	pl, _ := ParsePlacement("DA")
+	if _, err := s.Seconds(prog, pl); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := s.Seconds(prog, pl); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Seconds allocates %v times per run after warm-up, want 0", allocs)
+	}
+}

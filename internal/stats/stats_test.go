@@ -549,3 +549,25 @@ func TestSpearmanConstant(t *testing.T) {
 		t.Fatalf("constant Spearman = %v", rho)
 	}
 }
+
+func TestBootstrapIntoMatchesBootstrap(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	a := Bootstrap(xrand.New(9), xs, MeanStat, 40)
+	out := make([]float64, 40)
+	scratch := make([]float64, len(xs))
+	b := BootstrapInto(out, xrand.New(9), xs, MeanStat, scratch)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	if &b[0] != &out[0] {
+		t.Fatal("BootstrapInto did not write into out")
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		BootstrapInto(out, xrand.New(9), xs, MeanStat, scratch)
+	})
+	if allocs != 0 {
+		t.Fatalf("BootstrapInto allocates %v per run, want 0", allocs)
+	}
+}

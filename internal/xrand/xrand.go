@@ -71,8 +71,34 @@ func (r *Rand) Uint64() uint64 {
 // Split returns a new generator whose stream is statistically independent of
 // r's future output. It draws a fresh seed through a SplitMix64 step keyed by
 // r, so repeated Splits yield distinct generators.
+//
+// Split advances r, so the derived stream depends on how many values r has
+// already produced. Concurrent engines that must stay deterministic across
+// worker counts should key their streams by work-unit index with Mix or
+// NewKeyed instead, which depend only on (seed, key).
 func (r *Rand) Split() *Rand {
 	return New(r.Uint64())
+}
+
+// Mix deterministically derives a sub-stream seed from a base seed and a
+// stream key by passing both words through the SplitMix64 finalizer. Equal
+// (seed, key) pairs always yield the same value regardless of program order —
+// the property the parallel study engine relies on for bit-identical results
+// at any worker count. Adjacent keys (0, 1, 2, ...) decorrelate fully: the
+// finalizer is a bijective avalanche function.
+func Mix(seed, key uint64) uint64 {
+	s := seed
+	v := splitMix64(&s)
+	s = v ^ (key * 0x9e3779b97f4a7c15)
+	return splitMix64(&s)
+}
+
+// NewKeyed returns a generator for sub-stream key of the stream identified by
+// seed: New(Mix(seed, key)). Use one key per independent work unit (placement
+// index, clustering repetition, pair id) so concurrent units draw from
+// non-overlapping deterministic streams.
+func NewKeyed(seed, key uint64) *Rand {
+	return New(Mix(seed, key))
 }
 
 // Int63 returns a non-negative int64.

@@ -18,6 +18,18 @@
 //	})
 //	result, _ := study.Run()
 //	result.WriteReport(os.Stdout)
+//
+// # Parallel execution and the determinism contract
+//
+// Run fans the measurement of the 2^L placements out over a worker pool
+// (StudyConfig.Workers, default GOMAXPROCS) and, when the comparator
+// supports forking (compare.Forker), runs the clustering repetitions
+// concurrently as well. The engine guarantees that equal seeds produce
+// bit-identical Results regardless of the worker count: every unit of work
+// (a placement's measurement campaign, a clustering repetition, a pair's
+// bootstrap pre-pass) draws from its own RNG stream keyed by the unit's
+// index via xrand.Mix, and results are collected into index-ordered slots —
+// nothing ever depends on goroutine scheduling.
 package relperf
 
 import (
@@ -29,10 +41,12 @@ import (
 	"relperf/internal/core"
 	"relperf/internal/decision"
 	"relperf/internal/measure"
+	"relperf/internal/pool"
 	"relperf/internal/report"
 	"relperf/internal/sim"
 	"relperf/internal/stats"
 	"relperf/internal/workload"
+	"relperf/internal/xrand"
 )
 
 // Re-exported constructors so example applications can stay on the public
@@ -73,10 +87,26 @@ type StudyConfig struct {
 	// Reps is the number of clustering repetitions (default 100).
 	Reps int
 	// Seed drives every stochastic component; studies with equal seeds
-	// and configs produce identical results.
+	// and configs produce identical results, whatever the worker count.
 	Seed uint64
-	// Comparator overrides the default bootstrap comparator.
+	// Comparator overrides the default bootstrap comparator. Comparators
+	// implementing compare.Forker enable parallel clustering repetitions;
+	// others fall back to a serial clustering stage. On the Forker path
+	// only the comparator's decision parameters carry over: every
+	// repetition uses a fork whose randomness is keyed off Seed, so any
+	// RNG built into the supplied comparator itself is never drawn.
 	Comparator compare.Comparator
+	// Workers bounds the worker pool for measurement and clustering;
+	// 0 means GOMAXPROCS. The results do not depend on this value.
+	Workers int
+	// Matrix enables the precomputed pairwise-statistics clustering path
+	// (core.ClusterMatrix): each pair's bootstrap outcome distribution is
+	// estimated once in parallel and the repetitions sample from the
+	// cache. Requires a forkable comparator; ignored otherwise.
+	Matrix bool
+	// MatrixTrials is the number of comparator trials per pair on the
+	// Matrix path (default 32).
+	MatrixTrials int
 }
 
 // Study is a configured, not-yet-run experiment.
@@ -134,63 +164,107 @@ type Result struct {
 	Profiles []decision.AlgorithmProfile
 }
 
-// Run executes the study: measure, compare, cluster, score, profile.
-func (s *Study) Run() (*Result, error) {
-	simulator, err := sim.NewSimulator(s.cfg.Platform, s.cfg.Seed)
+// aggregate accumulates the per-placement energy/utilization profile over
+// the measured (post-warmup) runs only.
+type aggregate struct {
+	edgeFlops, accelFlops int64
+	edgeJoules            float64
+	accelJoules           float64
+	accelBusy             float64
+}
+
+// placementSeed keys placement i's simulator stream off the study seed; the
+// derivation depends only on (seed, i), never on which worker executes the
+// placement or in what order.
+func placementSeed(seed uint64, i int) uint64 {
+	return xrand.Mix(seed, uint64(i))
+}
+
+// studyClusterSeed keys the clustering stage. The large domain constant
+// keeps the derived value off every placement key (small ints), and —
+// unlike the arithmetic seed+1 — off the streams of studies run with
+// adjacent seeds, so seed sweeps never reuse a generator across
+// replications.
+func studyClusterSeed(seed uint64) uint64 {
+	return xrand.Mix(seed, 0x636c7573746572) // "cluster"
+}
+
+// measurePlacement runs placement i's full measurement campaign on a
+// dedicated simulator: Warmup discarded runs first, then N measured runs.
+// Only the measured runs contribute to the energy/busy aggregate, so
+// profiles are free of warmup contamination.
+func (s *Study) measurePlacement(i int) (measure.Sample, aggregate, error) {
+	pl := s.placements[i]
+	var agg aggregate
+	simulator, err := sim.NewSimulator(s.cfg.Platform, placementSeed(s.cfg.Seed, i))
 	if err != nil {
-		return nil, err
+		return measure.Sample{}, agg, err
 	}
+	var scratch sim.RunResult
+	for w := 0; w < s.cfg.Warmup; w++ {
+		if err := simulator.RunInto(&scratch, s.cfg.Program, pl, false); err != nil {
+			return measure.Sample{}, agg, fmt.Errorf("relperf: warmup %d of alg%s: %w", w, pl, err)
+		}
+	}
+	runner := func() (float64, error) {
+		if err := simulator.RunInto(&scratch, s.cfg.Program, pl, false); err != nil {
+			return 0, err
+		}
+		agg.edgeFlops = scratch.EdgeFlops
+		agg.accelFlops = scratch.AccelFlops
+		agg.edgeJoules += scratch.EdgeJoules
+		agg.accelJoules += scratch.AccelJoules
+		agg.accelBusy += scratch.AccelBusy
+		return scratch.Seconds, nil
+	}
+	sample, err := measure.Collect("alg"+pl.String(), runner, measure.Options{N: s.cfg.N})
+	if err != nil {
+		return measure.Sample{}, agg, err
+	}
+	runs := float64(s.cfg.N)
+	agg.edgeJoules /= runs
+	agg.accelJoules /= runs
+	agg.accelBusy /= runs
+	return sample, agg, nil
+}
+
+// Run executes the study: measure, compare, cluster, score, profile. The
+// placements are measured on a worker pool and the clustering repetitions
+// run concurrently when the comparator supports forking; equal seeds yield
+// bit-identical Results at every worker count (see the package comment).
+func (s *Study) Run() (*Result, error) {
+	p := len(s.placements)
 	res := &Result{
 		Samples: &measure.SampleSet{Workload: s.cfg.Program.Name},
 	}
-
-	type aggregate struct {
-		edgeFlops, accelFlops int64
-		edgeJoules            float64
-		accelJoules           float64
-		accelBusy             float64
+	res.Samples.Samples = make([]measure.Sample, p)
+	aggs := make([]aggregate, p)
+	err := pool.ForEach(p, s.cfg.Workers, func(i int) error {
+		var err error
+		res.Samples.Samples[i], aggs[i], err = s.measurePlacement(i)
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
-	aggs := make([]aggregate, len(s.placements))
-
-	for i, pl := range s.placements {
-		name := "alg" + pl.String()
-		res.Names = append(res.Names, name)
-		var agg aggregate
-		runner := func() (float64, error) {
-			r, err := simulator.Run(s.cfg.Program, pl)
-			if err != nil {
-				return 0, err
-			}
-			agg.edgeFlops = r.EdgeFlops
-			agg.accelFlops = r.AccelFlops
-			agg.edgeJoules += r.EdgeJoules
-			agg.accelJoules += r.AccelJoules
-			agg.accelBusy += r.AccelBusy
-			return r.Seconds, nil
-		}
-		sample, err := measure.Collect(name, runner, measure.Options{N: s.cfg.N, Warmup: s.cfg.Warmup})
-		if err != nil {
-			return nil, err
-		}
-		res.Samples.Samples = append(res.Samples.Samples, sample)
-		// Warmup runs contaminate the energy sums only negligibly relative
-		// to N runs; normalize by the total runner invocations.
-		runs := float64(s.cfg.N + s.cfg.Warmup)
-		agg.edgeJoules /= runs
-		agg.accelJoules /= runs
-		agg.accelBusy /= runs
-		aggs[i] = agg
+	for i := range s.placements {
+		res.Names = append(res.Names, res.Samples.Samples[i].Name)
 	}
 
 	cmp := s.cfg.Comparator
 	if cmp == nil {
-		cmp = compare.NewBootstrapFrom(simulator.SplitRNG())
+		// Only the prototype's decision parameters matter: Bootstrap
+		// implements Forker, so clusterData replaces it with per-repetition
+		// forks keyed off the cluster seed and this RNG never draws.
+		cmp = compare.NewBootstrap(0)
 	}
 	data := res.Samples.Data()
-	cf := func(i, j int) (compare.Outcome, error) { return cmp.Compare(data[i], data[j]) }
-	res.Clusters, err = core.Cluster(len(s.placements), cf, core.ClusterOptions{
-		Reps: s.cfg.Reps,
-		Seed: s.cfg.Seed + 1,
+	res.Clusters, err = clusterData(data, cmp, clusterConfig{
+		Reps:         s.cfg.Reps,
+		Seed:         studyClusterSeed(s.cfg.Seed),
+		Workers:      s.cfg.Workers,
+		Matrix:       s.cfg.Matrix,
+		MatrixTrials: s.cfg.MatrixTrials,
 	})
 	if err != nil {
 		return nil, err
@@ -216,22 +290,98 @@ func (s *Study) Run() (*Result, error) {
 	return res, nil
 }
 
+// clusterConfig parameterizes the shared comparison-and-clustering stage.
+type clusterConfig struct {
+	Reps         int
+	Seed         uint64
+	Workers      int
+	Matrix       bool
+	MatrixTrials int
+}
+
+// clusterData runs the clustering stage over measured distributions. When
+// cmp implements compare.Forker the repetitions execute in parallel with
+// per-repetition keyed comparator streams (and optionally via the
+// precomputed pairwise matrix); otherwise the legacy serial path is used
+// with cmp shared across repetitions.
+func clusterData(data [][]float64, cmp compare.Comparator, cfg clusterConfig) (*core.ClusterResult, error) {
+	forker, forkable := cmp.(compare.Forker)
+	if forkable {
+		fork := func(seed uint64) core.CompareFunc {
+			c := forker.Fork(seed)
+			return func(i, j int) (compare.Outcome, error) { return c.Compare(data[i], data[j]) }
+		}
+		if cfg.Matrix {
+			return core.ClusterMatrix(len(data), core.MatrixOptions{
+				Reps:    cfg.Reps,
+				Trials:  cfg.MatrixTrials,
+				Workers: cfg.Workers,
+				Seed:    cfg.Seed,
+				Fork:    fork,
+			})
+		}
+		return core.Cluster(len(data), nil, core.ClusterOptions{
+			Reps:    cfg.Reps,
+			Seed:    cfg.Seed,
+			Workers: cfg.Workers,
+			Fork:    fork,
+		})
+	}
+	cf := func(i, j int) (compare.Outcome, error) { return cmp.Compare(data[i], data[j]) }
+	return core.Cluster(len(data), cf, core.ClusterOptions{
+		Reps: cfg.Reps,
+		Seed: cfg.Seed,
+	})
+}
+
 // ClusterSamples runs the comparison and clustering stages over pre-measured
 // distributions (e.g. loaded from CSV with measure.ReadCSV) — the paper's
-// footnote-5 workflow of re-clustering archived measurements.
+// footnote-5 workflow of re-clustering archived measurements. It is
+// ClusterSamplesWith at the default options.
 func ClusterSamples(ss *measure.SampleSet, cmp compare.Comparator, reps int, seed uint64) (*core.ClusterResult, *core.FinalAssignment, error) {
+	return ClusterSamplesWith(ss, cmp, ClusterSamplesOptions{Reps: reps, Seed: seed})
+}
+
+// ClusterSamplesOptions configures ClusterSamplesWith.
+type ClusterSamplesOptions struct {
+	// Reps is the number of clustering repetitions (default 100).
+	Reps int
+	// Seed keys every stochastic stream of the stage.
+	Seed uint64
+	// Workers bounds the repetition pool; 0 means GOMAXPROCS. The results
+	// do not depend on this value.
+	Workers int
+	// Matrix enables the precomputed pairwise-statistics path; see
+	// StudyConfig.Matrix.
+	Matrix bool
+	// MatrixTrials is the per-pair trial count on the Matrix path
+	// (default 32).
+	MatrixTrials int
+}
+
+// ClusterSamplesWith is ClusterSamples with explicit engine options: the
+// repetitions run on a worker pool when cmp (or the default bootstrap
+// comparator) supports forking, under the same determinism contract as
+// Study.Run. As with StudyConfig.Comparator, a forkable cmp contributes
+// only its decision parameters — all clustering randomness derives from
+// opts.Seed, not from any RNG built into cmp.
+func ClusterSamplesWith(ss *measure.SampleSet, cmp compare.Comparator, opts ClusterSamplesOptions) (*core.ClusterResult, *core.FinalAssignment, error) {
 	if err := ss.Validate(); err != nil {
 		return nil, nil, err
 	}
 	if cmp == nil {
-		cmp = compare.NewBootstrap(seed)
+		cmp = compare.NewBootstrap(opts.Seed)
 	}
-	if reps <= 0 {
-		reps = 100
+	if opts.Reps <= 0 {
+		opts.Reps = 100
 	}
-	data := ss.Data()
-	cf := func(i, j int) (compare.Outcome, error) { return cmp.Compare(data[i], data[j]) }
-	cr, err := core.Cluster(len(data), cf, core.ClusterOptions{Reps: reps, Seed: seed})
+	cr, err := clusterData(ss.Data(), cmp, clusterConfig{
+		Reps:         opts.Reps,
+		Seed:         opts.Seed,
+		Workers:      opts.Workers,
+		Matrix:       opts.Matrix,
+		MatrixTrials: opts.MatrixTrials,
+	})
 	if err != nil {
 		return nil, nil, err
 	}
