@@ -4,7 +4,12 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench clean
+# serve flags; override like `make serve SERVE_ADDR=:9000 SERVE_SEED=7`.
+SERVE_ADDR ?= :8077
+SERVE_SEED ?= 1
+SERVE_SNAPSHOT ?= relperfd.snapshot.json
+
+.PHONY: all build test race vet bench serve clean
 
 all: build vet test
 
@@ -28,5 +33,11 @@ bench:
 	RELPERF_EMIT_BENCH=1 $(GO) test -run TestEmitEngineBenchJSON -count=1 .
 	$(GO) test -run xxx -bench 'EngineSerialVsParallel|Allocs' -benchmem .
 
+# Launches the relperfd serving daemon preloaded with the example suite;
+# results persist to $(SERVE_SNAPSHOT) so restarts serve warm.
+serve:
+	$(GO) run ./cmd/relperfd -addr $(SERVE_ADDR) -seed $(SERVE_SEED) \
+		-snapshot $(SERVE_SNAPSHOT) -suite examples/suite.json
+
 clean:
-	rm -f BENCH_engine.json
+	rm -f BENCH_engine.json relperfd.snapshot.json

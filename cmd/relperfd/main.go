@@ -1,0 +1,165 @@
+// Command relperfd is the relative-performance serving daemon: it runs
+// suites of studies on a shared worker budget, caches results by canonical
+// config fingerprint and serves them over HTTP.
+//
+//	relperfd -addr :8077 -seed 1 -workers 0 \
+//	         -snapshot relperfd.snapshot.json -suite examples/suite.json
+//
+// Endpoints:
+//
+//	GET  /v1/healthz                  liveness + engine counters
+//	POST /v1/suites                   submit a suite, receive fingerprints
+//	GET  /v1/studies/{fingerprint}    canonical study result JSON
+//
+// Determinism contract: for a fixed -seed, a study's response bytes are
+// identical whatever the worker budget, whether the result was computed,
+// cached or restored from a snapshot, and whichever suite submitted it.
+// The snapshot is loaded at startup (if present), rewritten after every
+// completed study and on shutdown, so restarts serve warm results.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"relperf/internal/fleet"
+)
+
+func main() {
+	addr := flag.String("addr", ":8077", "HTTP listen address")
+	workers := flag.Int("workers", 0, "global worker budget shared by all studies (0 = GOMAXPROCS)")
+	seed := flag.Uint64("seed", 1, "suite seed; equal seeds serve bit-identical results")
+	cacheCap := flag.Int("cache", 0, "max cached studies, LRU-evicted (0 = unbounded)")
+	snapshotPath := flag.String("snapshot", "", "snapshot file: loaded at startup, rewritten as results land")
+	suitePath := flag.String("suite", "", "suite spec JSON to submit at startup (warms the cache)")
+	flag.Parse()
+
+	if err := run(*addr, *workers, *seed, *cacheCap, *snapshotPath, *suitePath); err != nil {
+		fmt.Fprintf(os.Stderr, "relperfd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers int, seed uint64, cacheCap int, snapshotPath, suitePath string) error {
+	store := fleet.NewStore(cacheCap)
+	if snapshotPath != "" {
+		if f, err := os.Open(snapshotPath); err == nil {
+			n, err := store.LoadSnapshot(f, seed)
+			f.Close()
+			if err != nil {
+				return fmt.Errorf("loading snapshot %s: %w", snapshotPath, err)
+			}
+			log.Printf("restored %d cached studies from %s", n, snapshotPath)
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return err
+		}
+	}
+
+	sched := fleet.New(fleet.Options{Workers: workers, Seed: seed, Store: store})
+	defer sched.Close()
+
+	// Persist the store as studies land so a crash loses at most the work
+	// in flight; writes are serialized and atomic (write + rename).
+	var persist func(reason string)
+	if snapshotPath != "" {
+		var mu sync.Mutex
+		persist = func(reason string) {
+			mu.Lock()
+			defer mu.Unlock()
+			if err := writeSnapshotAtomic(store, snapshotPath, seed); err != nil {
+				log.Printf("snapshot (%s): %v", reason, err)
+			}
+		}
+		events, cancel := sched.Subscribe(64)
+		defer cancel()
+		go func() {
+			for ev := range events {
+				if ev.Err != nil {
+					log.Printf("study %s failed: %v", ev.Fingerprint, ev.Err)
+					continue
+				}
+				log.Printf("study %s completed", ev.Fingerprint)
+				persist("study completed")
+			}
+		}()
+	}
+
+	if suitePath != "" {
+		f, err := os.Open(suitePath)
+		if err != nil {
+			return err
+		}
+		req, err := fleet.DecodeSuiteRequest(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		configs, err := req.Configs()
+		if err != nil {
+			return err
+		}
+		fps, err := sched.Submit(configs)
+		if err != nil {
+			return err
+		}
+		log.Printf("submitted startup suite %s: %d studies", suitePath, len(fps))
+		for _, fp := range fps {
+			log.Printf("  /v1/studies/%s", fp)
+		}
+	}
+
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           fleet.NewServer(sched),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("relperfd serving on %s (seed=%d workers=%d cache=%d)", addr, seed, workers, cacheCap)
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = httpSrv.Shutdown(shutdownCtx)
+	sched.Close()
+	if persist != nil {
+		persist("shutdown")
+	}
+	return nil
+}
+
+// writeSnapshotAtomic writes the snapshot beside the target and renames it
+// into place, so a crash mid-write can never truncate the previous one.
+func writeSnapshotAtomic(store *fleet.Store, path string, seed uint64) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := store.WriteSnapshot(f, seed); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}

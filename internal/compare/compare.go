@@ -125,14 +125,30 @@ type Bootstrap struct {
 // DefaultQuantiles probe the body of the distribution.
 var DefaultQuantiles = []float64{0.25, 0.5, 0.75}
 
+// Default decision parameters. Zero-valued comparator fields normalize to
+// these at Compare time; the config-fingerprinting layer normalizes with
+// the same constants so that "unset" and "explicit default" configs share
+// one cache identity. Keep the two in sync by never re-hardcoding them.
+const (
+	// DefaultRounds is the bootstrap iteration count.
+	DefaultRounds = 100
+	// DefaultMargin is the bootstrap equivalence half-width.
+	DefaultMargin = 0.3
+	// DefaultAlpha is the significance level of the KS and Mann–Whitney
+	// comparators.
+	DefaultAlpha = 0.05
+	// DefaultRelTol is the MeanThreshold equivalence tolerance.
+	DefaultRelTol = 0.02
+)
+
 // NewBootstrap returns a bootstrap comparator with the default settings and
 // the given seed.
 func NewBootstrap(seed uint64) *Bootstrap {
 	return &Bootstrap{
 		rng:       xrand.New(seed),
 		Quantiles: DefaultQuantiles,
-		Rounds:    100,
-		Margin:    0.3,
+		Rounds:    DefaultRounds,
+		Margin:    DefaultMargin,
 	}
 }
 
@@ -175,7 +191,7 @@ func (c *Bootstrap) WinRate(a, b []float64) (float64, error) {
 	}
 	rounds := c.Rounds
 	if rounds <= 0 {
-		rounds = 100
+		rounds = DefaultRounds
 	}
 	qs := c.Quantiles
 	if len(qs) == 0 {
@@ -212,7 +228,7 @@ func (c *Bootstrap) Compare(a, b []float64) (Outcome, error) {
 	}
 	margin := c.Margin
 	if margin <= 0 {
-		margin = 0.3
+		margin = DefaultMargin
 	}
 	switch {
 	case r >= 0.5+margin:
@@ -252,7 +268,7 @@ func (c KS) Compare(a, b []float64) (Outcome, error) {
 	}
 	alpha := c.Alpha
 	if alpha <= 0 {
-		alpha = 0.05
+		alpha = DefaultAlpha
 	}
 	d := stats.KSStatistic(a, b)
 	p := stats.KSPValue(d, len(a), len(b))
@@ -282,7 +298,7 @@ func (c MannWhitney) Compare(a, b []float64) (Outcome, error) {
 	}
 	alpha := c.Alpha
 	if alpha <= 0 {
-		alpha = 0.05
+		alpha = DefaultAlpha
 	}
 	u, p := stats.MannWhitneyU(a, b)
 	if p >= alpha {
@@ -315,7 +331,7 @@ func (c MeanThreshold) Compare(a, b []float64) (Outcome, error) {
 	}
 	tol := c.RelTol
 	if tol <= 0 {
-		tol = 0.02
+		tol = DefaultRelTol
 	}
 	ma, mb := stats.Mean(a), stats.Mean(b)
 	scale := (ma + mb) / 2

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -32,31 +33,45 @@ type ClusterOptions struct {
 	// regardless of Workers. When nil, the legacy serial path is used and
 	// cmp is shared across repetitions.
 	Fork func(seed uint64) CompareFunc
+	// Pool, when non-nil, routes every repetition through a shared global
+	// worker budget instead of a transient pool of Workers goroutines, so
+	// concurrent clustering stages of many studies collectively respect one
+	// concurrency bound. Results are identical either way. Only the Fork
+	// path consults it: the legacy serial path (nil Fork) runs on the
+	// caller's goroutine without acquiring budget tokens.
+	Pool *pool.Pool
+	// Ctx cancels the clustering stage early (fleet shutdown); nil means
+	// Background. Cancellation aborts with the context's error — it never
+	// yields a partial result.
+	Ctx context.Context
 }
 
 // Membership is one algorithm's relative score with respect to a cluster.
+// The JSON tags define the machine-readable wire format served by the
+// fleet daemon and persisted in result snapshots.
 type Membership struct {
 	// Alg is the algorithm index.
-	Alg int
+	Alg int `json:"alg"`
 	// Score is w/Rep: the fraction of repetitions assigning Alg this rank.
-	Score float64
+	Score float64 `json:"score"`
 }
 
 // ClusterResult is the outcome of Procedure 4 over all ranks.
 type ClusterResult struct {
 	// P is the number of algorithms, Reps the repetitions performed.
-	P, Reps int
+	P    int `json:"p"`
+	Reps int `json:"reps"`
 	// Scores[alg][r-1] is the relative score of algorithm alg for rank r.
 	// Rows sum to 1 (every repetition assigns exactly one rank).
-	Scores [][]float64
+	Scores [][]float64 `json:"scores"`
 	// Clusters[r-1] lists, in decreasing score order, the algorithms that
 	// obtained rank r in at least one repetition — the paper's
 	// GetCluster(A, Rep, r) output.
-	Clusters [][]Membership
+	Clusters [][]Membership `json:"clusters"`
 	// K is the largest rank observed in any repetition.
-	K int
+	K int `json:"k"`
 	// MeanK is the average cluster count across repetitions.
-	MeanK float64
+	MeanK float64 `json:"mean_k"`
 }
 
 // Cluster repeats Procedure 1 Reps times over shuffled initial sequences and
@@ -104,12 +119,19 @@ func Cluster(p int, cmp CompareFunc, opts ClusterOptions) (*ClusterResult, error
 			accumulate(sr)
 		}
 	} else {
+		ctx := opts.Ctx
+		if ctx == nil {
+			ctx = context.Background()
+		}
 		rng := xrand.New(opts.Seed)
 		initial := make([]int, p)
 		for i := range initial {
 			initial[i] = i
 		}
 		for rep := 0; rep < reps; rep++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			rng.ShuffleInts(initial)
 			sr, err := Sort(p, cmp, SortOptions{Initial: initial})
 			if err != nil {
@@ -149,7 +171,7 @@ func Cluster(p int, cmp CompareFunc, opts ClusterOptions) (*ClusterResult, error
 // first error in repetition order wins.
 func runRepsParallel(p, reps int, opts ClusterOptions) ([]*SortResult, error) {
 	results := make([]*SortResult, reps)
-	err := pool.ForEach(reps, opts.Workers, func(rep int) error {
+	err := forEach(opts.Ctx, opts.Pool, reps, opts.Workers, func(rep int) error {
 		rng := xrand.NewKeyed(opts.Seed, uint64(2*rep))
 		cmp := opts.Fork(xrand.Mix(opts.Seed, uint64(2*rep+1)))
 		sr, err := Sort(p, cmp, SortOptions{Initial: rng.Perm(p)})
@@ -163,6 +185,18 @@ func runRepsParallel(p, reps int, opts ClusterOptions) ([]*SortResult, error) {
 		return nil, err
 	}
 	return results, nil
+}
+
+// forEach routes a fan-out through the shared pool when one is configured,
+// and through a transient pool of the given width otherwise.
+func forEach(ctx context.Context, p *pool.Pool, n, workers int, fn func(i int) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if p != nil {
+		return p.ForEach(ctx, n, fn)
+	}
+	return pool.ForEachCtx(ctx, n, workers, fn)
 }
 
 // GetCluster returns Procedure 4's output for a single rank r (1-based): the
@@ -181,14 +215,14 @@ func (c *ClusterResult) GetCluster(r int) ([]Membership, error) {
 // score cumulates the scores of that rank and all better ranks.
 type FinalAssignment struct {
 	// Rank[alg] is the compacted 1-based final class of the algorithm.
-	Rank []int
+	Rank []int `json:"rank"`
 	// Score[alg] is the cumulated relative score.
-	Score []float64
+	Score []float64 `json:"score"`
 	// K is the number of distinct final classes.
-	K int
+	K int `json:"k"`
 	// Classes[r-1] lists the algorithms of final class r in decreasing
 	// score order.
-	Classes [][]Membership
+	Classes [][]Membership `json:"classes"`
 }
 
 // Finalize computes the max-score assignment with score cumulation.

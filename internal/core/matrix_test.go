@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"runtime"
+	"sync/atomic"
 	"testing"
 
 	"relperf/internal/compare"
@@ -86,6 +87,49 @@ func TestClusterMatrixPreservesFractionalScores(t *testing.T) {
 	aa := cr.Scores[algAA][0]
 	if aa < 0.15 || aa > 0.55 {
 		t.Fatalf("AA rank-1 score = %v, want fractional near 1/3", aa)
+	}
+}
+
+// TestClusterMatrixAdaptiveTrials: a clearly-ordered pair saturates after
+// the minimum trial floor and stops paying for the full budget, while a
+// mixed-outcome pair runs to the cap. Both remain deterministic.
+func TestClusterMatrixAdaptiveTrials(t *testing.T) {
+	const trials = 64
+	var unanimousCalls, mixedCalls int64
+	fork := func(seed uint64) CompareFunc {
+		rng := xrand.New(seed)
+		return func(i, j int) (compare.Outcome, error) {
+			lo, hi := i, j
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			if lo == 0 && hi == 1 {
+				atomic.AddInt64(&unanimousCalls, 1)
+				if i < j {
+					return compare.Better, nil
+				}
+				return compare.Worse, nil
+			}
+			atomic.AddInt64(&mixedCalls, 1)
+			if rng.Bernoulli(0.5) {
+				return compare.Equivalent, nil
+			}
+			if i < j {
+				return compare.Better, nil
+			}
+			return compare.Worse, nil
+		}
+	}
+	if _, err := ClusterMatrix(3, MatrixOptions{Reps: 5, Trials: trials, Seed: 17, Fork: fork}); err != nil {
+		t.Fatal(err)
+	}
+	if unanimousCalls != minSaturationTrials {
+		t.Fatalf("unanimous pair ran %d trials, want early stop at %d", unanimousCalls, minSaturationTrials)
+	}
+	// Two mixed pairs: (0,2) and (1,2). A run of 8 equal outcomes is
+	// possible but did not occur for this seed; the point is the cap.
+	if mixedCalls != 2*trials {
+		t.Fatalf("mixed pairs ran %d trials, want %d (no early stop)", mixedCalls, 2*trials)
 	}
 }
 

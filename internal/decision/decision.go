@@ -19,23 +19,27 @@ import (
 
 // AlgorithmProfile aggregates everything the decision models need to know
 // about one algorithm: its cluster from the relative-performance analysis
-// and its resource footprint from the measurement runs.
+// and its resource footprint from the measurement runs. The JSON tags are
+// the wire format the fleet daemon serves, so remote clients can drive the
+// decision models without re-parsing report text.
 type AlgorithmProfile struct {
 	// Name is the placement name ("DDA").
-	Name string
+	Name string `json:"name"`
 	// Rank is the final performance class (1 = fastest).
-	Rank int
+	Rank int `json:"rank"`
 	// Score is the final relative score (confidence of the class).
-	Score float64
+	Score float64 `json:"score"`
 	// MeanSeconds is the mean measured execution time.
-	MeanSeconds float64
+	MeanSeconds float64 `json:"mean_seconds"`
 	// EdgeFlops / AccelFlops are the FLOPs executed per device per run.
-	EdgeFlops, AccelFlops int64
+	EdgeFlops  int64 `json:"edge_flops"`
+	AccelFlops int64 `json:"accel_flops"`
 	// EdgeJoules / AccelJoules are modeled energies per run.
-	EdgeJoules, AccelJoules float64
+	EdgeJoules  float64 `json:"edge_joules"`
+	AccelJoules float64 `json:"accel_joules"`
 	// AccelSeconds is the accelerator busy time per run, the quantity an
 	// operating-cost model charges for.
-	AccelSeconds float64
+	AccelSeconds float64 `json:"accel_seconds"`
 }
 
 // ErrNoCandidate is returned when no algorithm satisfies the constraints.

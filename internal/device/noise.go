@@ -35,15 +35,22 @@ func (n LogNormalNoise) Perturb(rng *xrand.Rand, nominal float64) float64 {
 type GaussianNoise struct {
 	// Rel is the relative standard deviation (e.g. 0.05 for 5%).
 	Rel float64
-	// Floor is the lowest allowed fraction of nominal (default 0.5 if zero).
+	// Floor is the lowest allowed fraction of nominal
+	// (DefaultGaussianFloor if zero).
 	Floor float64
 }
+
+// DefaultGaussianFloor is the truncation floor applied when
+// GaussianNoise.Floor is unset. The config-fingerprinting layer normalizes
+// with the same constant so "unset" and "explicit default" configs share
+// one cache identity — change it here, never by re-hardcoding it.
+const DefaultGaussianFloor = 0.5
 
 // Perturb implements NoiseModel.
 func (n GaussianNoise) Perturb(rng *xrand.Rand, nominal float64) float64 {
 	floor := n.Floor
 	if floor == 0 {
-		floor = 0.5
+		floor = DefaultGaussianFloor
 	}
 	v := nominal * (1 + n.Rel*rng.Norm())
 	lo := floor * nominal

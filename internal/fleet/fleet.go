@@ -1,0 +1,328 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"relperf"
+)
+
+// ErrUnknownStudy is returned by Result for a fingerprint no suite ever
+// submitted: it is not cached, not in flight, and no config is retained to
+// recompute it from.
+var ErrUnknownStudy = errors.New("fleet: unknown study fingerprint")
+
+// ErrClosed is returned once the scheduler has shut down.
+var ErrClosed = errors.New("fleet: scheduler closed")
+
+// Options configures a Scheduler.
+type Options struct {
+	// Workers is the global concurrency budget shared by every work unit
+	// of every study the scheduler runs (0 means GOMAXPROCS).
+	Workers int
+	// Seed is the suite seed: every study's seed derives from it and the
+	// study's fingerprint, so schedulers with equal seeds produce
+	// bit-identical cached results whatever their budget or load.
+	Seed uint64
+	// Store is the result cache; nil means a fresh unbounded store.
+	Store *Store
+}
+
+// StudyEvent is streamed to subscribers as each study completes.
+type StudyEvent struct {
+	// Fingerprint identifies the study.
+	Fingerprint string
+	// Result is the completed result (nil when Err is set).
+	Result *relperf.Result
+	// Err is the study's failure, if it failed.
+	Err error
+}
+
+// Scheduler runs studies addressed by config fingerprint on one shared
+// worker budget. Every fingerprint computes at most once at a time: cached
+// results are served from the store, and concurrent requests for the same
+// uncached fingerprint coalesce onto a single in-flight computation
+// (single-flight). Completed results stream to subscribers.
+type Scheduler struct {
+	opts   Options
+	budget *relperf.Budget
+	store  *Store
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu       sync.Mutex
+	closed   bool
+	inflight map[string]*flight
+	// studies retains every submitted study (validated, fingerprinted,
+	// seeded — relperf.NewKeyedStudy) so a result evicted from the LRU
+	// store is recomputed on demand instead of turning into a permanent
+	// 404 for the rest of the process lifetime. Growth is bounded by the
+	// number of distinct configs ever submitted, which the daemon's
+	// workloads keep small; the blobs (the heavy part) stay governed by
+	// the store. The retention does not survive restarts: snapshots
+	// persist result blobs only, so a restarted daemon serves the warm
+	// snapshot but can recompute an entry evicted after the restart only
+	// once some suite re-submits it.
+	studies map[string]*relperf.Study
+
+	computes atomic.Uint64
+
+	subMu   sync.Mutex
+	subs    map[int]chan StudyEvent
+	nextSub int
+}
+
+// flight is one in-progress computation; waiters block on done.
+type flight struct {
+	done chan struct{}
+	blob []byte
+	res  *relperf.Result
+	err  error
+}
+
+// New returns a running scheduler.
+func New(opts Options) *Scheduler {
+	if opts.Store == nil {
+		opts.Store = NewStore(0)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Scheduler{
+		opts:     opts,
+		budget:   relperf.NewBudget(opts.Workers),
+		store:    opts.Store,
+		ctx:      ctx,
+		cancel:   cancel,
+		inflight: make(map[string]*flight),
+		studies:  make(map[string]*relperf.Study),
+		subs:     make(map[int]chan StudyEvent),
+	}
+}
+
+// Seed returns the scheduler's suite seed.
+func (s *Scheduler) Seed() uint64 { return s.opts.Seed }
+
+// Store returns the scheduler's result store.
+func (s *Scheduler) Store() *Store { return s.store }
+
+// Workers returns the global budget width.
+func (s *Scheduler) Workers() int { return s.budget.Workers() }
+
+// Computes returns how many study computations have started — the counter
+// the cache-hit and single-flight tests assert on.
+func (s *Scheduler) Computes() uint64 { return s.computes.Load() }
+
+// Inflight returns the number of studies currently computing.
+func (s *Scheduler) Inflight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.inflight)
+}
+
+// Submit registers a suite of study configurations and returns their
+// fingerprints in input order. Uncached studies start computing in the
+// background immediately; duplicates (within the suite or against the
+// cache and in-flight work) cost nothing. No computation starts when any
+// configuration is invalid.
+func (s *Scheduler) Submit(configs []relperf.StudyConfig) ([]string, error) {
+	fps := make([]string, len(configs))
+	studies := make([]*relperf.Study, len(configs))
+	for i, cfg := range configs {
+		study, fp, err := relperf.NewKeyedStudy(cfg, s.opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		studies[i], fps[i] = study, fp
+	}
+	for i, fp := range fps {
+		if _, err := s.ensure(fp, studies[i]); err != nil {
+			return nil, err
+		}
+	}
+	return fps, nil
+}
+
+// Study computes (or serves) the result for one configuration, blocking
+// until it is available: the synchronous form of Submit + Result.
+func (s *Scheduler) Study(ctx context.Context, cfg relperf.StudyConfig) (string, []byte, error) {
+	study, fp, err := relperf.NewKeyedStudy(cfg, s.opts.Seed)
+	if err != nil {
+		return "", nil, err
+	}
+	for {
+		f, err := s.ensure(fp, study)
+		if err != nil {
+			return fp, nil, err
+		}
+		if f == nil { // served from cache
+			if blob, ok := s.store.Get(fp); ok {
+				return fp, blob, nil
+			}
+			// Evicted between ensure and Get under a tiny LRU; go around
+			// and compute it again.
+			continue
+		}
+		blob, err := s.wait(ctx, f)
+		return fp, blob, err
+	}
+}
+
+// Result returns the encoded result for a fingerprint: from the cache, by
+// waiting for the in-flight computation, or — for a previously submitted
+// study whose result was LRU-evicted — by recomputing it from the retained
+// study. Never-submitted fingerprints return ErrUnknownStudy: the
+// scheduler cannot reconstruct a config from its hash.
+func (s *Scheduler) Result(ctx context.Context, fp string) ([]byte, error) {
+	for {
+		if blob, ok := s.store.Get(fp); ok {
+			return blob, nil
+		}
+		s.mu.Lock()
+		f, ok := s.inflight[fp]
+		if ok {
+			s.mu.Unlock()
+			return s.wait(ctx, f)
+		}
+		// The flight may have landed between the cache miss and the lock;
+		// completions publish to the store before leaving the in-flight
+		// set, so with no retained config a second absence really is
+		// unknown (within this process — see the studies field). Contains,
+		// not Get: one logical lookup should count at
+		// most one miss — the top of the loop fetches (and counts the hit).
+		study, submitted := s.studies[fp]
+		s.mu.Unlock()
+		if s.store.Contains(fp) {
+			continue
+		}
+		if !submitted {
+			return nil, ErrUnknownStudy
+		}
+		f, err := s.ensure(fp, study)
+		if err != nil {
+			return nil, err
+		}
+		if f != nil {
+			return s.wait(ctx, f)
+		}
+		// ensure saw a cached result (a racing recompute landed); loop to
+		// fetch it.
+	}
+}
+
+// wait blocks until the flight completes or ctx is cancelled. A cancelled
+// waiter abandons only its wait — the computation keeps running for the
+// other subscribers and the cache.
+func (s *Scheduler) wait(ctx context.Context, f *flight) ([]byte, error) {
+	select {
+	case <-f.done:
+		return f.blob, f.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// ensure arranges for fp's result to exist: a cache hit returns (nil, nil),
+// an in-flight or newly started computation returns its flight, and the
+// study is retained either way so evictions stay recomputable. This is
+// the single-flight point — at most one computation per fingerprint exists
+// at any moment.
+func (s *Scheduler) ensure(fp string, study *relperf.Study) (*flight, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	s.studies[fp] = study
+	if f, ok := s.inflight[fp]; ok {
+		return f, nil
+	}
+	// Contains, not Get: an existence probe must not inflate the hit
+	// counters or refresh LRU recency for results nobody fetched.
+	if s.store.Contains(fp) {
+		return nil, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	s.inflight[fp] = f
+	s.wg.Add(1)
+	go s.compute(f, fp, study)
+	return f, nil
+}
+
+// compute runs one study on the shared budget under its derived seed and
+// publishes the outcome: store first, then the in-flight set, then the
+// subscribers. Errors are not cached — a later request retries.
+func (s *Scheduler) compute(f *flight, fp string, study *relperf.Study) {
+	defer s.wg.Done()
+	s.computes.Add(1)
+	f.blob, f.res, f.err = s.run(study)
+	if f.err == nil {
+		s.store.Put(fp, f.blob)
+	}
+	s.mu.Lock()
+	delete(s.inflight, fp)
+	s.mu.Unlock()
+	close(f.done)
+	s.publish(StudyEvent{Fingerprint: fp, Result: f.res, Err: f.err})
+}
+
+// run executes a retained study (already validated and seeded by
+// NewKeyedStudy) on the shared budget and encodes the result.
+func (s *Scheduler) run(study *relperf.Study) ([]byte, *relperf.Result, error) {
+	res, err := study.RunOn(s.ctx, s.budget)
+	if err != nil {
+		return nil, nil, err
+	}
+	blob, err := res.MarshalWire()
+	if err != nil {
+		return nil, nil, err
+	}
+	return blob, res, nil
+}
+
+// Subscribe returns a channel streaming every completed study and a cancel
+// function. A subscriber that falls more than buffer events behind misses
+// the overflow (sends never block the engine); buffer <= 0 means 16.
+func (s *Scheduler) Subscribe(buffer int) (<-chan StudyEvent, func()) {
+	if buffer <= 0 {
+		buffer = 16
+	}
+	ch := make(chan StudyEvent, buffer)
+	s.subMu.Lock()
+	id := s.nextSub
+	s.nextSub++
+	s.subs[id] = ch
+	s.subMu.Unlock()
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			s.subMu.Lock()
+			delete(s.subs, id)
+			s.subMu.Unlock()
+		})
+	}
+	return ch, cancel
+}
+
+func (s *Scheduler) publish(ev StudyEvent) {
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	for _, ch := range s.subs {
+		select {
+		case ch <- ev:
+		default: // slow subscriber: drop rather than stall the engine
+		}
+	}
+}
+
+// Close cancels every in-flight study, waits for them to drain and rejects
+// future submissions. The store and its contents survive for snapshotting.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cancel()
+	s.wg.Wait()
+}

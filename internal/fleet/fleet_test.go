@@ -1,0 +1,219 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"relperf"
+	"relperf/internal/sim"
+)
+
+// testProgram is a cheap two-task program so fleet tests stay fast.
+func testProgram() *sim.Program {
+	return &sim.Program{
+		Name: "fleet-test",
+		Tasks: []sim.Task{
+			{Name: "L1", Flops: 5e8, Launches: 10, HostInBytes: 1e6, HostOutBytes: 1e6, Transfers: 3, EdgeEff: 1, AccelEff: 0.01},
+			{Name: "L2", Flops: 2e9, Launches: 10, HostInBytes: 5e6, HostOutBytes: 1e6, Transfers: 3, EdgeEff: 1, AccelEff: 0.05},
+		},
+	}
+}
+
+func testConfig() relperf.StudyConfig {
+	return relperf.StudyConfig{Program: testProgram(), N: 8, Reps: 12}
+}
+
+// TestSchedulerCacheHit: the second request for a config is served from the
+// store without re-running — the compute counter stays at 1 and the bytes
+// are the identical stored slice contents.
+func TestSchedulerCacheHit(t *testing.T) {
+	s := New(Options{Workers: 2, Seed: 5})
+	defer s.Close()
+	_, first, err := s.Study(context.Background(), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Computes(); got != 1 {
+		t.Fatalf("computes = %d after first request", got)
+	}
+	_, second, err := s.Study(context.Background(), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Computes(); got != 1 {
+		t.Fatalf("computes = %d after cache hit, want 1 (no recomputation)", got)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("cache hit returned different bytes")
+	}
+}
+
+// TestSchedulerSingleFlight: concurrent requests for one uncached config
+// coalesce onto exactly one computation.
+func TestSchedulerSingleFlight(t *testing.T) {
+	s := New(Options{Workers: 2, Seed: 5})
+	defer s.Close()
+	const callers = 8
+	blobs := make([][]byte, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, blob, err := s.Study(context.Background(), testConfig())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			blobs[i] = blob
+		}(i)
+	}
+	wg.Wait()
+	if got := s.Computes(); got != 1 {
+		t.Fatalf("computes = %d for %d concurrent requests, want 1", got, callers)
+	}
+	for i := 1; i < callers; i++ {
+		if !bytes.Equal(blobs[0], blobs[i]) {
+			t.Fatalf("caller %d received different bytes", i)
+		}
+	}
+}
+
+// TestSchedulerWorkerDeterminism: schedulers differing only in budget
+// width produce byte-identical results for equal seeds.
+func TestSchedulerWorkerDeterminism(t *testing.T) {
+	run := func(workers int) []byte {
+		s := New(Options{Workers: workers, Seed: 77})
+		defer s.Close()
+		_, blob, err := s.Study(context.Background(), testConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blob
+	}
+	if !bytes.Equal(run(1), run(8)) {
+		t.Fatal("results differ between Workers=1 and Workers=8")
+	}
+}
+
+func TestSchedulerSubmitAndResult(t *testing.T) {
+	s := New(Options{Workers: 2, Seed: 3})
+	defer s.Close()
+	cfgA := testConfig()
+	cfgB := testConfig()
+	cfgB.N = 10
+	fps, err := s.Submit([]relperf.StudyConfig{cfgA, cfgB, cfgA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fps) != 3 || fps[0] != fps[2] || fps[0] == fps[1] {
+		t.Fatalf("fingerprints = %v", fps)
+	}
+	for _, fp := range fps {
+		if _, err := s.Result(context.Background(), fp); err != nil {
+			t.Fatalf("result %s: %v", fp, err)
+		}
+	}
+	if got := s.Computes(); got != 2 {
+		t.Fatalf("computes = %d for a suite with one duplicate, want 2", got)
+	}
+	if _, err := s.Result(context.Background(), "ffffffffffffffffffffffffffffffff"); !errors.Is(err, ErrUnknownStudy) {
+		t.Fatalf("unknown fingerprint: err = %v", err)
+	}
+}
+
+// TestSchedulerRestartFromSnapshot: a new scheduler loading the old
+// store's snapshot serves the identical bytes without recomputing.
+func TestSchedulerRestartFromSnapshot(t *testing.T) {
+	s1 := New(Options{Workers: 2, Seed: 9})
+	fp, want, err := s1.Study(context.Background(), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if err := s1.Store().WriteSnapshot(&snap, s1.Seed()); err != nil {
+		t.Fatal(err)
+	}
+	s1.Close()
+
+	store := NewStore(0)
+	if _, err := store.LoadSnapshot(bytes.NewReader(snap.Bytes()), 9); err != nil {
+		t.Fatal(err)
+	}
+	s2 := New(Options{Workers: 4, Seed: 9, Store: store})
+	defer s2.Close()
+	got, err := s2.Result(context.Background(), fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatal("restored result differs from the original bytes")
+	}
+	if s2.Computes() != 0 {
+		t.Fatalf("restart recomputed %d studies", s2.Computes())
+	}
+}
+
+// TestSchedulerRecomputesEvictedStudy: a submitted study whose result was
+// LRU-evicted is recomputed from the retained config on the next Result —
+// not turned into a permanent 404 — and the recomputed bytes are identical
+// (determinism makes eviction invisible to clients).
+func TestSchedulerRecomputesEvictedStudy(t *testing.T) {
+	s := New(Options{Workers: 2, Seed: 5, Store: NewStore(1)})
+	defer s.Close()
+	cfgA := testConfig()
+	cfgB := testConfig()
+	cfgB.N = 10
+	fps, err := s.Submit([]relperf.StudyConfig{cfgA, cfgB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := s.Result(context.Background(), fps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Result(context.Background(), fps[1]); err != nil {
+		t.Fatal(err)
+	}
+	// Capacity 1: at most one of the two survives, so by now at least one
+	// result has been evicted at least once, yet both must stay servable.
+	again, err := s.Result(context.Background(), fps[0])
+	if err != nil {
+		t.Fatalf("evicted study became unservable: %v", err)
+	}
+	if !bytes.Equal(first, again) {
+		t.Fatal("recomputed result differs from the original bytes")
+	}
+}
+
+func TestSchedulerSubscribe(t *testing.T) {
+	s := New(Options{Workers: 2, Seed: 1})
+	defer s.Close()
+	ch, cancel := s.Subscribe(4)
+	defer cancel()
+	fp, _, err := s.Study(context.Background(), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := <-ch
+	if ev.Fingerprint != fp || ev.Err != nil || ev.Result == nil {
+		t.Fatalf("event = %+v", ev)
+	}
+	if _, err := ev.Result.ProfileByName(ev.Result.Profiles[0].Name); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchedulerClose(t *testing.T) {
+	s := New(Options{Workers: 2, Seed: 1})
+	s.Close()
+	if _, err := s.Submit([]relperf.StudyConfig{testConfig()}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close: %v", err)
+	}
+	if _, _, err := s.Study(context.Background(), testConfig()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("study after close: %v", err)
+	}
+}

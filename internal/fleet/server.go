@@ -1,0 +1,122 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// Server is the HTTP face of a Scheduler:
+//
+//	GET  /v1/healthz                  liveness + engine counters
+//	POST /v1/suites                   submit a suite, receive fingerprints
+//	GET  /v1/studies/{fingerprint}    the study's canonical result JSON
+//
+// A GET for a submitted-but-still-computing study blocks until the result
+// lands (coalescing onto the single in-flight computation); a GET for a
+// never-submitted fingerprint is 404 — the server cannot invert a hash
+// back into a config.
+type Server struct {
+	sched *Scheduler
+	mux   *http.ServeMux
+}
+
+// NewServer wires the routes.
+func NewServer(sched *Scheduler) *Server {
+	s := &Server{sched: sched, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("POST /v1/suites", s.handleSuites)
+	s.mux.HandleFunc("GET /v1/studies/{fingerprint}", s.handleStudy)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// healthResponse is the GET /v1/healthz body.
+type healthResponse struct {
+	Status   string `json:"status"`
+	Seed     uint64 `json:"seed"`
+	Workers  int    `json:"workers"`
+	Computes uint64 `json:"computes"`
+	Inflight int    `json:"inflight"`
+	Store    Stats  `json:"store"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status:   "ok",
+		Seed:     s.sched.Seed(),
+		Workers:  s.sched.Workers(),
+		Computes: s.sched.Computes(),
+		Inflight: s.sched.Inflight(),
+		Store:    s.sched.Store().Stats(),
+	})
+}
+
+// suiteResponse is the POST /v1/suites body: one fingerprint per submitted
+// study, in input order — the keys to poll GET /v1/studies/{fp} with.
+type suiteResponse struct {
+	Fingerprints []string `json:"fingerprints"`
+	Seed         uint64   `json:"seed"`
+}
+
+// maxSuiteBody bounds POST /v1/suites bodies; suite specs are a few KB,
+// so 1 MiB is generous while keeping one request from buffering the
+// daemon into the ground.
+const maxSuiteBody = 1 << 20
+
+func (s *Server) handleSuites(w http.ResponseWriter, r *http.Request) {
+	req, err := DecodeSuiteRequest(http.MaxBytesReader(w, r.Body, maxSuiteBody))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	configs, err := req.Configs()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	fps, err := s.sched.Submit(configs)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, ErrClosed) {
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, suiteResponse{Fingerprints: fps, Seed: s.sched.Seed()})
+}
+
+func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) {
+	fp := r.PathValue("fingerprint")
+	blob, err := s.sched.Result(r.Context(), fp)
+	switch {
+	case errors.Is(err, ErrUnknownStudy):
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+	case err != nil:
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+	default:
+		// The blob is the study's canonical encoding; serving it verbatim
+		// is what makes responses byte-identical across cache hits, worker
+		// counts and daemon restarts. The newline is written separately:
+		// appending to the shared cached slice would race between handlers.
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(blob)
+		w.Write([]byte{'\n'})
+	}
+}

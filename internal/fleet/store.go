@@ -1,0 +1,192 @@
+// Package fleet is the multi-study serving subsystem: a Scheduler that runs
+// whole suites of studies on one shared worker budget with single-flight
+// coalescing, a content-addressed result Store with LRU eviction and JSON
+// snapshot persistence, and an HTTP Server exposing both — the engine
+// behind the relperfd daemon.
+//
+// Identity and determinism come from the relperf suite layer: a study is
+// addressed by its canonical config fingerprint, its seed derives from
+// (suite seed, fingerprint), and the stored value is the study's canonical
+// wire encoding — so a cached, snapshot-restored or freshly computed result
+// for one fingerprint is always the same sequence of bytes.
+package fleet
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// SnapshotSchema identifies the store's persistence format.
+const SnapshotSchema = "relperf/fleet-snapshot/v1"
+
+// Store is a content-addressed result cache: canonical wire-encoded study
+// results keyed by config fingerprint, with LRU eviction and JSON snapshot
+// persistence so a restarted daemon serves warm results. Safe for
+// concurrent use.
+type Store struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+
+	hits, misses, evictions uint64
+}
+
+type storeEntry struct {
+	fp   string
+	blob []byte
+}
+
+// NewStore returns a store holding at most capacity results (<= 0 means
+// unbounded).
+func NewStore(capacity int) *Store {
+	return &Store{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// Get returns the stored encoding for the fingerprint and marks it most
+// recently used. The returned slice is shared — callers must not mutate it.
+func (s *Store) Get(fp string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[fp]
+	if !ok {
+		s.misses++
+		return nil, false
+	}
+	s.hits++
+	s.ll.MoveToFront(el)
+	return el.Value.(*storeEntry).blob, true
+}
+
+// Contains reports whether the fingerprint is cached, without touching the
+// hit/miss counters or the LRU recency — the existence probe the scheduler
+// uses, so stats and eviction order reflect only results actually served.
+func (s *Store) Contains(fp string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.items[fp]
+	return ok
+}
+
+// Put stores the encoding under the fingerprint, replacing any previous
+// value, and evicts least-recently-used entries beyond the capacity.
+func (s *Store) Put(fp string, blob []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[fp]; ok {
+		el.Value.(*storeEntry).blob = blob
+		s.ll.MoveToFront(el)
+		return
+	}
+	s.items[fp] = s.ll.PushFront(&storeEntry{fp: fp, blob: blob})
+	for s.capacity > 0 && s.ll.Len() > s.capacity {
+		oldest := s.ll.Back()
+		s.ll.Remove(oldest)
+		delete(s.items, oldest.Value.(*storeEntry).fp)
+		s.evictions++
+	}
+}
+
+// Len returns the number of cached results.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ll.Len()
+}
+
+// Keys returns the cached fingerprints from most to least recently used.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, s.ll.Len())
+	for el := s.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*storeEntry).fp)
+	}
+	return out
+}
+
+// Stats reports cache effectiveness counters.
+type Stats struct {
+	Entries   int    `json:"entries"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{Entries: s.ll.Len(), Hits: s.hits, Misses: s.misses, Evictions: s.evictions}
+}
+
+// snapshot is the persisted form: entries from least to most recently used
+// so replaying them through Put restores both contents and recency.
+type snapshot struct {
+	Schema  string          `json:"schema"`
+	Seed    uint64          `json:"seed"`
+	Entries []snapshotEntry `json:"entries"`
+}
+
+type snapshotEntry struct {
+	Fingerprint string          `json:"fingerprint"`
+	Result      json.RawMessage `json:"result"`
+}
+
+// WriteSnapshot persists every cached result together with the suite seed
+// the results were computed under. Result blobs are embedded verbatim (they
+// are canonical compact JSON), so a load-and-serve round trip is
+// byte-identical.
+func (s *Store) WriteSnapshot(w io.Writer, seed uint64) error {
+	s.mu.Lock()
+	snap := snapshot{Schema: SnapshotSchema, Seed: seed}
+	for el := s.ll.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*storeEntry)
+		snap.Entries = append(snap.Entries, snapshotEntry{Fingerprint: e.fp, Result: e.blob})
+	}
+	s.mu.Unlock()
+	b, err := json.Marshal(&snap)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// LoadSnapshot restores the entries of a snapshot written for the given
+// suite seed and returns how many are actually retained afterwards — a
+// capacity-bounded store may LRU-evict earlier entries during the replay,
+// and reporting the raw entry count would let an operator believe evicted
+// results are servable. A seed mismatch is an error: fingerprints address
+// results only together with the seed, so serving another seed's snapshot
+// would silently break the determinism contract.
+func (s *Store) LoadSnapshot(r io.Reader, seed uint64) (int, error) {
+	var snap snapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return 0, fmt.Errorf("fleet: decoding snapshot: %w", err)
+	}
+	if snap.Schema != SnapshotSchema {
+		return 0, fmt.Errorf("fleet: snapshot schema %q, want %q", snap.Schema, SnapshotSchema)
+	}
+	if snap.Seed != seed {
+		return 0, fmt.Errorf("fleet: snapshot was computed under seed %d, store serves seed %d", snap.Seed, seed)
+	}
+	for _, e := range snap.Entries {
+		s.Put(e.Fingerprint, []byte(e.Result))
+	}
+	retained := 0
+	for _, e := range snap.Entries {
+		if s.Contains(e.Fingerprint) {
+			retained++
+		}
+	}
+	return retained, nil
+}

@@ -1,0 +1,124 @@
+package fleet
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestStoreLRUEviction(t *testing.T) {
+	s := NewStore(2)
+	s.Put("a", []byte(`{"v":1}`))
+	s.Put("b", []byte(`{"v":2}`))
+	if _, ok := s.Get("a"); !ok { // touch a: b becomes LRU
+		t.Fatal("a missing")
+	}
+	s.Put("c", []byte(`{"v":3}`))
+	if _, ok := s.Get("b"); ok {
+		t.Fatal("b should have been evicted as LRU")
+	}
+	if got := s.Keys(); !reflect.DeepEqual(got, []string{"c", "a"}) {
+		t.Fatalf("keys = %v", got)
+	}
+	st := s.Stats()
+	if st.Entries != 2 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestStoreUnboundedAndReplace(t *testing.T) {
+	s := NewStore(0)
+	for i := 0; i < 100; i++ {
+		s.Put("k", []byte(`{"v":0}`))
+	}
+	s.Put("k2", []byte(`{"v":1}`))
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	s.Put("k", []byte(`{"v":9}`))
+	blob, _ := s.Get("k")
+	if string(blob) != `{"v":9}` {
+		t.Fatalf("replace failed: %s", blob)
+	}
+}
+
+// TestStoreSnapshotRoundTrip: blobs and recency order survive persistence
+// byte-for-byte.
+func TestStoreSnapshotRoundTrip(t *testing.T) {
+	s := NewStore(0)
+	s.Put("aaaa", []byte(`{"schema":"x","v":[1,2,3]}`))
+	s.Put("bbbb", []byte(`{"schema":"x","v":[4.000000000000001]}`))
+	s.Get("aaaa") // aaaa becomes MRU
+
+	var buf bytes.Buffer
+	if err := s.WriteSnapshot(&buf, 42); err != nil {
+		t.Fatal(err)
+	}
+
+	restored := NewStore(0)
+	n, err := restored.LoadSnapshot(bytes.NewReader(buf.Bytes()), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("loaded %d entries, want 2", n)
+	}
+	for _, fp := range []string{"aaaa", "bbbb"} {
+		want, _ := s.Get(fp)
+		got, ok := restored.Get(fp)
+		if !ok || !bytes.Equal(want, got) {
+			t.Fatalf("entry %s differs after restore: %s vs %s", fp, want, got)
+		}
+	}
+	// Recency survived: bbbb is LRU in both (ignore the Get calls above by
+	// re-deriving from a fresh load).
+	restored2 := NewStore(0)
+	if _, err := restored2.LoadSnapshot(bytes.NewReader(buf.Bytes()), 42); err != nil {
+		t.Fatal(err)
+	}
+	if got := restored2.Keys(); !reflect.DeepEqual(got, []string{"aaaa", "bbbb"}) {
+		t.Fatalf("restored recency order = %v", got)
+	}
+}
+
+// TestStoreSnapshotLoadBounded: loading a big snapshot into a small store
+// reports how many entries are actually servable, not how many the
+// snapshot held.
+func TestStoreSnapshotLoadBounded(t *testing.T) {
+	src := NewStore(0)
+	for _, fp := range []string{"a", "b", "c", "d", "e"} {
+		src.Put(fp, []byte(`{}`))
+	}
+	var buf bytes.Buffer
+	if err := src.WriteSnapshot(&buf, 1); err != nil {
+		t.Fatal(err)
+	}
+	small := NewStore(2)
+	n, err := small.LoadSnapshot(bytes.NewReader(buf.Bytes()), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("reported %d restored entries, want the 2 actually retained", n)
+	}
+	// The retained pair is the most recently used of the source.
+	if got := small.Keys(); !reflect.DeepEqual(got, []string{"e", "d"}) {
+		t.Fatalf("retained keys = %v", got)
+	}
+}
+
+func TestStoreSnapshotSeedMismatch(t *testing.T) {
+	s := NewStore(0)
+	s.Put("aaaa", []byte(`{}`))
+	var buf bytes.Buffer
+	if err := s.WriteSnapshot(&buf, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewStore(0).LoadSnapshot(bytes.NewReader(buf.Bytes()), 2); err == nil {
+		t.Fatal("seed mismatch accepted")
+	}
+	if _, err := NewStore(0).LoadSnapshot(strings.NewReader(`{"schema":"bogus","seed":1}`), 1); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+}

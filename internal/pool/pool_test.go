@@ -1,7 +1,9 @@
 package pool
 
 import (
+	"context"
 	"errors"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -68,5 +70,120 @@ func TestForEachSkipsAfterFailure(t *testing.T) {
 	}
 	if ran != 1 {
 		t.Fatalf("%d units ran after the first failure, want short-circuit to 1", ran)
+	}
+}
+
+// TestForEachStopsDispatchAfterFailure is the regression test for the
+// dispatcher short-circuit: after an early failure the remaining indices
+// must not be dispatched at all. The range is large enough that draining it
+// through the jobs channel (the old behaviour) would dominate the runtime,
+// while the executed-unit count bounds how much work escaped before the
+// halt propagated.
+func TestForEachStopsDispatchAfterFailure(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4, 16} {
+		var ran int32
+		err := ForEach(1<<30, workers, func(i int) error {
+			atomic.AddInt32(&ran, 1)
+			if i == 0 {
+				return boom
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatal(err)
+		}
+		// The real regression signal is that this test returns at all: the
+		// old dispatcher drained the full 2^30 range through the jobs
+		// channel. The executed-unit bound is deliberately loose — workers
+		// may churn units until the failing goroutine gets scheduled — but
+		// must stay far below the range size.
+		if int(ran) > 1<<20 {
+			t.Fatalf("workers=%d: %d units ran after early failure", workers, ran)
+		}
+	}
+}
+
+func TestForEachCtxCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran int32
+	err := ForEachCtx(ctx, 1<<30, 4, func(i int) error {
+		if atomic.AddInt32(&ran, 1) == 8 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if int(ran) > 1<<20 {
+		t.Fatalf("%d units ran after cancellation", ran)
+	}
+}
+
+func TestForEachCtxUnitErrorWinsOverCancellation(t *testing.T) {
+	boom := errors.New("boom")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	err := ForEachCtx(ctx, 100, 2, func(i int) error {
+		if i == 0 {
+			cancel()
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the unit error", err)
+	}
+}
+
+// TestPoolSharedBudget: two concurrent fan-outs through one 2-token pool
+// never exceed 2 units in flight in total.
+func TestPoolSharedBudget(t *testing.T) {
+	p := NewPool(2)
+	var inFlight, maxSeen int32
+	unit := func(int) error {
+		cur := atomic.AddInt32(&inFlight, 1)
+		for {
+			seen := atomic.LoadInt32(&maxSeen)
+			if cur <= seen || atomic.CompareAndSwapInt32(&maxSeen, seen, cur) {
+				break
+			}
+		}
+		atomic.AddInt32(&inFlight, -1)
+		return nil
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := p.ForEach(context.Background(), 200, unit); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if maxSeen > 2 {
+		t.Fatalf("max in-flight units = %d, want <= budget 2", maxSeen)
+	}
+}
+
+func TestPoolForEachError(t *testing.T) {
+	p := NewPool(4)
+	boom := errors.New("boom")
+	var ran int32
+	err := p.ForEach(context.Background(), 1<<30, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		if i == 0 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatal(err)
+	}
+	if int(ran) > 1<<20 {
+		t.Fatalf("%d units ran after early failure", ran)
 	}
 }

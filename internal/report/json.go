@@ -1,0 +1,95 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"relperf/internal/core"
+	"relperf/internal/decision"
+	"relperf/internal/measure"
+)
+
+// ResultSchema identifies the machine-readable study-result wire format.
+// The fleet daemon serves it over HTTP and the result store persists it in
+// snapshots; bump the version when the shape changes incompatibly.
+const ResultSchema = "relperf/result/v1"
+
+// ResultJSON is the wire form of a complete study result: the measured
+// distributions, the repeated-clustering outcome, the final assignment and
+// the decision profiles. Encoding is canonical — struct field order, no
+// maps, shortest-round-trip floats — so equal results always produce
+// byte-identical documents, the property the fleet cache and the
+// determinism contract rely on.
+type ResultJSON struct {
+	Schema   string                      `json:"schema"`
+	Names    []string                    `json:"names"`
+	Samples  *measure.SampleSet          `json:"samples"`
+	Clusters *core.ClusterResult         `json:"clusters"`
+	Final    *core.FinalAssignment       `json:"final"`
+	Profiles []decision.AlgorithmProfile `json:"profiles"`
+}
+
+// Validate rejects incomplete documents.
+func (r *ResultJSON) Validate() error {
+	if r.Schema != ResultSchema {
+		return fmt.Errorf("report: result schema %q, want %q", r.Schema, ResultSchema)
+	}
+	if r.Samples == nil || r.Clusters == nil || r.Final == nil {
+		return errors.New("report: result JSON missing samples, clusters or final assignment")
+	}
+	if err := r.Samples.Validate(); err != nil {
+		return err
+	}
+	if len(r.Names) != len(r.Samples.Samples) {
+		return fmt.Errorf("report: %d names for %d samples", len(r.Names), len(r.Samples.Samples))
+	}
+	return nil
+}
+
+// MarshalResult returns the canonical compact encoding of the result.
+func MarshalResult(r *ResultJSON) ([]byte, error) {
+	if r.Schema == "" {
+		r.Schema = ResultSchema
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return json.Marshal(r)
+}
+
+// EncodeResult writes the canonical compact encoding followed by a newline.
+func EncodeResult(w io.Writer, r *ResultJSON) error {
+	b, err := MarshalResult(r)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// UnmarshalResult parses and validates a wire-format document.
+func UnmarshalResult(b []byte) (*ResultJSON, error) {
+	var r ResultJSON
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("report: decoding result JSON: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// DecodeResult reads one wire-format document from r.
+func DecodeResult(rd io.Reader) (*ResultJSON, error) {
+	b, err := io.ReadAll(rd)
+	if err != nil {
+		return nil, fmt.Errorf("report: reading result JSON: %w", err)
+	}
+	return UnmarshalResult(b)
+}

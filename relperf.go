@@ -33,9 +33,11 @@
 package relperf
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"relperf/internal/compare"
 	"relperf/internal/core"
@@ -162,6 +164,11 @@ type Result struct {
 	Final *core.FinalAssignment
 	// Profiles feed the decision models of §IV.
 	Profiles []decision.AlgorithmProfile
+
+	// profileIdx maps profile names to indices, built on first use; Results
+	// served under traffic answer many ProfileByName queries per study.
+	profileOnce sync.Once
+	profileIdx  map[string]int
 }
 
 // aggregate accumulates the per-placement energy/utilization profile over
@@ -233,17 +240,44 @@ func (s *Study) measurePlacement(i int) (measure.Sample, aggregate, error) {
 // run concurrently when the comparator supports forking; equal seeds yield
 // bit-identical Results at every worker count (see the package comment).
 func (s *Study) Run() (*Result, error) {
+	return s.RunOn(context.Background(), nil)
+}
+
+// RunOn is Run with cancellation and an optional shared worker budget: when
+// budget is non-nil every work unit of the study (placement campaigns,
+// clustering repetitions, matrix pre-pass pairs) acquires a token from it
+// instead of a private pool of StudyConfig.Workers goroutines, so many
+// concurrent studies collectively respect one global concurrency bound —
+// the fleet scheduler's execution mode. One exception: a custom comparator
+// that does not implement compare.Forker forces the serial clustering
+// fallback, which runs on the study's own goroutine outside the budget
+// (the fleet layers never hit this — Fingerprint rejects custom
+// comparators). The Result is bit-identical whichever way the study runs.
+func (s *Study) RunOn(ctx context.Context, budget *Budget) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var shared *pool.Pool
+	if budget != nil {
+		shared = budget.pool
+	}
 	p := len(s.placements)
 	res := &Result{
 		Samples: &measure.SampleSet{Workload: s.cfg.Program.Name},
 	}
 	res.Samples.Samples = make([]measure.Sample, p)
 	aggs := make([]aggregate, p)
-	err := pool.ForEach(p, s.cfg.Workers, func(i int) error {
+	measureOne := func(i int) error {
 		var err error
 		res.Samples.Samples[i], aggs[i], err = s.measurePlacement(i)
 		return err
-	})
+	}
+	var err error
+	if shared != nil {
+		err = shared.ForEach(ctx, p, measureOne)
+	} else {
+		err = pool.ForEachCtx(ctx, p, s.cfg.Workers, measureOne)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -265,6 +299,8 @@ func (s *Study) Run() (*Result, error) {
 		Workers:      s.cfg.Workers,
 		Matrix:       s.cfg.Matrix,
 		MatrixTrials: s.cfg.MatrixTrials,
+		Ctx:          ctx,
+		Pool:         shared,
 	})
 	if err != nil {
 		return nil, err
@@ -297,6 +333,8 @@ type clusterConfig struct {
 	Workers      int
 	Matrix       bool
 	MatrixTrials int
+	Ctx          context.Context
+	Pool         *pool.Pool
 }
 
 // clusterData runs the clustering stage over measured distributions. When
@@ -318,6 +356,8 @@ func clusterData(data [][]float64, cmp compare.Comparator, cfg clusterConfig) (*
 				Workers: cfg.Workers,
 				Seed:    cfg.Seed,
 				Fork:    fork,
+				Pool:    cfg.Pool,
+				Ctx:     cfg.Ctx,
 			})
 		}
 		return core.Cluster(len(data), nil, core.ClusterOptions{
@@ -325,12 +365,15 @@ func clusterData(data [][]float64, cmp compare.Comparator, cfg clusterConfig) (*
 			Seed:    cfg.Seed,
 			Workers: cfg.Workers,
 			Fork:    fork,
+			Pool:    cfg.Pool,
+			Ctx:     cfg.Ctx,
 		})
 	}
 	cf := func(i, j int) (compare.Outcome, error) { return cmp.Compare(data[i], data[j]) }
 	return core.Cluster(len(data), cf, core.ClusterOptions{
 		Reps: cfg.Reps,
 		Seed: cfg.Seed,
+		Ctx:  cfg.Ctx,
 	})
 }
 
@@ -414,12 +457,21 @@ func (r *Result) WriteReport(w io.Writer) error {
 }
 
 // ProfileByName returns the decision profile for a placement name like
-// "DDA", or an error when absent.
+// "DDA", or an error when absent. The name index is built lazily on the
+// first lookup and shared by all subsequent ones, so serving many queries
+// against one Result costs O(1) per lookup rather than a scan. Profiles
+// must not be mutated after the first lookup.
 func (r *Result) ProfileByName(name string) (decision.AlgorithmProfile, error) {
-	for _, p := range r.Profiles {
-		if p.Name == name {
-			return p, nil
+	r.profileOnce.Do(func() {
+		r.profileIdx = make(map[string]int, len(r.Profiles))
+		for i := range r.Profiles {
+			if _, dup := r.profileIdx[r.Profiles[i].Name]; !dup {
+				r.profileIdx[r.Profiles[i].Name] = i
+			}
 		}
+	})
+	if i, ok := r.profileIdx[name]; ok {
+		return r.Profiles[i], nil
 	}
 	return decision.AlgorithmProfile{}, fmt.Errorf("relperf: no profile named %q", name)
 }

@@ -1,0 +1,61 @@
+package relperf
+
+// Wire encoding of Results: the canonical machine-readable JSON document
+// (schema report.ResultSchema) that the relperfd daemon serves and the
+// fleet result store persists. Equal Results encode to byte-identical
+// documents and the encoding round-trips losslessly, so cached and
+// snapshot-restored results are indistinguishable from freshly computed
+// ones.
+
+import (
+	"io"
+
+	"relperf/internal/report"
+)
+
+// MarshalWire returns the canonical compact JSON encoding of the result.
+func (r *Result) MarshalWire() ([]byte, error) {
+	return report.MarshalResult(&report.ResultJSON{
+		Schema:   report.ResultSchema,
+		Names:    r.Names,
+		Samples:  r.Samples,
+		Clusters: r.Clusters,
+		Final:    r.Final,
+		Profiles: r.Profiles,
+	})
+}
+
+// WriteJSON writes the canonical encoding followed by a newline.
+func (r *Result) WriteJSON(w io.Writer) error {
+	b, err := r.MarshalWire()
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// UnmarshalResultWire parses a document produced by MarshalWire/WriteJSON.
+func UnmarshalResultWire(b []byte) (*Result, error) {
+	doc, err := report.UnmarshalResult(b)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Names:    doc.Names,
+		Samples:  doc.Samples,
+		Clusters: doc.Clusters,
+		Final:    doc.Final,
+		Profiles: doc.Profiles,
+	}, nil
+}
+
+// ReadResultJSON reads one wire document from rd.
+func ReadResultJSON(rd io.Reader) (*Result, error) {
+	b, err := io.ReadAll(rd)
+	if err != nil {
+		return nil, err
+	}
+	return UnmarshalResultWire(b)
+}
