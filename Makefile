@@ -9,7 +9,11 @@ SERVE_ADDR ?= :8077
 SERVE_SEED ?= 1
 SERVE_SNAPSHOT ?= relperfd.snapshot.json
 
-.PHONY: all build test race vet bench serve clean
+# Per-fuzzer budget of `make fuzz`; CI smoke uses a short one, local deep
+# runs can override: `make fuzz FUZZTIME=2m`.
+FUZZTIME ?= 15s
+
+.PHONY: all build test race vet bench fuzz serve clean
 
 all: build vet test
 
@@ -26,6 +30,15 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Runs each wire-format fuzzer for FUZZTIME on top of the committed seed
+# corpus: spec parsing, result decoding and suite-request decoding must
+# never panic and must stay canonical. `go test -fuzz` takes one target per
+# invocation, hence the three lines.
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzParseStudySpec$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzUnmarshalResultWire$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeSuiteRequest$$' -fuzztime $(FUZZTIME) ./internal/fleet
 
 # Runs the engine benchmarks with allocation reporting and emits the
 # machine-readable BENCH_engine.json snapshot.

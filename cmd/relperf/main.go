@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"relperf"
 	"relperf/internal/compare"
@@ -159,10 +160,33 @@ func cmdStudy(args []string) error {
 	seed := fs.Uint64("seed", 1, "seed")
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	matrix := fs.Bool("matrix", false, "precompute pairwise outcome statistics")
+	spec := fs.String("spec", "", "declarative StudySpec JSON file (the schema of POST /v1/suites studies); excludes -workload/-n/-N/-reps/-matrix")
+	jsonOut := fs.Bool("json", false, "emit the canonical relperf/result/v1 document instead of the report")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	study, err := buildStudy(*wl, *n, *nMeas, *reps, *seed, *workers, *matrix)
+	var study *relperf.Study
+	var err error
+	if *spec != "" {
+		// Declarative mode: the file carries program, platform and engine
+		// fields; only seed and workers come from flags (they are runtime
+		// concerns, not part of the wire schema). Study-shaping flags would
+		// be silently shadowed by the spec, so explicit ones are errors.
+		var conflicts []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "workload", "n", "N", "reps", "matrix":
+				conflicts = append(conflicts, "-"+f.Name)
+			}
+		})
+		if len(conflicts) > 0 {
+			return fmt.Errorf("study: %s cannot be combined with -spec (the spec file carries those settings)",
+				strings.Join(conflicts, ", "))
+		}
+		study, err = buildSpecStudy(*spec, *seed, *workers)
+	} else {
+		study, err = buildStudy(*wl, *n, *nMeas, *reps, *seed, *workers, *matrix)
+	}
 	if err != nil {
 		return err
 	}
@@ -170,7 +194,32 @@ func cmdStudy(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *jsonOut {
+		return res.WriteJSON(os.Stdout)
+	}
 	return res.WriteReport(os.Stdout)
+}
+
+// buildSpecStudy loads a declarative spec file and resolves it into a
+// runnable study — the same schema, validation and resolution path as the
+// relperfd daemon, so a spec validated here is a spec the fleet accepts.
+func buildSpecStudy(path string, seed uint64, workers int) (*relperf.Study, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sp, err := relperf.DecodeStudySpec(f)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := sp.Config()
+	if err != nil {
+		return nil, err
+	}
+	cfg.Seed = seed
+	cfg.Workers = workers
+	return relperf.NewStudy(cfg)
 }
 
 func cmdPlacements(args []string) error {

@@ -55,6 +55,58 @@ func TestCmdStudy(t *testing.T) {
 	}
 }
 
+// TestCmdStudySpecMode: -spec runs a declarative spec file through the same
+// schema the daemon serves, and rejects invalid specs with an error.
+func TestCmdStudySpecMode(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "spec.json")
+	if err := os.WriteFile(good, []byte(`{
+		"program": {"name": "cli-spec", "tasks": [
+			{"name": "L1", "kernel": "gemm", "size": 48, "iters": 6},
+			{"name": "L2", "kernel": "raw", "flops": 2e8, "launches": 4, "accel_eff": 0.1}
+		]},
+		"platform": {"edge": {"preset": "raspberry-pi-4"}, "link": {"preset": "wifi"}},
+		"measurements": 5,
+		"reps": 8
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdStudy([]string{"-spec", good, "-seed", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdStudy([]string{"-spec", good, "-seed", "3", "-json"}); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"workload":"tableI","reps":-1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdStudy([]string{"-spec", bad}); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+	if err := cmdStudy([]string{"-spec", filepath.Join(dir, "missing.json")}); err == nil {
+		t.Fatal("missing spec file accepted")
+	}
+
+	// Study-shaping flags would be silently shadowed by the spec file, so
+	// combining them with -spec must error, not no-op.
+	if err := cmdStudy([]string{"-spec", good, "-matrix", "-reps", "500"}); err == nil {
+		t.Fatal("-spec combined with -matrix/-reps accepted")
+	}
+	// -seed/-workers/-json are runtime concerns and stay allowed (covered
+	// by the successful runs above).
+}
+
+// TestCmdStudySpecExample keeps examples/spec_custom.json runnable: the
+// committed example must parse, validate and resolve (execution is covered
+// by the cheap spec above — the example uses report-scale parameters).
+func TestCmdStudySpecExample(t *testing.T) {
+	if _, err := buildSpecStudy(filepath.Join("..", "..", "examples", "spec_custom.json"), 1, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestCmdPlacements(t *testing.T) {
 	if err := cmdPlacements([]string{"-tasks", "2"}); err != nil {
 		t.Fatal(err)

@@ -24,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -103,11 +104,9 @@ func run(addr string, workers int, seed uint64, cacheCap int, snapshotPath, suit
 		if err != nil {
 			return err
 		}
-		configs, err := req.Configs()
-		if err != nil {
-			return err
-		}
-		fps, err := sched.Submit(configs)
+		// SubmitSpecs retains each spec in the store, so the startup suite
+		// is recomputable from the snapshot after future restarts.
+		fps, err := sched.SubmitSpecs(req.Studies)
 		if err != nil {
 			return err
 		}
@@ -118,15 +117,21 @@ func run(addr string, workers int, seed uint64, cacheCap int, snapshotPath, suit
 	}
 
 	httpSrv := &http.Server{
-		Addr:              addr,
 		Handler:           fleet.NewServer(sched),
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+	// Listen explicitly so the actual bound address is known (and logged)
+	// even with ":0"-style addrs — scripted callers and the e2e test scrape
+	// it from the log line.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errCh := make(chan error, 1)
-	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("relperfd serving on %s (seed=%d workers=%d cache=%d)", addr, seed, workers, cacheCap)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	log.Printf("relperfd serving on %s (seed=%d workers=%d cache=%d)", ln.Addr(), seed, workers, cacheCap)
 
 	select {
 	case err := <-errCh:

@@ -1,0 +1,222 @@
+package main
+
+// Process-level end-to-end test of the relperfd daemon: build the real
+// binary, start it, submit a declarative-spec suite over HTTP, snapshot,
+// kill, restart into a smaller cache that evicts one study, and re-GET it —
+// the response must be byte-identical, recomputed from the spec the
+// snapshot carried. The in-process twin (internal/fleet's e2e test) covers
+// the same lifecycle under -race; this one additionally exercises the
+// binary's flag wiring, signal handling and atomic snapshot writes.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+const daemonSuite = `{"studies":[
+	{"program":{"name":"d1","tasks":[
+		{"name":"L1","kernel":"raw","flops":5e8,"launches":10,"host_in_bytes":1e6,"host_out_bytes":1e6,"transfers":3,"accel_eff":0.01}]},
+	 "measurements":6,"reps":10},
+	{"program":{"name":"d2","tasks":[
+		{"name":"G1","kernel":"gemm","size":64,"iters":8}]},
+	 "platform":{"edge":{"preset":"raspberry-pi-4"},"link":{"preset":"wifi"}},
+	 "measurements":6,"reps":10}
+]}`
+
+// buildDaemon compiles the relperfd binary into dir.
+func buildDaemon(t *testing.T, dir string) string {
+	t.Helper()
+	bin := filepath.Join(dir, "relperfd-e2e")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// daemon is one running relperfd process.
+type daemon struct {
+	cmd  *exec.Cmd
+	addr string
+
+	mu   sync.Mutex
+	logs bytes.Buffer // guarded by mu: the scanner goroutine appends while assertions read
+}
+
+// logText snapshots the stderr captured so far.
+func (d *daemon) logText() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.logs.String()
+}
+
+// startDaemon launches the binary and waits for its "serving on" log line
+// to learn the dynamically bound address.
+func startDaemon(t *testing.T, bin string, args ...string) *daemon {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	d := &daemon{cmd: cmd}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			d.mu.Lock()
+			d.logs.WriteString(line + "\n")
+			d.mu.Unlock()
+			if i := strings.Index(line, "serving on "); i >= 0 {
+				rest := line[i+len("serving on "):]
+				select {
+				case addrCh <- strings.Fields(rest)[0]:
+				default:
+				}
+			}
+		}
+	}()
+	t.Cleanup(func() { _ = cmd.Process.Kill(); _ = cmd.Wait() })
+	select {
+	case d.addr = <-addrCh:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon did not report its address; logs:\n%s", d.logText())
+	}
+	return d
+}
+
+// stop sends SIGTERM and waits for a clean exit (which flushes the final
+// snapshot).
+func (d *daemon) stop(t *testing.T) {
+	t.Helper()
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- d.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited uncleanly: %v\nlogs:\n%s", err, d.logText())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon did not exit on SIGTERM; logs:\n%s", d.logText())
+	}
+}
+
+func (d *daemon) get(t *testing.T, path string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get("http://" + d.addr + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v\nlogs:\n%s", path, err, d.logText())
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+func (d *daemon) health(t *testing.T) (computes uint64, storeEntries, storeSpecs int) {
+	t.Helper()
+	code, b := d.get(t, "/v1/healthz")
+	if code != 200 {
+		t.Fatalf("healthz: %d %s", code, b)
+	}
+	var h struct {
+		Computes uint64 `json:"computes"`
+		Store    struct {
+			Entries int `json:"entries"`
+			Specs   int `json:"specs"`
+		} `json:"store"`
+	}
+	if err := json.Unmarshal(b, &h); err != nil {
+		t.Fatal(err)
+	}
+	return h.Computes, h.Store.Entries, h.Store.Specs
+}
+
+func TestDaemonSpecSnapshotRestartEvictRecompute(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real daemon binary")
+	}
+	dir := t.TempDir()
+	bin := buildDaemon(t, dir)
+	snapPath := filepath.Join(dir, "snap.json")
+
+	// Generation 1: submit the declarative suite over HTTP, read results.
+	d1 := startDaemon(t, bin, "-seed", "7", "-workers", "2", "-snapshot", snapPath)
+	resp, err := http.Post("http://"+d1.addr+"/v1/suites", "application/json", strings.NewReader(daemonSuite))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr struct {
+		Fingerprints []string `json:"fingerprints"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || len(sr.Fingerprints) != 2 {
+		t.Fatalf("POST /v1/suites: %d %v", resp.StatusCode, sr)
+	}
+	want := map[string][]byte{}
+	for _, fp := range sr.Fingerprints {
+		code, body := d1.get(t, "/v1/studies/"+fp)
+		if code != 200 {
+			t.Fatalf("GET %s: %d %s", fp, code, body)
+		}
+		want[fp] = body
+	}
+	d1.stop(t)
+	if _, err := os.Stat(snapPath); err != nil {
+		t.Fatalf("no snapshot written: %v", err)
+	}
+
+	// Generation 2: restart into a capacity-1 cache. The snapshot load
+	// evicts one result but keeps both specs, so the evicted study must be
+	// recomputed transparently — byte-identical — on the next GET.
+	d2 := startDaemon(t, bin, "-seed", "7", "-workers", "2", "-snapshot", snapPath, "-cache", "1")
+	if computes, entries, specs := d2.health(t); computes != 0 || entries != 1 || specs != 2 {
+		t.Fatalf("after restart: computes=%d entries=%d specs=%d, want 0/1/2", computes, entries, specs)
+	}
+	// The capacity-1 load kept only the snapshot's MRU entry — the study
+	// fetched last in generation 1. GET it first (a pure cache hit), then
+	// the evicted one (recomputed from its snapshot spec).
+	kept, evicted := sr.Fingerprints[1], sr.Fingerprints[0]
+	code, body := d2.get(t, "/v1/studies/"+kept)
+	if code != 200 || !bytes.Equal(body, want[kept]) {
+		t.Fatalf("warm study %s differs after restart (code %d)\nlogs:\n%s", kept, code, d2.logText())
+	}
+	if computes, _, _ := d2.health(t); computes != 0 {
+		t.Fatalf("computes = %d after a warm GET, want 0", computes)
+	}
+	code, body = d2.get(t, "/v1/studies/"+evicted)
+	if code != 200 {
+		t.Fatalf("GET evicted %s: %d %s\nlogs:\n%s", evicted, code, body, d2.logText())
+	}
+	if !bytes.Equal(body, want[evicted]) {
+		t.Fatalf("study %s served different bytes after restart+eviction", evicted)
+	}
+	if computes, _, _ := d2.health(t); computes != 1 {
+		t.Fatalf("computes = %d after recomputing one evicted study, want exactly 1", computes)
+	}
+	d2.stop(t)
+}

@@ -2,7 +2,9 @@ package fleet
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -10,8 +12,8 @@ import (
 )
 
 // ErrUnknownStudy is returned by Result for a fingerprint no suite ever
-// submitted: it is not cached, not in flight, and no config is retained to
-// recompute it from.
+// submitted: it is not cached, not in flight, and neither a config nor a
+// snapshot spec is retained to recompute it from.
 var ErrUnknownStudy = errors.New("fleet: unknown study fingerprint")
 
 // ErrClosed is returned once the scheduler has shut down.
@@ -63,10 +65,9 @@ type Scheduler struct {
 	// 404 for the rest of the process lifetime. Growth is bounded by the
 	// number of distinct configs ever submitted, which the daemon's
 	// workloads keep small; the blobs (the heavy part) stay governed by
-	// the store. The retention does not survive restarts: snapshots
-	// persist result blobs only, so a restarted daemon serves the warm
-	// snapshot but can recompute an entry evicted after the restart only
-	// once some suite re-submits it.
+	// the store. Across restarts the same role is played by the store's
+	// spec registry: SubmitSpecs persists each study's declarative wire
+	// spec into the snapshot, and Result falls back to re-resolving it.
 	studies map[string]*relperf.Study
 
 	computes atomic.Uint64
@@ -128,21 +129,72 @@ func (s *Scheduler) Inflight() int {
 // cache and in-flight work) cost nothing. No computation starts when any
 // configuration is invalid.
 func (s *Scheduler) Submit(configs []relperf.StudyConfig) ([]string, error) {
+	if len(configs) == 0 {
+		return nil, errors.New("fleet: no studies")
+	}
 	fps := make([]string, len(configs))
 	studies := make([]*relperf.Study, len(configs))
 	for i, cfg := range configs {
 		study, fp, err := relperf.NewKeyedStudy(cfg, s.opts.Seed)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("fleet: study %d: %w", i, err)
 		}
 		studies[i], fps[i] = study, fp
 	}
-	for i, fp := range fps {
-		if _, err := s.ensure(fp, studies[i]); err != nil {
-			return nil, err
-		}
+	if err := s.ensureAll(fps, studies, nil); err != nil {
+		return nil, err
 	}
 	return fps, nil
+}
+
+// SubmitSpecs registers a suite of declarative study specs and returns
+// their fingerprints in input order — the spec-layer form of Submit. Beyond
+// resolving each spec to a runnable study, it retains the spec's canonical
+// wire JSON in the store, where snapshots persist it: a restarted daemon
+// re-resolves the snapshot spec to recompute any result the LRU has
+// evicted, so eviction never turns a submitted study into a 404 — even
+// across process lifetimes. No computation starts and no spec is retained
+// when any spec is invalid.
+func (s *Scheduler) SubmitSpecs(specs []StudySpec) ([]string, error) {
+	if len(specs) == 0 {
+		return nil, errors.New("fleet: no study specs")
+	}
+	fps := make([]string, len(specs))
+	studies := make([]*relperf.Study, len(specs))
+	blobs := make([][]byte, len(specs))
+	for i := range specs {
+		cfg, err := specs[i].Config()
+		if err != nil {
+			return nil, fmt.Errorf("fleet: study %d: %w", i, err)
+		}
+		study, fp, err := relperf.NewKeyedStudy(cfg, s.opts.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: study %d: %w", i, err)
+		}
+		blob, err := json.Marshal(&specs[i])
+		if err != nil {
+			return nil, fmt.Errorf("fleet: study %d: encoding spec: %w", i, err)
+		}
+		studies[i], fps[i], blobs[i] = study, fp, blob
+	}
+	if err := s.ensureAll(fps, studies, blobs); err != nil {
+		return nil, err
+	}
+	return fps, nil
+}
+
+// ensureAll is the shared tail of the Submit entry points: retain each
+// spec (when present) and arrange every study's computation.
+func (s *Scheduler) ensureAll(fps []string, studies []*relperf.Study, specBlobs [][]byte) error {
+	for i, fp := range fps {
+		if specBlobs != nil {
+			s.store.PutSpec(fp, specBlobs[i])
+		}
+		if _, err := s.ensure(fp, studies[i]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Study computes (or serves) the result for one configuration, blocking
@@ -171,10 +223,11 @@ func (s *Scheduler) Study(ctx context.Context, cfg relperf.StudyConfig) (string,
 }
 
 // Result returns the encoded result for a fingerprint: from the cache, by
-// waiting for the in-flight computation, or — for a previously submitted
-// study whose result was LRU-evicted — by recomputing it from the retained
-// study. Never-submitted fingerprints return ErrUnknownStudy: the
-// scheduler cannot reconstruct a config from its hash.
+// waiting for the in-flight computation, or — for a study whose result was
+// LRU-evicted — by recomputing it from the retained study or, after a
+// restart, from the declarative spec persisted in the snapshot.
+// Fingerprints with none of those return ErrUnknownStudy: the scheduler
+// cannot reconstruct a config from its hash alone.
 func (s *Scheduler) Result(ctx context.Context, fp string) ([]byte, error) {
 	for {
 		if blob, ok := s.store.Get(fp); ok {
@@ -198,7 +251,13 @@ func (s *Scheduler) Result(ctx context.Context, fp string) ([]byte, error) {
 			continue
 		}
 		if !submitted {
-			return nil, ErrUnknownStudy
+			// Restart path: the in-process study registry is empty, but the
+			// snapshot may have carried the study's declarative spec.
+			var err error
+			study, err = s.studyFromSpec(fp)
+			if err != nil {
+				return nil, err
+			}
 		}
 		f, err := s.ensure(fp, study)
 		if err != nil {
@@ -210,6 +269,34 @@ func (s *Scheduler) Result(ctx context.Context, fp string) ([]byte, error) {
 		// ensure saw a cached result (a racing recompute landed); loop to
 		// fetch it.
 	}
+}
+
+// studyFromSpec rebuilds a runnable study from the spec the store retains
+// for the fingerprint (typically restored from a snapshot). The resolved
+// spec must fingerprint back to fp — a mismatch means the snapshot was
+// written by an engine with different result semantics, and serving a
+// recompute under the old identity would break the determinism contract.
+func (s *Scheduler) studyFromSpec(fp string) (*relperf.Study, error) {
+	raw, ok := s.store.Spec(fp)
+	if !ok {
+		return nil, ErrUnknownStudy
+	}
+	spec, err := relperf.ParseStudySpec(raw)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: snapshot spec for %s: %w", fp, err)
+	}
+	cfg, err := spec.Config()
+	if err != nil {
+		return nil, fmt.Errorf("fleet: snapshot spec for %s: %w", fp, err)
+	}
+	study, got, err := relperf.NewKeyedStudy(cfg, s.opts.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: snapshot spec for %s: %w", fp, err)
+	}
+	if got != fp {
+		return nil, fmt.Errorf("fleet: snapshot spec for %s resolves to fingerprint %s (schema or engine changed); resubmit the suite", fp, got)
+	}
+	return study, nil
 }
 
 // wait blocks until the flight completes or ctx is cancelled. A cancelled

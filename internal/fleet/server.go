@@ -85,12 +85,10 @@ func (s *Server) handleSuites(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
-	configs, err := req.Configs()
-	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
-		return
-	}
-	fps, err := s.sched.Submit(configs)
+	// SubmitSpecs (not Submit): beyond starting the studies it retains each
+	// spec's wire JSON in the store, so snapshots can recompute evictions
+	// after a restart.
+	fps, err := s.sched.SubmitSpecs(req.Studies)
 	if err != nil {
 		code := http.StatusBadRequest
 		if errors.Is(err, ErrClosed) {

@@ -175,6 +175,8 @@ func TestServerBadRequests(t *testing.T) {
 		`{"studies":[{"workload":"tableI","bogus_field":1}]}`,
 		`{"studies":[{"workload":"tableI","placements":["DXD"]}]}`,
 		`{"studies":[{"workload":"tableI","comparator":"psychic"}]}`,
+		`{"studies":[{"workload":"tableI","reps":-3}]}`,
+		`{"studies":[{"workload":"tableI"}]} {"studies":[{"workload":"nope"}]}`,
 	} {
 		resp, err := http.Post(ts.URL+"/v1/suites", "application/json", strings.NewReader(body))
 		if err != nil {

@@ -7,84 +7,15 @@ import (
 	"io"
 
 	"relperf"
-	"relperf/internal/compare"
-	"relperf/internal/sim"
-	"relperf/internal/workload"
 )
 
-// StudySpec is the JSON wire form of a study configuration: programs and
-// platforms are referenced by workload name (configs travel over HTTP, so
-// they cannot carry Go model objects), everything else maps onto
-// relperf.StudyConfig. Zero values mean the library defaults.
-type StudySpec struct {
-	// Workload names the program/platform pair: "tableI" or "fig1".
-	Workload string `json:"workload"`
-	// LoopN is the loop iteration count of the tableI workload (default
-	// 10); ignored by fig1.
-	LoopN int `json:"loop_n,omitempty"`
-	// Measurements is N, the measurements per algorithm (default 30).
-	Measurements int `json:"measurements,omitempty"`
-	// Warmup measurements are discarded first.
-	Warmup int `json:"warmup,omitempty"`
-	// Reps is the number of clustering repetitions (default 100).
-	Reps int `json:"reps,omitempty"`
-	// Matrix enables the precomputed pairwise-statistics clustering path.
-	Matrix bool `json:"matrix,omitempty"`
-	// MatrixTrials caps the per-pair trials on the matrix path.
-	MatrixTrials int `json:"matrix_trials,omitempty"`
-	// Comparator selects a built-in comparator at default parameters:
-	// "bootstrap" (default), "ks", "mannwhitney" or "mean".
-	Comparator string `json:"comparator,omitempty"`
-	// Placements restricts the algorithm set ("DDA", ...); empty means all
-	// 2^L placements.
-	Placements []string `json:"placements,omitempty"`
-}
-
-// Config resolves the spec into a runnable study configuration.
-func (sp *StudySpec) Config() (relperf.StudyConfig, error) {
-	var cfg relperf.StudyConfig
-	loopN := sp.LoopN
-	if loopN <= 0 {
-		loopN = 10
-	}
-	switch sp.Workload {
-	case "tableI", "table1":
-		cfg.Platform = relperf.DefaultPlatform()
-		cfg.Program = relperf.TableIProgram(loopN)
-	case "fig1", "figure1":
-		cfg.Platform = relperf.Figure1Platform()
-		// The Figure-1 program's offload efficiencies are calibrated to its
-		// own platform's accelerator peak, as in the relperf CLI.
-		cfg.Program = workload.Figure1(cfg.Platform.Accel.PeakFlops)
-	default:
-		return cfg, fmt.Errorf("fleet: unknown workload %q (want tableI or fig1)", sp.Workload)
-	}
-	switch sp.Comparator {
-	case "", "bootstrap":
-		cfg.Comparator = nil
-	case "ks":
-		cfg.Comparator = compare.KS{}
-	case "mannwhitney":
-		cfg.Comparator = compare.MannWhitney{}
-	case "mean":
-		cfg.Comparator = compare.MeanThreshold{}
-	default:
-		return cfg, fmt.Errorf("fleet: unknown comparator %q", sp.Comparator)
-	}
-	for _, raw := range sp.Placements {
-		pl, err := sim.ParsePlacement(raw)
-		if err != nil {
-			return cfg, err
-		}
-		cfg.Placements = append(cfg.Placements, pl)
-	}
-	cfg.N = sp.Measurements
-	cfg.Warmup = sp.Warmup
-	cfg.Reps = sp.Reps
-	cfg.Matrix = sp.Matrix
-	cfg.MatrixTrials = sp.MatrixTrials
-	return cfg, nil
-}
+// StudySpec is the JSON wire form of a study configuration. The schema is
+// owned by the relperf package (see relperf.StudySpec): a spec either names
+// a built-in workload or carries a declarative program/platform description,
+// so clients can open arbitrary scenarios without a binary roll. The alias
+// keeps the fleet wire surface (SuiteRequest, snapshots) and the library
+// schema one type.
+type StudySpec = relperf.StudySpec
 
 // SuiteRequest is the POST /v1/suites body.
 type SuiteRequest struct {
@@ -93,28 +24,37 @@ type SuiteRequest struct {
 
 // Configs resolves every spec of the request.
 func (r *SuiteRequest) Configs() ([]relperf.StudyConfig, error) {
-	if len(r.Studies) == 0 {
-		return nil, errors.New("fleet: suite request without studies")
-	}
-	configs := make([]relperf.StudyConfig, len(r.Studies))
-	for i := range r.Studies {
-		cfg, err := r.Studies[i].Config()
-		if err != nil {
-			return nil, fmt.Errorf("fleet: study %d: %w", i, err)
-		}
-		configs[i] = cfg
-	}
-	return configs, nil
+	return relperf.ConfigsFromSpecs(r.Studies)
 }
 
 // DecodeSuiteRequest parses a request body, rejecting unknown fields so
 // spec typos fail loudly instead of silently running the default study.
+// Every spec is validated; resolution happens in Configs or
+// Scheduler.SubmitSpecs.
 func DecodeSuiteRequest(rd io.Reader) (*SuiteRequest, error) {
 	dec := json.NewDecoder(rd)
 	dec.DisallowUnknownFields()
 	var req SuiteRequest
 	if err := dec.Decode(&req); err != nil {
 		return nil, fmt.Errorf("fleet: decoding suite request: %w", err)
+	}
+	// A second document after the first would be silently discarded by
+	// Decode — reject it, the caller almost certainly concatenated bodies.
+	// A read error here (size cap, transport) is its own failure, not
+	// trailing data.
+	if _, err := dec.Token(); err != io.EOF {
+		if err != nil {
+			return nil, fmt.Errorf("fleet: reading suite request: %w", err)
+		}
+		return nil, errors.New("fleet: trailing data after suite request")
+	}
+	if len(req.Studies) == 0 {
+		return nil, errors.New("fleet: suite request without studies")
+	}
+	for i := range req.Studies {
+		if err := req.Studies[i].Validate(); err != nil {
+			return nil, fmt.Errorf("fleet: study %d: %w", i, err)
+		}
 	}
 	return &req, nil
 }

@@ -16,6 +16,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 )
 
@@ -24,13 +25,17 @@ const SnapshotSchema = "relperf/fleet-snapshot/v1"
 
 // Store is a content-addressed result cache: canonical wire-encoded study
 // results keyed by config fingerprint, with LRU eviction and JSON snapshot
-// persistence so a restarted daemon serves warm results. Safe for
-// concurrent use.
+// persistence so a restarted daemon serves warm results. Alongside the
+// result blobs it retains the declarative spec (wire JSON) of every study
+// submitted through the spec layer; specs are tiny, never evicted, and are
+// persisted in snapshots — they are the recipes a restarted daemon uses to
+// recompute results the LRU evicted. Safe for concurrent use.
 type Store struct {
 	mu       sync.Mutex
 	capacity int
 	ll       *list.List // front = most recently used
 	items    map[string]*list.Element
+	specs    map[string][]byte
 
 	hits, misses, evictions uint64
 }
@@ -47,6 +52,7 @@ func NewStore(capacity int) *Store {
 		capacity: capacity,
 		ll:       list.New(),
 		items:    make(map[string]*list.Element),
+		specs:    make(map[string][]byte),
 	}
 }
 
@@ -112,9 +118,29 @@ func (s *Store) Keys() []string {
 	return out
 }
 
+// PutSpec retains the declarative wire spec of a study under its
+// fingerprint, replacing any previous recipe. Specs are not subject to LRU
+// eviction: they are a few hundred bytes each and every retained spec keeps
+// one study recomputable forever.
+func (s *Store) PutSpec(fp string, spec []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.specs[fp] = spec
+}
+
+// Spec returns the retained spec for the fingerprint. The returned slice is
+// shared — callers must not mutate it.
+func (s *Store) Spec(fp string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	spec, ok := s.specs[fp]
+	return spec, ok
+}
+
 // Stats reports cache effectiveness counters.
 type Stats struct {
 	Entries   int    `json:"entries"`
+	Specs     int    `json:"specs"`
 	Hits      uint64 `json:"hits"`
 	Misses    uint64 `json:"misses"`
 	Evictions uint64 `json:"evictions"`
@@ -124,15 +150,19 @@ type Stats struct {
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return Stats{Entries: s.ll.Len(), Hits: s.hits, Misses: s.misses, Evictions: s.evictions}
+	return Stats{Entries: s.ll.Len(), Specs: len(s.specs), Hits: s.hits, Misses: s.misses, Evictions: s.evictions}
 }
 
 // snapshot is the persisted form: entries from least to most recently used
-// so replaying them through Put restores both contents and recency.
+// so replaying them through Put restores both contents and recency, plus
+// the retained study specs (sorted by fingerprint so equal stores write
+// byte-identical snapshots). Specs is optional — snapshots written before
+// the declarative-spec schema load fine, they just cannot seed recompute.
 type snapshot struct {
 	Schema  string          `json:"schema"`
 	Seed    uint64          `json:"seed"`
 	Entries []snapshotEntry `json:"entries"`
+	Specs   []snapshotSpec  `json:"specs,omitempty"`
 }
 
 type snapshotEntry struct {
@@ -140,10 +170,15 @@ type snapshotEntry struct {
 	Result      json.RawMessage `json:"result"`
 }
 
-// WriteSnapshot persists every cached result together with the suite seed
-// the results were computed under. Result blobs are embedded verbatim (they
-// are canonical compact JSON), so a load-and-serve round trip is
-// byte-identical.
+type snapshotSpec struct {
+	Fingerprint string          `json:"fingerprint"`
+	Spec        json.RawMessage `json:"spec"`
+}
+
+// WriteSnapshot persists every cached result and retained spec together
+// with the suite seed the results were computed under. Result blobs are
+// embedded verbatim (they are canonical compact JSON), so a load-and-serve
+// round trip is byte-identical.
 func (s *Store) WriteSnapshot(w io.Writer, seed uint64) error {
 	s.mu.Lock()
 	snap := snapshot{Schema: SnapshotSchema, Seed: seed}
@@ -151,7 +186,13 @@ func (s *Store) WriteSnapshot(w io.Writer, seed uint64) error {
 		e := el.Value.(*storeEntry)
 		snap.Entries = append(snap.Entries, snapshotEntry{Fingerprint: e.fp, Result: e.blob})
 	}
+	for fp, spec := range s.specs {
+		snap.Specs = append(snap.Specs, snapshotSpec{Fingerprint: fp, Spec: spec})
+	}
 	s.mu.Unlock()
+	sort.Slice(snap.Specs, func(i, j int) bool {
+		return snap.Specs[i].Fingerprint < snap.Specs[j].Fingerprint
+	})
 	b, err := json.Marshal(&snap)
 	if err != nil {
 		return err
@@ -181,6 +222,9 @@ func (s *Store) LoadSnapshot(r io.Reader, seed uint64) (int, error) {
 	}
 	for _, e := range snap.Entries {
 		s.Put(e.Fingerprint, []byte(e.Result))
+	}
+	for _, e := range snap.Specs {
+		s.PutSpec(e.Fingerprint, []byte(e.Spec))
 	}
 	retained := 0
 	for _, e := range snap.Entries {

@@ -108,6 +108,71 @@ func TestStoreSnapshotLoadBounded(t *testing.T) {
 	}
 }
 
+// TestStoreSpecSnapshot: retained specs persist alongside result blobs,
+// survive a snapshot round trip verbatim, are never LRU-evicted, and equal
+// stores write byte-identical snapshots regardless of spec insertion order.
+func TestStoreSpecSnapshot(t *testing.T) {
+	s := NewStore(1)
+	s.Put("aaaa", []byte(`{"v":1}`))
+	s.PutSpec("aaaa", []byte(`{"workload":"tableI"}`))
+	s.PutSpec("bbbb", []byte(`{"workload":"fig1"}`))
+	s.Put("bbbb", []byte(`{"v":2}`)) // evicts result aaaa, not its spec
+	if _, ok := s.Get("aaaa"); ok {
+		t.Fatal("result aaaa should have been evicted")
+	}
+	if spec, ok := s.Spec("aaaa"); !ok || string(spec) != `{"workload":"tableI"}` {
+		t.Fatalf("spec aaaa = %q, %v (specs must not be LRU-evicted)", spec, ok)
+	}
+	if st := s.Stats(); st.Specs != 2 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	var buf bytes.Buffer
+	if err := s.WriteSnapshot(&buf, 7); err != nil {
+		t.Fatal(err)
+	}
+	restored := NewStore(0)
+	if _, err := restored.LoadSnapshot(bytes.NewReader(buf.Bytes()), 7); err != nil {
+		t.Fatal(err)
+	}
+	for _, fp := range []string{"aaaa", "bbbb"} {
+		want, _ := s.Spec(fp)
+		got, ok := restored.Spec(fp)
+		if !ok || !bytes.Equal(want, got) {
+			t.Fatalf("spec %s differs after restore: %s vs %s", fp, want, got)
+		}
+	}
+
+	// Determinism: the same contents inserted in the opposite order write
+	// the same snapshot bytes (specs are sorted by fingerprint).
+	s2 := NewStore(1)
+	s2.PutSpec("bbbb", []byte(`{"workload":"fig1"}`))
+	s2.PutSpec("aaaa", []byte(`{"workload":"tableI"}`))
+	s2.Put("aaaa", []byte(`{"v":1}`))
+	s2.Put("bbbb", []byte(`{"v":2}`))
+	var buf2 bytes.Buffer
+	if err := s2.WriteSnapshot(&buf2, 7); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatalf("snapshot bytes depend on spec insertion order:\n%s\n%s", buf.Bytes(), buf2.Bytes())
+	}
+}
+
+// TestStoreSnapshotWithoutSpecs: pre-spec snapshots (no "specs" field)
+// still load.
+func TestStoreSnapshotWithoutSpecs(t *testing.T) {
+	legacy := `{"schema":"relperf/fleet-snapshot/v1","seed":3,"entries":[{"fingerprint":"aaaa","result":{"v":1}}]}`
+	s := NewStore(0)
+	n, err := s.LoadSnapshot(strings.NewReader(legacy), 3)
+	if err != nil || n != 1 {
+		t.Fatalf("legacy snapshot: n=%d err=%v", n, err)
+	}
+	if st := s.Stats(); st.Specs != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
 func TestStoreSnapshotSeedMismatch(t *testing.T) {
 	s := NewStore(0)
 	s.Put("aaaa", []byte(`{}`))

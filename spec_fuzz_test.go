@@ -1,0 +1,60 @@
+package relperf
+
+// Fuzz harness for the declarative spec schema: malformed input must
+// return errors, never panic, and every accepted spec must re-encode to a
+// canonical form that parses again and resolves to a fingerprintable
+// configuration. Run continuously with:
+//
+//	go test -run '^$' -fuzz '^FuzzParseStudySpec$' -fuzztime 30s .
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func FuzzParseStudySpec(f *testing.F) {
+	seeds := []string{
+		`{"workload":"tableI","loop_n":2,"measurements":6,"reps":10}`,
+		`{"workload":"fig1","comparator":"ks","placements":["DA","AD"]}`,
+		declTableI,
+		declFig1,
+		goldenSpec,
+		`{"program":{"tasks":[{"name":"L1","kernel":"raw","flops":1e9,"accel_eff":0.5}]}}`,
+		`{"workload":"tableI","platform":{"edge":{"preset":"smartphone-soc"},"link":{"preset":"5g-edge"}}}`,
+		`{"workload":"tableI","matrix":true,"matrix_trials":8}`,
+		`{"workload":"nope"}`,
+		`{"program":{"tasks":[]}}`,
+		`{"workload":"tableI","reps":-1}`,
+		`{`,
+		`[]`,
+		`{"workload":"tableI"} trailing`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sp, err := ParseStudySpec(data)
+		if err != nil {
+			return // malformed input must error, and it did
+		}
+		// Accepted specs re-encode canonically...
+		canon, err := json.Marshal(sp)
+		if err != nil {
+			t.Fatalf("accepted spec fails to marshal: %v", err)
+		}
+		// ...and the canonical form parses again (snapshots depend on it).
+		if _, err := ParseStudySpec(canon); err != nil {
+			t.Fatalf("canonical re-encoding rejected: %v\nspec: %s", err, canon)
+		}
+		// Resolution may reject (e.g. total-flops bound), but a resolved
+		// config must always be fingerprintable: the fleet layers assume
+		// every spec-born study has a canonical cache identity.
+		cfg, err := sp.Config()
+		if err != nil {
+			return
+		}
+		if _, err := Fingerprint(cfg); err != nil {
+			t.Fatalf("resolved spec config cannot be fingerprinted: %v\nspec: %s", err, canon)
+		}
+	})
+}

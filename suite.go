@@ -416,6 +416,18 @@ func (s *Suite) Stream(ctx context.Context, fn func(StudyOutcome)) (*SuiteResult
 	return sr, nil
 }
 
+// NewSuiteFromSpecs builds a suite from declarative wire specs (the JSON
+// schema of spec.go): each spec resolves to a StudyConfig, then the members
+// are deduplicated, keyed and budgeted exactly as in NewSuite. This is the
+// local (in-process) counterpart of POSTing the specs to a relperfd daemon.
+func NewSuiteFromSpecs(specs []StudySpec, seed uint64, workers int) (*Suite, error) {
+	configs, err := ConfigsFromSpecs(specs)
+	if err != nil {
+		return nil, err
+	}
+	return NewSuite(SuiteConfig{Studies: configs, Seed: seed, Workers: workers})
+}
+
 // RunSuite is the one-call form: NewSuite followed by Run.
 func RunSuite(ctx context.Context, cfg SuiteConfig) (*SuiteResult, error) {
 	suite, err := NewSuite(cfg)

@@ -1,0 +1,46 @@
+package relperf
+
+// Fuzz harness for the relperf/result/v1 wire decoder: arbitrary bytes
+// must never panic UnmarshalResultWire, and any document it accepts must
+// re-marshal to a canonical fixed point — the byte-identity the fleet
+// store, snapshots and HTTP cache hits are built on. Run continuously with:
+//
+//	go test -run '^$' -fuzz '^FuzzUnmarshalResultWire$' -fuzztime 30s .
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+func FuzzUnmarshalResultWire(f *testing.F) {
+	if golden, err := os.ReadFile(goldenResultPath); err == nil {
+		f.Add(bytes.TrimSuffix(golden, []byte("\n")))
+	}
+	f.Add([]byte(`{"schema":"relperf/result/v1"}`))
+	f.Add([]byte(`{"schema":"relperf/result/v0","names":[]}`))
+	f.Add([]byte(`{"schema":"relperf/result/v1","names":["a"],"samples":{"workload":"w","samples":[{"name":"a","seconds":[1]}]},"clusters":null,"final":null,"profiles":null}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		res, err := UnmarshalResultWire(data)
+		if err != nil {
+			return // malformed input must error, and it did
+		}
+		b1, err := res.MarshalWire()
+		if err != nil {
+			t.Fatalf("accepted document fails to re-marshal: %v", err)
+		}
+		res2, err := UnmarshalResultWire(b1)
+		if err != nil {
+			t.Fatalf("canonical re-encoding rejected: %v\ndoc: %s", err, b1)
+		}
+		b2, err := res2.MarshalWire()
+		if err != nil {
+			t.Fatalf("second marshal failed: %v", err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("marshal is not a fixed point:\n first: %s\nsecond: %s", b1, b2)
+		}
+	})
+}

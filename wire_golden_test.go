@@ -1,0 +1,182 @@
+package relperf
+
+// Golden-file wire tests: committed fixtures pin the exact bytes of the two
+// wire formats — the declarative study-spec schema and the
+// relperf/result/v1 result document. Marshalling must be byte-identical to
+// the goldens and every golden must round-trip, so any silent wire-format
+// drift (a renamed field, a float formatting change, a reordered struct)
+// fails loudly here. Regenerate intentionally with:
+//
+//	go test -run TestGolden -update .
+//
+// A result-golden change means every cached fleet result is stale: bump
+// fingerprintVersion in suite.go in the same commit.
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden wire fixtures")
+
+const (
+	goldenSpecPath        = "testdata/spec_golden.json"
+	goldenFingerprintPath = "testdata/spec_golden.fingerprint"
+	goldenResultPath      = "testdata/result_v1_golden.json"
+	goldenSeed            = 42
+)
+
+// goldenSpec is the fixture source: a declarative spec exercising the whole
+// schema surface (custom program with all three kernels, explicit devices,
+// noise stack, energy, link preset, placements, engine fields) while
+// staying cheap enough to run on every test invocation.
+const goldenSpec = `{
+	"program": {
+		"name": "golden-pipeline",
+		"tasks": [
+			{"name": "G1", "kernel": "rls", "size": 40, "iters": 2, "lambda": 0.5},
+			{"name": "G2", "kernel": "gemm", "size": 64, "iters": 10, "cache_penalty_seconds": 0.0002},
+			{"name": "G3", "kernel": "raw", "flops": 3e8, "mem_bytes": 1e6, "launches": 8,
+			 "host_in_bytes": 2e6, "host_out_bytes": 1e6, "transfers": 3, "edge_eff": 0.9, "accel_eff": 0.04}
+		]
+	},
+	"platform": {
+		"edge": {"preset": "raspberry-pi-4"},
+		"accel": {
+			"name": "golden-accel",
+			"peak_flops": 6e11,
+			"mem_bandwidth": 8e10,
+			"launch_overhead_ns": 8000,
+			"task_overhead_ns": 300000,
+			"noise": {"kind": "spiky", "p": 0.02, "scale": 0.06, "alpha": 1.5, "base": {"kind": "lognormal", "sigma": 0.1}},
+			"energy": {"idle_watts": 5, "active_watts": 20, "joules_per_byte": 1e-10}
+		},
+		"link": {"preset": "wifi"}
+	},
+	"measurements": 5,
+	"warmup": 1,
+	"reps": 8,
+	"placements": ["DDD", "DDA", "ADD", "AAA"]
+}`
+
+// goldenStudy resolves the golden spec into its canonical form, config and
+// fingerprint.
+func goldenStudy(t *testing.T) (canon []byte, cfg StudyConfig, fp string) {
+	t.Helper()
+	sp, err := ParseStudySpec([]byte(goldenSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon, err = json.Marshal(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon = append(canon, '\n')
+	cfg, err = sp.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err = Fingerprint(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return canon, cfg, fp
+}
+
+func writeGolden(t *testing.T, path string, b []byte) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("rewrote %s (%d bytes)", path, len(b))
+}
+
+func readGolden(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with: go test -run TestGolden -update .)", err)
+	}
+	return b
+}
+
+// TestGoldenSpecWire pins the spec schema: the committed fixture must parse,
+// re-marshal byte-identically, and resolve to the committed fingerprint.
+func TestGoldenSpecWire(t *testing.T) {
+	canon, _, fp := goldenStudy(t)
+	if *updateGolden {
+		writeGolden(t, goldenSpecPath, canon)
+		writeGolden(t, goldenFingerprintPath, []byte(fp+"\n"))
+	}
+	want := readGolden(t, goldenSpecPath)
+	if !bytes.Equal(canon, want) {
+		t.Errorf("canonical spec encoding drifted from %s:\n got: %s\nwant: %s", goldenSpecPath, canon, want)
+	}
+
+	// The golden file itself must round-trip: parse → marshal → the same
+	// bytes again (the fixture is stored in canonical form).
+	sp2, err := ParseStudySpec(want)
+	if err != nil {
+		t.Fatalf("golden spec no longer parses: %v", err)
+	}
+	again, err := json.Marshal(sp2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(append(again, '\n'), want) {
+		t.Errorf("golden spec does not round-trip byte-identically")
+	}
+
+	wantFP := string(bytes.TrimSpace(readGolden(t, goldenFingerprintPath)))
+	if fp != wantFP {
+		t.Errorf("golden spec fingerprint drifted: got %s, want %s\n"+
+			"an intentional engine/schema change must bump fingerprintVersion and regenerate the goldens", fp, wantFP)
+	}
+}
+
+// TestGoldenResultWire pins relperf/result/v1: running the golden spec
+// study must marshal byte-identically to the committed document, and the
+// document must round-trip through UnmarshalResultWire → MarshalWire.
+func TestGoldenResultWire(t *testing.T) {
+	_, cfg, _ := goldenStudy(t)
+	cfg.Seed = goldenSeed
+	study, err := NewStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := study.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if *updateGolden {
+		writeGolden(t, goldenResultPath, buf.Bytes())
+	}
+	want := readGolden(t, goldenResultPath)
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("result wire encoding drifted from %s (determinism or format change)", goldenResultPath)
+	}
+
+	// Round trip: the committed document decodes and re-encodes to itself.
+	doc, err := UnmarshalResultWire(bytes.TrimSuffix(want, []byte("\n")))
+	if err != nil {
+		t.Fatalf("golden result no longer parses: %v", err)
+	}
+	again, err := doc.MarshalWire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(append(again, '\n'), want) {
+		t.Errorf("golden result does not round-trip byte-identically")
+	}
+}
