@@ -13,7 +13,7 @@ SERVE_SNAPSHOT ?= relperfd.snapshot.json
 # runs can override: `make fuzz FUZZTIME=2m`.
 FUZZTIME ?= 15s
 
-.PHONY: all build test race vet bench fuzz serve clean
+.PHONY: all build test race vet bench bench-check fuzz serve clean
 
 all: build vet test
 
@@ -41,10 +41,18 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeSuiteRequest$$' -fuzztime $(FUZZTIME) ./internal/fleet
 
 # Runs the engine benchmarks with allocation reporting and emits the
-# machine-readable BENCH_engine.json snapshot.
+# machine-readable BENCH_engine.json snapshot. The WinRate old/new sweep
+# runs only inside the emitter (its numbers land in BENCH_engine.json);
+# keeping it out of the -bench line avoids paying the O(N²) old arm twice.
 bench:
 	RELPERF_EMIT_BENCH=1 $(GO) test -run TestEmitEngineBenchJSON -count=1 .
 	$(GO) test -run xxx -bench 'EngineSerialVsParallel|Allocs' -benchmem .
+
+# Gates on the committed performance floors (matrix ≥ 2.5x, index-space
+# bootstrap ≥ 1.5x at N=500): run after `make bench` so the freshly emitted
+# BENCH_engine.json is what gets checked. CI fails on regression.
+bench-check:
+	$(GO) run ./cmd/benchcheck BENCH_engine.json
 
 # Launches the relperfd serving daemon preloaded with the example suite;
 # results persist to $(SERVE_SNAPSHOT) so restarts serve warm.

@@ -16,6 +16,7 @@ import (
 
 	"relperf"
 	"relperf/internal/compare"
+	"relperf/internal/comparetest"
 	"relperf/internal/core"
 	"relperf/internal/decision"
 	"relperf/internal/mat"
@@ -497,6 +498,68 @@ func BenchmarkBootstrapCompareAllocs(b *testing.B) {
 		if _, err := cmp.Compare(a, c); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// winRateSamples builds two overlapping log-normal samples of size n for
+// the bootstrap kernel benchmarks.
+func winRateSamples(n int) (a, b []float64) {
+	rng := xrand.New(uint64(n))
+	a = make([]float64, n)
+	b = make([]float64, n)
+	for i := range a {
+		a[i] = rng.LogNormal(0, 0.2)
+		b[i] = 1.05 * rng.LogNormal(0, 0.2)
+	}
+	return a, b
+}
+
+// benchWinRateNew exercises the shipped index-space kernel: sort-once base
+// samples, counted index resamples, quantiles off the sorted base. The
+// kernel cache is warmed before the timer so the loop shows the
+// steady-state (zero-allocation) cost.
+func benchWinRateNew(n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		x, y := winRateSamples(n)
+		cmp := compare.NewBootstrap(1)
+		if _, err := cmp.WinRate(x, y); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cmp.WinRate(x, y); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// benchWinRateOld exercises the retired value-space kernel (kept as the
+// reference implementation in internal/comparetest): every resample
+// materialized and insertion-sorted, O(N²) per round.
+func benchWinRateOld(n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		x, y := winRateSamples(n)
+		rng := xrand.New(1)
+		bufA := make([]float64, n)
+		bufB := make([]float64, n)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			comparetest.ReferenceWinRate(rng, x, y, bufA, bufB,
+				compare.DefaultQuantiles, compare.DefaultRounds)
+		}
+	}
+}
+
+// P4 — the bootstrap comparator kernel, old vs new, across the sample sizes
+// the spec schema admits. The BENCH_engine.json emitter reuses the same
+// closures and derives speedup_bootstrap from the N=500 pair.
+func BenchmarkWinRate(b *testing.B) {
+	for _, n := range []int{50, 500, 5000} {
+		b.Run("N="+itoa(n)+"/old", benchWinRateOld(n))
+		b.Run("N="+itoa(n)+"/new", benchWinRateNew(n))
 	}
 }
 

@@ -34,6 +34,10 @@ type engineBenchReport struct {
 	SpeedupParallel float64 `json:"speedup_parallel"`
 	// SpeedupMatrix is serial ns/op over parallel-matrix ns/op.
 	SpeedupMatrix float64 `json:"speedup_matrix"`
+	// SpeedupBootstrap is the old (value-space, per-round insertion sort)
+	// bootstrap WinRate ns/op over the index-space kernel's, at N=500 —
+	// single-threaded by construction, so the floor holds on any runner.
+	SpeedupBootstrap float64 `json:"speedup_bootstrap"`
 }
 
 // benchStudy is the Table-I-sized engine workload shared by
@@ -95,6 +99,25 @@ func TestEmitEngineBenchJSON(t *testing.T) {
 		t.Errorf("Bootstrap.Compare allocates %d/op after warm-up, want 0", cmpBench.AllocsPerOp())
 	}
 
+	// Bootstrap kernel, old vs new, at every spec-admissible sample size;
+	// speedup_bootstrap carries the N=500 ratio that `make bench-check`
+	// holds to its floor.
+	for _, n := range []int{50, 500, 5000} {
+		old := testing.Benchmark(benchWinRateOld(n))
+		new_ := testing.Benchmark(benchWinRateNew(n))
+		report.Benchmarks = append(report.Benchmarks,
+			record("WinRate/N="+itoa(n)+"/old", old),
+			record("WinRate/N="+itoa(n)+"/new", new_),
+		)
+		if new_.AllocsPerOp() != 0 {
+			t.Errorf("index-space WinRate at N=%d allocates %d/op after warm-up, want 0",
+				n, new_.AllocsPerOp())
+		}
+		if n == 500 {
+			report.SpeedupBootstrap = float64(old.NsPerOp()) / float64(new_.NsPerOp())
+		}
+	}
+
 	f, err := os.Create("BENCH_engine.json")
 	if err != nil {
 		t.Fatal(err)
@@ -105,6 +128,6 @@ func TestEmitEngineBenchJSON(t *testing.T) {
 	if err := enc.Encode(report); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("BENCH_engine.json: parallel speedup %.2fx, matrix speedup %.2fx (GOMAXPROCS=%d)",
-		report.SpeedupParallel, report.SpeedupMatrix, report.GoMaxProcs)
+	t.Logf("BENCH_engine.json: parallel speedup %.2fx, matrix speedup %.2fx, bootstrap speedup %.2fx (GOMAXPROCS=%d)",
+		report.SpeedupParallel, report.SpeedupMatrix, report.SpeedupBootstrap, report.GoMaxProcs)
 }

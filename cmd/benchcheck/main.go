@@ -1,0 +1,78 @@
+// Command benchcheck gates CI on the engine's committed performance floors:
+// it reads a BENCH_engine.json produced by `make bench` and fails (exit 1)
+// when any tracked speedup falls below its floor, so a regression in the
+// matrix pre-pass or the index-space bootstrap kernel turns the job red
+// instead of silently shipping.
+//
+//	benchcheck [-matrix-floor 2.5] [-bootstrap-floor 1.5] [BENCH_engine.json]
+//
+// The default floors are the committed thresholds: the matrix path must
+// keep ≥ 2.5x over the serial study even single-core, and the index-space
+// bootstrap kernel must keep ≥ 1.5x over the value-space reference at
+// N=500 (measured single-threaded, so the floor holds on any runner; the
+// observed ratio is an order of magnitude above it — the floor is a
+// tripwire, not a target). The parallel-study speedup is reported but not
+// gated: it is ≈1 by construction on single-core runners.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// floors are the committed regression thresholds enforced by `make
+// bench-check`; change them here, in one reviewed place, never ad hoc in CI.
+const (
+	defaultMatrixFloor    = 2.5
+	defaultBootstrapFloor = 1.5
+)
+
+// benchReport mirrors the fields of BENCH_engine.json this gate reads.
+type benchReport struct {
+	GoMaxProcs       int     `json:"gomaxprocs"`
+	SpeedupParallel  float64 `json:"speedup_parallel"`
+	SpeedupMatrix    float64 `json:"speedup_matrix"`
+	SpeedupBootstrap float64 `json:"speedup_bootstrap"`
+}
+
+func main() {
+	matrixFloor := flag.Float64("matrix-floor", defaultMatrixFloor,
+		"minimum serial/parallel-matrix study speedup")
+	bootstrapFloor := flag.Float64("bootstrap-floor", defaultBootstrapFloor,
+		"minimum old/new bootstrap WinRate speedup at N=500")
+	flag.Parse()
+
+	path := "BENCH_engine.json"
+	if flag.NArg() > 0 {
+		path = flag.Arg(0)
+	}
+	if err := check(path, *matrixFloor, *bootstrapFloor); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func check(path string, matrixFloor, bootstrapFloor float64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var r benchReport
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if r.SpeedupMatrix == 0 || r.SpeedupBootstrap == 0 {
+		return fmt.Errorf("%s lacks speedup_matrix/speedup_bootstrap — regenerate it with `make bench`", path)
+	}
+	fmt.Printf("benchcheck %s: matrix %.2fx (floor %.2fx), bootstrap %.2fx (floor %.2fx), parallel %.2fx (ungated), gomaxprocs=%d\n",
+		path, r.SpeedupMatrix, matrixFloor, r.SpeedupBootstrap, bootstrapFloor, r.SpeedupParallel, r.GoMaxProcs)
+	if r.SpeedupMatrix < matrixFloor {
+		return fmt.Errorf("matrix speedup %.2fx below the %.2fx floor", r.SpeedupMatrix, matrixFloor)
+	}
+	if r.SpeedupBootstrap < bootstrapFloor {
+		return fmt.Errorf("bootstrap speedup %.2fx below the %.2fx floor", r.SpeedupBootstrap, bootstrapFloor)
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func write(t *testing.T, body string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCheckPassesAboveFloors(t *testing.T) {
+	p := write(t, `{"gomaxprocs":1,"speedup_parallel":1.0,"speedup_matrix":3.1,"speedup_bootstrap":12.4}`)
+	if err := check(p, defaultMatrixFloor, defaultBootstrapFloor); err != nil {
+		t.Fatalf("healthy report rejected: %v", err)
+	}
+}
+
+func TestCheckFailsBelowFloors(t *testing.T) {
+	cases := map[string]string{
+		"matrix regression":    `{"speedup_matrix":1.2,"speedup_bootstrap":9.9}`,
+		"bootstrap regression": `{"speedup_matrix":3.0,"speedup_bootstrap":1.1}`,
+		"stale report":         `{"speedup_parallel":1.0}`,
+		"garbage":              `{not json`,
+	}
+	for name, body := range cases {
+		if err := check(write(t, body), defaultMatrixFloor, defaultBootstrapFloor); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestCheckMissingFile(t *testing.T) {
+	if err := check(filepath.Join(t.TempDir(), "absent.json"), 1, 1); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+// TestCommittedReportSatisfiesFloors holds the repository's checked-in
+// BENCH_engine.json to the same floors CI enforces on fresh numbers, so the
+// committed snapshot can never drift below the gate.
+func TestCommittedReportSatisfiesFloors(t *testing.T) {
+	if err := check(filepath.Join("..", "..", "BENCH_engine.json"), defaultMatrixFloor, defaultBootstrapFloor); err != nil {
+		t.Fatalf("committed BENCH_engine.json fails the gate: %v", err)
+	}
+}

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -281,6 +282,7 @@ func cmdRace(args []string) error {
 	round := fs.Int("round", 10, "measurements per surviving arm per round")
 	rounds := fs.Int("rounds", 6, "maximum rounds")
 	seed := fs.Uint64("seed", 1, "seed")
+	workers := fs.Int("workers", 0, "comparison workers per round (0 = GOMAXPROCS); results identical at any count")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -310,9 +312,12 @@ func cmdRace(args []string) error {
 			Measure: func() (float64, error) { return s.Seconds(prog, pl) },
 		})
 	}
-	res, err := search.Race(arms, compare.NewBootstrap(*seed+1), search.Config{
-		RoundSize: *round, MaxRounds: *rounds,
-	})
+	// RaceOn forks the bootstrap comparator per pair and races the
+	// elimination comparisons in parallel; the seed keys every stream, so
+	// the survivors are identical at any -workers.
+	res, err := search.RaceOn(context.Background(), arms, compare.NewBootstrap(*seed+1), search.Config{
+		RoundSize: *round, MaxRounds: *rounds, Seed: *seed + 2, Workers: *workers,
+	}, nil)
 	if err != nil {
 		return err
 	}

@@ -5,6 +5,10 @@
 //	relperfd -addr :8077 -seed 1 -workers 0 \
 //	         -snapshot relperfd.snapshot.json -suite examples/suite.json
 //
+// -pprof addr (off by default) additionally serves net/http/pprof on its
+// own listener, kept separate from the serving address so profiling is
+// reachable under load and can be firewalled independently.
+//
 // Endpoints:
 //
 //	GET  /v1/healthz                  liveness + engine counters
@@ -23,9 +27,11 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sync"
@@ -42,15 +48,49 @@ func main() {
 	cacheCap := flag.Int("cache", 0, "max cached studies, LRU-evicted (0 = unbounded)")
 	snapshotPath := flag.String("snapshot", "", "snapshot file: loaded at startup, rewritten as results land")
 	suitePath := flag.String("suite", "", "suite spec JSON to submit at startup (warms the cache)")
+	pprofAddr := flag.String("pprof", "", "optional net/http/pprof listen address (e.g. localhost:6060); off when empty")
 	flag.Parse()
 
-	if err := run(*addr, *workers, *seed, *cacheCap, *snapshotPath, *suitePath); err != nil {
+	if err := run(*addr, *workers, *seed, *cacheCap, *snapshotPath, *suitePath, *pprofAddr); err != nil {
 		fmt.Fprintf(os.Stderr, "relperfd: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers int, seed uint64, cacheCap int, snapshotPath, suitePath string) error {
+// servePprof exposes the runtime profiling handlers on their own listener,
+// never on the serving address: profiles stay reachable when the main
+// server saturates, and operators can firewall the two ports separately.
+// Like the main server, the actual bound address is logged so scripted
+// callers can scrape it even with ":0"-style addrs.
+func servePprof(addr string) (io.Closer, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("pprof listener: %w", err)
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("pprof server: %v", err)
+		}
+	}()
+	log.Printf("pprof serving on http://%s/debug/pprof/", ln.Addr())
+	return srv, nil
+}
+
+func run(addr string, workers int, seed uint64, cacheCap int, snapshotPath, suitePath, pprofAddr string) error {
+	if pprofAddr != "" {
+		srv, err := servePprof(pprofAddr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+	}
 	store := fleet.NewStore(cacheCap)
 	if snapshotPath != "" {
 		if f, err := os.Open(snapshotPath); err == nil {

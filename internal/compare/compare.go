@@ -95,6 +95,18 @@ type Forker interface {
 	Fork(seed uint64) Comparator
 }
 
+// SortedComparator is implemented by comparators that can consume
+// pre-sorted sample views, skipping every per-comparison sort of the base
+// samples. Engines that hold a fixed sample set (the clustering layers,
+// which compare the same measured distributions hundreds of times —
+// footnote 5 of the paper) sort each sample exactly once up front and route
+// all comparisons through CompareSorted. The contract is bit-identity:
+// CompareSorted(NewSortedSample(a), NewSortedSample(b)) returns exactly
+// what Compare(a, b) would for the same comparator state.
+type SortedComparator interface {
+	CompareSorted(a, b *stats.SortedSample) (Outcome, error)
+}
+
 // Bootstrap is the paper's comparator. For each of Rounds bootstrap rounds it
 // draws one resample (with replacement) from each measurement set, evaluates
 // the configured quantiles on both resamples, and counts, quantile by
@@ -104,6 +116,21 @@ type Forker interface {
 //	r >= 0.5 + Margin  →  Better
 //	r <= 0.5 - Margin  →  Worse
 //	otherwise          →  Equivalent
+//
+// The hot path runs in index space (stats.BootKernel): each base sample is
+// sorted exactly once, resamples are drawn as counted index multisets on
+// the identical xrand draw sequence as the classic materialize-and-sort
+// kernel, and quantiles are read straight off the sorted base — O(N) per
+// round instead of the insertion sort's O(N²), bit-identical outcomes.
+// Kernels are cached across Compare calls (keyed by sample identity), so
+// repeated comparisons of the same measurement sets — cluster repetitions,
+// matrix pre-pass trials, race rounds — sort each sample once, ever. The
+// cache assumes sample contents are immutable while the comparator lives,
+// the methodology's footnote-5 contract (measurements are archived, never
+// edited); a probe check on cache hits rebuilds the kernel when a rewrite
+// is detectable (see rawKernel), but callers that rewrite buffers in place
+// should still use a fresh comparator. After the first Compare at a given
+// sample identity, Compare performs zero heap allocations.
 type Bootstrap struct {
 	rng *xrand.Rand
 	// Quantiles are evaluated on every resample; the defaults probe the
@@ -116,11 +143,39 @@ type Bootstrap struct {
 	// (default 0.3: win rates within [0.2, 0.8] are "equivalent").
 	Margin float64
 
-	// scratchA/scratchB hold the resample buffers, grown on demand and
-	// reused across rounds and calls: after the first Compare at a given
-	// sample size, Compare performs zero heap allocations.
-	scratchA, scratchB []float64
+	// kernels caches one index-space resampling kernel per distinct raw
+	// sample slice; sortedKernels per pre-sorted view; aliasKernels holds
+	// the b-side twin used when both sides of a comparison resolve to the
+	// same kernel (a sample compared against itself), so the two resamples
+	// stay independent exactly as in the value-space kernel. Lazily built,
+	// bounded by maxKernelCache.
+	kernels       map[sampleKey]rawKernel
+	sortedKernels map[*stats.SortedSample]*stats.BootKernel
+	aliasKernels  map[*stats.BootKernel]*stats.BootKernel
 }
+
+// rawKernel is a cached kernel plus three probe values from the sample it
+// was built over. A cache hit re-checks the probes, so the common misuse —
+// rewriting a measurement buffer in place and comparing again — rebuilds
+// the kernel instead of silently replaying stale order statistics. (A
+// rewrite that preserves all three probes still goes undetected; the full
+// guarantee remains the documented immutability contract.)
+type rawKernel struct {
+	k           *stats.BootKernel
+	lo, mid, hi float64
+}
+
+// sampleKey identifies a raw measurement slice: same backing array and
+// length means same (immutable) sample.
+type sampleKey struct {
+	ptr *float64
+	n   int
+}
+
+// maxKernelCache bounds the per-comparator kernel caches; at the bound the
+// cache resets rather than grows (a comparator outliving thousands of
+// distinct samples is a leak, not a workload).
+const maxKernelCache = 1024
 
 // DefaultQuantiles probe the body of the distribution.
 var DefaultQuantiles = []float64{0.25, 0.5, 0.75}
@@ -163,8 +218,8 @@ func NewBootstrapFrom(rng *xrand.Rand) *Bootstrap {
 }
 
 // Fork implements Forker: the clone shares the decision parameters but owns a
-// fresh generator seeded by seed and its own scratch, so forks are safe to
-// use concurrently with each other and with the parent.
+// fresh generator seeded by seed and its own kernel caches, so forks are safe
+// to use concurrently with each other and with the parent.
 func (c *Bootstrap) Fork(seed uint64) Comparator {
 	return &Bootstrap{
 		rng:       xrand.New(seed),
@@ -174,20 +229,62 @@ func (c *Bootstrap) Fork(seed uint64) Comparator {
 	}
 }
 
-// grow returns (*buf)[:n], reallocating only when capacity is insufficient.
-func grow(buf *[]float64, n int) []float64 {
-	if cap(*buf) < n {
-		*buf = make([]float64, n)
+// kernelForRaw returns the cached index-space kernel for a raw sample,
+// sorting it on first sight; a hit whose probe values no longer match the
+// slice contents is rebuilt.
+func (c *Bootstrap) kernelForRaw(xs []float64) *stats.BootKernel {
+	key := sampleKey{ptr: &xs[0], n: len(xs)}
+	lo, mid, hi := xs[0], xs[len(xs)/2], xs[len(xs)-1]
+	if rk, ok := c.kernels[key]; ok && rk.lo == lo && rk.mid == mid && rk.hi == hi {
+		return rk.k
 	}
-	return (*buf)[:n]
+	if c.kernels == nil || len(c.kernels) >= maxKernelCache {
+		c.kernels = make(map[sampleKey]rawKernel)
+	}
+	k := stats.NewBootKernel(stats.NewSortedSample(xs))
+	c.kernels[key] = rawKernel{k: k, lo: lo, mid: mid, hi: hi}
+	return k
 }
 
-// WinRate runs the bootstrap and returns the aggregate rate at which a beats
-// b across rounds and quantiles. Exposed for diagnostics and tests; Compare
-// thresholds this value.
-func (c *Bootstrap) WinRate(a, b []float64) (float64, error) {
-	if len(a) == 0 || len(b) == 0 {
-		return 0, ErrBadSample
+// kernelForSorted returns the cached kernel over a shared pre-sorted view.
+// The view is immutable and shared; only the kernel's counting scratch is
+// private to this comparator.
+func (c *Bootstrap) kernelForSorted(s *stats.SortedSample) *stats.BootKernel {
+	if k, ok := c.sortedKernels[s]; ok {
+		return k
+	}
+	if c.sortedKernels == nil || len(c.sortedKernels) >= maxKernelCache {
+		c.sortedKernels = make(map[*stats.SortedSample]*stats.BootKernel)
+	}
+	k := stats.NewBootKernel(s)
+	c.sortedKernels[s] = k
+	return k
+}
+
+// aliasKernel returns (building and caching on first use) an independent
+// twin of k over the same sorted base, for comparisons whose two sides
+// resolved to one kernel.
+func (c *Bootstrap) aliasKernel(k *stats.BootKernel) *stats.BootKernel {
+	if twin, ok := c.aliasKernels[k]; ok {
+		return twin
+	}
+	if c.aliasKernels == nil || len(c.aliasKernels) >= maxKernelCache {
+		c.aliasKernels = make(map[*stats.BootKernel]*stats.BootKernel)
+	}
+	twin := stats.NewBootKernel(k.Base())
+	c.aliasKernels[k] = twin
+	return twin
+}
+
+// winRate is the shared index-space hot loop: per round one index resample
+// per side on the comparator's single RNG stream (a first, then b — the
+// identical draw order of the classic kernel), then every configured
+// quantile read off the sorted bases. Aliased sides get independent twin
+// kernels so a sample compared against itself still draws two independent
+// resamples per round, as the classic kernel did.
+func (c *Bootstrap) winRate(ka, kb *stats.BootKernel) float64 {
+	if ka == kb {
+		kb = c.aliasKernel(ka)
 	}
 	rounds := c.Rounds
 	if rounds <= 0 {
@@ -197,18 +294,13 @@ func (c *Bootstrap) WinRate(a, b []float64) (float64, error) {
 	if len(qs) == 0 {
 		qs = DefaultQuantiles
 	}
-	bufA := grow(&c.scratchA, len(a))
-	bufB := grow(&c.scratchB, len(b))
 	var wins float64
 	for r := 0; r < rounds; r++ {
-		c.rng.Resample(bufA, a)
-		c.rng.Resample(bufB, b)
-		// One sort per resample serves every quantile below.
-		sortInPlace(bufA)
-		sortInPlace(bufB)
+		ka.Resample(c.rng)
+		kb.Resample(c.rng)
 		for _, q := range qs {
-			va := stats.QuantileSorted(bufA, q)
-			vb := stats.QuantileSorted(bufB, q)
+			va := ka.Quantile(q)
+			vb := kb.Quantile(q)
 			switch {
 			case va < vb:
 				wins++
@@ -217,7 +309,42 @@ func (c *Bootstrap) WinRate(a, b []float64) (float64, error) {
 			}
 		}
 	}
-	return wins / float64(rounds*len(qs)), nil
+	return wins / float64(rounds*len(qs))
+}
+
+// WinRate runs the bootstrap and returns the aggregate rate at which a beats
+// b across rounds and quantiles. Exposed for diagnostics and tests; Compare
+// thresholds this value.
+func (c *Bootstrap) WinRate(a, b []float64) (float64, error) {
+	if len(a) == 0 || len(b) == 0 {
+		return 0, ErrBadSample
+	}
+	return c.winRate(c.kernelForRaw(a), c.kernelForRaw(b)), nil
+}
+
+// WinRateSorted is WinRate over pre-sorted views, bit-identical to WinRate
+// on the underlying raw samples for the same comparator state.
+func (c *Bootstrap) WinRateSorted(a, b *stats.SortedSample) (float64, error) {
+	if a.N() == 0 || b.N() == 0 {
+		return 0, ErrBadSample
+	}
+	return c.winRate(c.kernelForSorted(a), c.kernelForSorted(b)), nil
+}
+
+// threshold maps a win rate onto the three-way outcome.
+func (c *Bootstrap) threshold(r float64) Outcome {
+	margin := c.Margin
+	if margin <= 0 {
+		margin = DefaultMargin
+	}
+	switch {
+	case r >= 0.5+margin:
+		return Better
+	case r <= 0.5-margin:
+		return Worse
+	default:
+		return Equivalent
+	}
 }
 
 // Compare implements Comparator.
@@ -226,31 +353,16 @@ func (c *Bootstrap) Compare(a, b []float64) (Outcome, error) {
 	if err != nil {
 		return Equivalent, err
 	}
-	margin := c.Margin
-	if margin <= 0 {
-		margin = DefaultMargin
-	}
-	switch {
-	case r >= 0.5+margin:
-		return Better, nil
-	case r <= 0.5-margin:
-		return Worse, nil
-	default:
-		return Equivalent, nil
-	}
+	return c.threshold(r), nil
 }
 
-// sortInPlace is insertion sort; bootstrap resamples are short.
-func sortInPlace(xs []float64) {
-	for i := 1; i < len(xs); i++ {
-		v := xs[i]
-		j := i - 1
-		for j >= 0 && xs[j] > v {
-			xs[j+1] = xs[j]
-			j--
-		}
-		xs[j+1] = v
+// CompareSorted implements SortedComparator.
+func (c *Bootstrap) CompareSorted(a, b *stats.SortedSample) (Outcome, error) {
+	r, err := c.WinRateSorted(a, b)
+	if err != nil {
+		return Equivalent, err
 	}
+	return c.threshold(r), nil
 }
 
 // KS is a deterministic comparator: two samples differ when the two-sample
@@ -276,6 +388,29 @@ func (c KS) Compare(a, b []float64) (Outcome, error) {
 		return Equivalent, nil
 	}
 	if stats.Median(a) < stats.Median(b) {
+		return Better, nil
+	}
+	return Worse, nil
+}
+
+// CompareSorted implements SortedComparator: the KS statistic and the
+// deciding medians read off the pre-sorted views directly, skipping the
+// copy-and-sort of every Compare call. Bit-identical to Compare on the raw
+// samples.
+func (c KS) CompareSorted(a, b *stats.SortedSample) (Outcome, error) {
+	if a.N() == 0 || b.N() == 0 {
+		return Equivalent, ErrBadSample
+	}
+	alpha := c.Alpha
+	if alpha <= 0 {
+		alpha = DefaultAlpha
+	}
+	d := stats.KSStatisticSorted(a.Values(), b.Values())
+	p := stats.KSPValue(d, a.N(), b.N())
+	if p >= alpha {
+		return Equivalent, nil
+	}
+	if a.Quantile(0.5) < b.Quantile(0.5) {
 		return Better, nil
 	}
 	return Worse, nil

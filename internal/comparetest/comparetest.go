@@ -1,0 +1,40 @@
+// Package comparetest holds the retired value-space bootstrap kernel as a
+// single executable specification, in the spirit of testing/iotest: it is
+// imported only by tests and benchmarks. Both property layers (the
+// WinRate-level pin in internal/compare and the engine-level pin at the
+// repository root) and the old arm of BenchmarkWinRate defer to this one
+// copy, so the definition of "bit-identical to the old kernel" cannot
+// drift between them.
+package comparetest
+
+import (
+	"relperf/internal/stats"
+	"relperf/internal/xrand"
+)
+
+// ReferenceWinRate is the pre-index-space bootstrap win-rate loop,
+// verbatim: per round, materialize one value resample per side (a first,
+// then b), insertion-sort each, read every quantile with
+// stats.QuantileSorted, and credit a full win when a's quantile is
+// strictly below b's and half a win on ties. bufA and bufB must have
+// len(a) and len(b) elements.
+func ReferenceWinRate(rng *xrand.Rand, a, b, bufA, bufB []float64, qs []float64, rounds int) float64 {
+	var wins float64
+	for r := 0; r < rounds; r++ {
+		rng.Resample(bufA, a)
+		rng.Resample(bufB, b)
+		stats.SortSmall(bufA)
+		stats.SortSmall(bufB)
+		for _, q := range qs {
+			va := stats.QuantileSorted(bufA, q)
+			vb := stats.QuantileSorted(bufB, q)
+			switch {
+			case va < vb:
+				wins++
+			case va == vb:
+				wins += 0.5
+			}
+		}
+	}
+	return wins / float64(rounds*len(qs))
+}

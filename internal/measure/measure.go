@@ -13,6 +13,7 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"sync"
 	"time"
 
 	"relperf/internal/stats"
@@ -41,7 +42,8 @@ func (s *Sample) Validate() error {
 		return fmt.Errorf("measure: sample %q is empty", s.Name)
 	}
 	for i, v := range s.Seconds {
-		if v <= 0 {
+		// !(v > 0) also rejects NaN, which v <= 0 would let through.
+		if !(v > 0) {
 			return fmt.Errorf("measure: sample %q measurement %d is non-positive (%v)", s.Name, i, v)
 		}
 	}
@@ -56,6 +58,34 @@ type SampleSet struct {
 	// Samples holds one Sample per algorithm, in the order they are
 	// indexed by the clustering layer.
 	Samples []Sample `json:"samples"`
+
+	// sorted caches the index-aligned sorted views built by Sorted, so the
+	// comparison layers sort each sample once per campaign rather than once
+	// per comparison. Guarded by sortedMu; invalidated by SortByMedian, and
+	// re-validated per call against sortedProbes so samples that were
+	// appended to or rewritten since the last call are re-sorted instead of
+	// served stale.
+	sortedMu     sync.Mutex
+	sorted       []*stats.SortedSample
+	sortedProbes []sampleProbe
+}
+
+// sampleProbe captures the cheap mutation signals of one sample at the
+// time its sorted view was built: the length and the boundary values. An
+// in-place rewrite that preserves all three goes undetected — full safety
+// is the documented immutability contract — but every append and the
+// common rewrite patterns invalidate the view.
+type sampleProbe struct {
+	n           int
+	first, last float64
+}
+
+func probeOf(xs []float64) sampleProbe {
+	p := sampleProbe{n: len(xs)}
+	if p.n > 0 {
+		p.first, p.last = xs[0], xs[p.n-1]
+	}
+	return p
 }
 
 // Names returns the algorithm names in index order.
@@ -104,9 +134,42 @@ func (ss *SampleSet) Validate() error {
 	return nil
 }
 
+// Sorted returns index-aligned sorted views of every sample, built once
+// per campaign and cached; the comparison and clustering layers read
+// quantiles and order statistics off these views instead of re-sorting a
+// sample on every comparison. Safe for concurrent use. Each call
+// re-validates the cache against the samples' lengths and boundary values,
+// so a set that grew or was visibly rewritten between calls (a second
+// measurement campaign, say) re-sorts the changed samples; a rewrite that
+// preserves length and boundaries is undetectable — samples are assumed
+// immutable between calls otherwise (the methodology's footnote-5
+// contract).
+func (ss *SampleSet) Sorted() []*stats.SortedSample {
+	ss.sortedMu.Lock()
+	defer ss.sortedMu.Unlock()
+	if len(ss.sorted) != len(ss.Samples) {
+		ss.sorted = make([]*stats.SortedSample, len(ss.Samples))
+		ss.sortedProbes = make([]sampleProbe, len(ss.Samples))
+	}
+	for i := range ss.Samples {
+		probe := probeOf(ss.Samples[i].Seconds)
+		if ss.sorted[i] == nil || ss.sortedProbes[i] != probe {
+			ss.sorted[i] = stats.NewSortedSample(ss.Samples[i].Seconds)
+			ss.sortedProbes[i] = probe
+		}
+	}
+	// Return a copy: revalidation on a later call writes into ss.sorted in
+	// place, and earlier callers' slices must not observe those writes.
+	return append([]*stats.SortedSample(nil), ss.sorted...)
+}
+
 // SortByMedian orders the samples fastest-median-first; reports use it to
-// print distributions in a stable, informative order.
+// print distributions in a stable, informative order. It invalidates the
+// sorted views of Sorted, which are index-aligned.
 func (ss *SampleSet) SortByMedian() {
+	ss.sortedMu.Lock()
+	ss.sorted, ss.sortedProbes = nil, nil
+	ss.sortedMu.Unlock()
 	sort.SliceStable(ss.Samples, func(i, j int) bool {
 		return stats.Median(ss.Samples[i].Seconds) < stats.Median(ss.Samples[j].Seconds)
 	})

@@ -65,6 +65,48 @@ func TestSampleSetAccessors(t *testing.T) {
 	}
 }
 
+func TestSampleSetSortedViews(t *testing.T) {
+	ss := testSet()
+	sorted := ss.Sorted()
+	if len(sorted) != len(ss.Samples) {
+		t.Fatalf("Sorted returned %d views for %d samples", len(sorted), len(ss.Samples))
+	}
+	for i, v := range sorted {
+		if v.N() != len(ss.Samples[i].Seconds) {
+			t.Fatalf("view %d has N=%d", i, v.N())
+		}
+		vals := v.Values()
+		for k := 1; k < len(vals); k++ {
+			if vals[k-1] > vals[k] {
+				t.Fatalf("view %d not sorted", i)
+			}
+		}
+	}
+	v0, v1 := sorted[0], sorted[1]
+	// Unchanged samples reuse the cached views.
+	again := ss.Sorted()
+	if again[0] != v0 || again[1] != v1 {
+		t.Fatal("unchanged samples were re-sorted")
+	}
+	// A sample that grows is re-sorted; its untouched sibling is not.
+	ss.Samples[0].Seconds = append(ss.Samples[0].Seconds, 0.5)
+	grown := ss.Sorted()
+	if grown[0] == v0 {
+		t.Fatal("grown sample served a stale view")
+	}
+	if grown[0].N() != len(ss.Samples[0].Seconds) {
+		t.Fatal("re-sorted view has stale length")
+	}
+	if grown[1] != v1 {
+		t.Fatal("untouched sample was re-sorted")
+	}
+	// A visible in-place rewrite (boundary value changes) is re-sorted.
+	ss.Samples[1].Seconds[0] *= 10
+	if rewritten := ss.Sorted(); rewritten[1] == v1 {
+		t.Fatal("rewritten sample served a stale view")
+	}
+}
+
 func TestSampleSetValidateDuplicates(t *testing.T) {
 	ss := &SampleSet{Samples: []Sample{
 		{Name: "x", Seconds: []float64{1}},

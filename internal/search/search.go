@@ -11,11 +11,15 @@
 package search
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 
 	"relperf/internal/compare"
+	"relperf/internal/pool"
+	"relperf/internal/stats"
+	"relperf/internal/xrand"
 )
 
 // Arm is one candidate algorithm the racer can measure.
@@ -45,6 +49,15 @@ type Config struct {
 	// MaxArms measures only the MaxArms best-prior candidates (the
 	// paper's "subset of possible solutions"); 0 means all.
 	MaxArms int
+	// Seed keys the per-pair comparator streams of RaceOn's parallel
+	// comparison stage; equal seeds give bit-identical Results at any
+	// worker count. Ignored by Race and by the serial fallback, where the
+	// comparator's own randomness decides.
+	Seed uint64
+	// Workers bounds the comparison fan-out of RaceOn when no shared
+	// budget is supplied; 0 means GOMAXPROCS. The results do not depend on
+	// this value.
+	Workers int
 }
 
 func (c *Config) defaults() {
@@ -88,8 +101,41 @@ type Result struct {
 }
 
 // Race runs the eliminate-the-worse loop with the given three-way
-// comparator.
+// comparator, serially on the caller's goroutine — the legacy entry point,
+// byte-for-byte compatible with earlier releases. For the parallel
+// comparison stage use RaceOn.
 func Race(arms []Arm, cmp compare.Comparator, cfg Config) (*Result, error) {
+	return race(context.Background(), arms, cmp, cfg, nil, false)
+}
+
+// RaceOn is Race with cancellation, an optional shared worker budget, and a
+// parallel comparison stage. When cmp implements compare.Forker, every
+// round's pairwise eliminations run concurrently: each ordered pair of
+// surviving arms gets an independent comparator forked on a stream keyed by
+// (Config.Seed, round, pair), and the outcomes are reduced in index order,
+// so equal seeds give bit-identical Results at any worker count and any
+// budget width. Pairs acquire tokens from budget when non-nil (the fleet's
+// global bound), or run on a transient pool of Config.Workers goroutines.
+//
+// A comparator that does not implement compare.Forker cannot be handed out
+// to concurrent pairs safely; RaceOn then falls back to the serial
+// comparison loop of Race (shared comparator, same call order — identical
+// Results to Race).
+//
+// The measurement stage stays serial on the caller's goroutine in either
+// mode: Arm.Measure closures routinely share state (one simulator, one
+// device under test), and measuring arms concurrently would perturb the
+// very distributions being compared.
+func RaceOn(ctx context.Context, arms []Arm, cmp compare.Comparator, cfg Config, budget *pool.Pool) (*Result, error) {
+	_, forkable := cmp.(compare.Forker)
+	return race(ctx, arms, cmp, cfg, budget, forkable)
+}
+
+// race is the shared engine; parallel selects the forked comparison stage.
+func race(ctx context.Context, arms []Arm, cmp compare.Comparator, cfg Config, budget *pool.Pool, parallel bool) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(arms) == 0 {
 		return nil, errors.New("search: no candidates")
 	}
@@ -97,6 +143,14 @@ func Race(arms []Arm, cmp compare.Comparator, cfg Config) (*Result, error) {
 		return nil, errors.New("search: nil comparator")
 	}
 	cfg.defaults()
+	// Probe the comparator's capabilities once for the whole race: whether
+	// forks consume pre-sorted views cannot change between rounds.
+	var forker compare.Forker
+	var sortedOK bool
+	if parallel {
+		forker = cmp.(compare.Forker)
+		_, sortedOK = forker.Fork(0).(compare.SortedComparator)
+	}
 
 	// Order by prior and apply the subset cap.
 	order := make([]int, len(arms))
@@ -120,6 +174,9 @@ func Race(arms []Arm, cmp compare.Comparator, cfg Config) (*Result, error) {
 	aliveCount := len(order)
 
 	for round := 1; round <= cfg.MaxRounds && aliveCount > cfg.Keep; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		res.Rounds = round
 		// Measure every surviving arm.
 		for i, idx := range order {
@@ -127,6 +184,9 @@ func Race(arms []Arm, cmp compare.Comparator, cfg Config) (*Result, error) {
 				continue
 			}
 			for k := 0; k < cfg.RoundSize; k++ {
+				if err := ctx.Err(); err != nil {
+					return nil, err // bound cancellation latency to one Measure
+				}
 				if cfg.Budget > 0 && res.TotalMeasurements >= cfg.Budget {
 					break
 				}
@@ -140,25 +200,15 @@ func Race(arms []Arm, cmp compare.Comparator, cfg Config) (*Result, error) {
 			}
 		}
 		// Eliminate every arm that is Worse than some surviving rival.
-		worse := make([]bool, len(order))
-		for i := range order {
-			if !alive[i] || len(res.Arms[i].Sample) == 0 {
-				continue
-			}
-			for j := range order {
-				if i == j || !alive[j] || len(res.Arms[j].Sample) == 0 {
-					continue
-				}
-				o, err := cmp.Compare(res.Arms[i].Sample, res.Arms[j].Sample)
-				if err != nil {
-					return nil, fmt.Errorf("search: comparing %s vs %s: %w",
-						res.Arms[i].Name, res.Arms[j].Name, err)
-				}
-				if o == compare.Worse {
-					worse[i] = true
-					break
-				}
-			}
+		var worse []bool
+		var err error
+		if parallel {
+			worse, err = eliminateParallel(ctx, forker, sortedOK, res, alive, round, cfg, budget)
+		} else {
+			worse, err = eliminateSerial(cmp, res, alive)
+		}
+		if err != nil {
+			return nil, err
 		}
 		for i := range order {
 			if worse[i] && aliveCount > cfg.Keep {
@@ -189,6 +239,116 @@ func Race(arms []Arm, cmp compare.Comparator, cfg Config) (*Result, error) {
 		res.Survivors = append(res.Survivors, s.name)
 	}
 	return res, nil
+}
+
+// eliminateSerial is the legacy comparison stage: one shared comparator,
+// arms scanned in index order, early break on the first Worse verdict. Race
+// and RaceOn's non-Forker fallback both use it, so the two are
+// bit-identical.
+func eliminateSerial(cmp compare.Comparator, res *Result, alive []bool) ([]bool, error) {
+	worse := make([]bool, len(alive))
+	for i := range alive {
+		if !alive[i] || len(res.Arms[i].Sample) == 0 {
+			continue
+		}
+		for j := range alive {
+			if i == j || !alive[j] || len(res.Arms[j].Sample) == 0 {
+				continue
+			}
+			o, err := cmp.Compare(res.Arms[i].Sample, res.Arms[j].Sample)
+			if err != nil {
+				return nil, fmt.Errorf("search: comparing %s vs %s: %w",
+					res.Arms[i].Name, res.Arms[j].Name, err)
+			}
+			if o == compare.Worse {
+				worse[i] = true
+				break
+			}
+		}
+	}
+	return worse, nil
+}
+
+// raceSeedDomain separates the race's keyed streams from every other
+// consumer of a shared seed (ASCII "race").
+const raceSeedDomain = 0x72616365
+
+// eliminateParallel evaluates every ordered pair of surviving arms on an
+// independent comparator forked from a stream keyed by (Seed, round, i, j),
+// fanned out over the shared budget (or a transient pool of cfg.Workers
+// goroutines), then reduces the outcomes in index order. Because each
+// pair's verdict depends only on its key — never on scheduling or on the
+// verdicts of other pairs — the result is bit-identical at any worker
+// count. Unlike the serial stage it has no early break: all pairs are
+// evaluated, which is what makes them independent units.
+func eliminateParallel(ctx context.Context, forker compare.Forker, sortedOK bool, res *Result, alive []bool, round int, cfg Config, budget *pool.Pool) ([]bool, error) {
+	n := len(alive)
+	type pair struct{ i, j int }
+	var pairs []pair
+	for i := 0; i < n; i++ {
+		if !alive[i] || len(res.Arms[i].Sample) == 0 {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if i == j || !alive[j] || len(res.Arms[j].Sample) == 0 {
+				continue
+			}
+			pairs = append(pairs, pair{i, j})
+		}
+	}
+	// When the forks consume sorted views, sort each surviving arm's sample
+	// once for the whole round instead of once per pair per fork
+	// (CompareSorted is bit-identical to Compare, so outcomes are
+	// unchanged). The views are round-local: samples grow every round.
+	var sorted []*stats.SortedSample
+	if sortedOK {
+		sorted = make([]*stats.SortedSample, n)
+		for _, pr := range pairs {
+			for _, i := range [2]int{pr.i, pr.j} {
+				if sorted[i] == nil {
+					sorted[i] = stats.NewSortedSample(res.Arms[i].Sample)
+				}
+			}
+		}
+	}
+	roundSeed := xrand.Mix(xrand.Mix(cfg.Seed, raceSeedDomain), uint64(round))
+	outcomes := make([]compare.Outcome, len(pairs))
+	err := forEachPair(ctx, budget, len(pairs), cfg.Workers, func(k int) error {
+		pr := pairs[k]
+		c := forker.Fork(xrand.Mix(roundSeed, uint64(pr.i*n+pr.j)))
+		var o compare.Outcome
+		var err error
+		if sc, ok := c.(compare.SortedComparator); ok && sorted != nil {
+			o, err = sc.CompareSorted(sorted[pr.i], sorted[pr.j])
+		} else {
+			o, err = c.Compare(res.Arms[pr.i].Sample, res.Arms[pr.j].Sample)
+		}
+		if err != nil {
+			return fmt.Errorf("search: comparing %s vs %s: %w",
+				res.Arms[pr.i].Name, res.Arms[pr.j].Name, err)
+		}
+		outcomes[k] = o
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	worse := make([]bool, n)
+	for k, pr := range pairs {
+		if outcomes[k] == compare.Worse {
+			worse[pr.i] = true
+		}
+	}
+	return worse, nil
+}
+
+// forEachPair routes the comparison fan-out through the shared budget when
+// one is configured, and through a transient pool otherwise.
+func forEachPair(ctx context.Context, budget *pool.Pool, n, workers int, fn func(k int) error) error {
+	if budget != nil {
+		return budget.ForEach(ctx, n, fn)
+	}
+	return pool.ForEachCtx(ctx, n, workers, fn)
 }
 
 // median of a sample (copy + nth element would be overkill at these sizes).

@@ -41,7 +41,7 @@ func Bootstrap(rng *xrand.Rand, xs []float64, stat Statistic, B int) []float64 {
 func BootstrapInto(out []float64, rng *xrand.Rand, xs []float64, stat Statistic, scratch []float64) []float64 {
 	for b := range out {
 		rng.Resample(scratch, xs)
-		insertionSort(scratch)
+		SortSmall(scratch)
 		out[b] = stat(scratch)
 	}
 	return out
@@ -54,20 +54,4 @@ func BootstrapCI(rng *xrand.Rand, xs []float64, stat Statistic, B int, conf floa
 	alpha := (1 - conf) / 2
 	qs := Quantiles(draws, []float64{alpha, 1 - alpha})
 	return qs[0], qs[1]
-}
-
-// insertionSort sorts small slices in place. Bootstrap resamples of
-// performance measurements are short (N is typically 30–500) and already
-// nearly sorted after a few iterations' cache warmup, which makes insertion
-// sort faster than sort.Float64s here and allocation-free.
-func insertionSort(xs []float64) {
-	for i := 1; i < len(xs); i++ {
-		v := xs[i]
-		j := i - 1
-		for j >= 0 && xs[j] > v {
-			xs[j+1] = xs[j]
-			j--
-		}
-		xs[j+1] = v
-	}
 }

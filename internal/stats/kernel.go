@@ -1,0 +1,186 @@
+package stats
+
+import (
+	"math"
+	"sort"
+
+	"relperf/internal/xrand"
+)
+
+// This file is the index-space bootstrap kernel: the hot path of the
+// bootstrap comparator rewritten to sort each base sample exactly once and
+// never sort a resample again.
+//
+// The classic kernel materializes every resample as values and sorts it
+// before reading quantiles — O(N log N) per round at best, O(N²) with the
+// insertion sort that wins at small N, and either way the dominant cost of
+// a study once the PR 3 spec schema opened large-N workloads. The
+// index-space kernel observes that a resample of a fixed base sample is
+// fully described by a multiset of base indices: sort the base once, map
+// each drawn index to its rank in the sorted base, counting-sort the rank
+// multiset in O(N), and read any quantile straight off the sorted base
+// values weighted by the counts.
+//
+// Determinism contract: the kernel consumes the exact xrand draw sequence
+// of xrand.Rand.Resample (len(base) Intn(len(base)) calls per resample)
+// and reproduces, bit for bit, every order statistic of the value-sorted
+// resample — the drawn value for index i is base[i] = Sorted()[rank[i]],
+// so the sorted resample is the same float64 sequence either way, and the
+// quantile interpolation below is the same arithmetic as QuantileSorted.
+// A value-space reference implementation lives in the tests and the
+// benchmark suite to keep this equivalence pinned.
+
+// SortedSample is a base sample sorted exactly once, together with the
+// original-index → sorted-rank permutation that lets index-space resampling
+// replay the exact value sequence of a value-space resample. It is
+// immutable after construction and safe for concurrent use; per-resample
+// mutable state lives in BootKernel.
+type SortedSample struct {
+	values []float64 // ascending copy of the base sample
+	rank   []int32   // rank[i] = position of base[i] in values
+}
+
+// NewSortedSample copies and sorts xs (ties keep their original relative
+// order, which never matters for the value sequence: tied values are
+// identical floats). NaNs order first, matching sort.Float64s, so even
+// unvalidated inputs sort the same way the value-space paths do.
+func NewSortedSample(xs []float64) *SortedSample {
+	n := len(xs)
+	s := &SortedSample{
+		values: make([]float64, n),
+		rank:   make([]int32, n),
+	}
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		va, vb := xs[idx[a]], xs[idx[b]]
+		return va < vb || (math.IsNaN(va) && !math.IsNaN(vb))
+	})
+	for r, i := range idx {
+		s.values[r] = xs[i]
+		s.rank[i] = int32(r)
+	}
+	return s
+}
+
+// N returns the sample size.
+func (s *SortedSample) N() int { return len(s.values) }
+
+// Values returns the ascending base values. The caller must not modify the
+// returned slice.
+func (s *SortedSample) Values() []float64 { return s.values }
+
+// Quantile returns the q-th type-7 quantile of the base sample itself
+// (QuantileSorted over the sorted values).
+func (s *SortedSample) Quantile(q float64) float64 {
+	return QuantileSorted(s.values, q)
+}
+
+// BootKernel draws bootstrap resamples of one SortedSample in index space.
+// It owns the per-resample counting scratch, so one kernel must not be used
+// concurrently; concurrent engines hold one kernel per goroutine over the
+// same shared SortedSample.
+type BootKernel struct {
+	base   *SortedSample
+	counts []int32 // counts[r] = multiplicity of sorted rank r in the resample
+}
+
+// NewBootKernel returns a kernel over base.
+func NewBootKernel(base *SortedSample) *BootKernel {
+	return &BootKernel{base: base, counts: make([]int32, base.N())}
+}
+
+// Base returns the shared sorted sample the kernel resamples. Engines that
+// must hold two independent resamples of one base (a sample compared
+// against itself) build a second kernel over the same Base.
+func (k *BootKernel) Base() *SortedSample { return k.base }
+
+// Resample draws one bootstrap resample (size N, with replacement) as an
+// index multiset, consuming exactly the draw sequence of
+// xrand.Rand.Resample over the original sample: N calls of Intn(N), each
+// drawn index mapped to its sorted rank. The counting sort is implicit —
+// incrementing counts[rank] IS the sort.
+func (k *BootKernel) Resample(rng *xrand.Rand) {
+	counts := k.counts
+	for i := range counts {
+		counts[i] = 0
+	}
+	rank := k.base.rank
+	n := len(rank)
+	for i := 0; i < n; i++ {
+		counts[rank[rng.Intn(n)]]++
+	}
+}
+
+// Quantile returns the q-th type-7 quantile of the current resample,
+// bit-identical to QuantileSorted over the value-sorted resample: the two
+// bracketing order statistics are read off the sorted base by a prefix walk
+// over the counts, and the interpolation is the same arithmetic.
+func (k *BootKernel) Quantile(q float64) float64 {
+	n := len(k.counts)
+	if n == 0 || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	if n == 1 {
+		return k.base.values[0]
+	}
+	h := q * float64(n-1)
+	lo := int(math.Floor(h))
+	hi := lo + 1
+	if hi >= n {
+		// q == 1: the resample maximum is the highest populated rank.
+		vlo, _ := k.orderStats(n-1, n-1)
+		return vlo
+	}
+	frac := h - float64(lo)
+	vlo, vhi := k.orderStats(lo, hi)
+	return vlo + frac*(vhi-vlo)
+}
+
+// orderStats returns the lo-th and hi-th (0-based, lo <= hi <= lo+1) order
+// statistics of the current resample in one prefix walk over the counts.
+func (k *BootKernel) orderStats(lo, hi int) (vlo, vhi float64) {
+	cum := 0
+	values := k.base.values
+	for r, c := range k.counts {
+		if c == 0 {
+			continue
+		}
+		cum += int(c)
+		if cum > lo {
+			vlo = values[r]
+			if cum > hi {
+				return vlo, vlo
+			}
+			// hi == lo+1 and the lo-th statistic exhausted this rank:
+			// the hi-th is the next populated rank.
+			for r2 := r + 1; r2 < len(k.counts); r2++ {
+				if k.counts[r2] != 0 {
+					return vlo, values[r2]
+				}
+			}
+			return vlo, vlo // unreachable for a full-size resample
+		}
+	}
+	// Unreachable: a resample always holds N draws.
+	return math.NaN(), math.NaN()
+}
+
+// SortSmall sorts xs in place with insertion sort. Performance-measurement
+// buffers are short (N is typically 30–500) and often nearly sorted, which
+// makes insertion sort faster than sort.Float64s here and allocation-free.
+// It is the one small-slice sort shared by the bootstrap fallback paths;
+// large or adversarial inputs belong to sort.Float64s.
+func SortSmall(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		v := xs[i]
+		j := i - 1
+		for j >= 0 && xs[j] > v {
+			xs[j+1] = xs[j]
+			j--
+		}
+		xs[j+1] = v
+	}
+}

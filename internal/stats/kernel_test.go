@@ -1,0 +1,164 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"relperf/internal/xrand"
+)
+
+// lognormalSample builds a deterministic right-skewed sample, the shape of
+// measured execution times.
+func lognormalSample(rng *xrand.Rand, n int) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.LogNormal(0, 0.2)
+	}
+	return xs
+}
+
+func TestSortedSampleValuesAndRanks(t *testing.T) {
+	xs := []float64{3, 1, 2, 2, 5}
+	s := NewSortedSample(xs)
+	want := append([]float64(nil), xs...)
+	sort.Float64s(want)
+	for i, v := range s.Values() {
+		if v != want[i] {
+			t.Fatalf("Values()[%d] = %v, want %v", i, v, want[i])
+		}
+	}
+	// rank must be a permutation mapping each original value onto itself.
+	seen := make([]bool, len(xs))
+	for i, r := range s.rank {
+		if seen[r] {
+			t.Fatalf("rank %d assigned twice", r)
+		}
+		seen[r] = true
+		if s.values[r] != xs[i] {
+			t.Fatalf("values[rank[%d]] = %v, want %v", i, s.values[r], xs[i])
+		}
+	}
+	if s.N() != len(xs) {
+		t.Fatalf("N() = %d", s.N())
+	}
+	if got := s.Quantile(0.5); got != Median(xs) {
+		t.Fatalf("base Quantile(0.5) = %v, want %v", got, Median(xs))
+	}
+}
+
+// TestBootKernelMatchesValueSpaceResample is the determinism contract of the
+// index-space kernel: for equal generator states, every quantile of the
+// index-space resample is bit-identical to QuantileSorted over the
+// value-space resample (Resample + sort), at every tested N.
+func TestBootKernelMatchesValueSpaceResample(t *testing.T) {
+	qs := []float64{0, 0.01, 0.25, 0.5, 0.75, 0.99, 1}
+	for _, n := range []int{1, 2, 3, 10, 50, 500, 5000} {
+		xs := lognormalSample(xrand.New(uint64(n)), n)
+		k := NewBootKernel(NewSortedSample(xs))
+		rngIdx := xrand.New(42)
+		rngVal := xrand.New(42)
+		buf := make([]float64, n)
+		rounds := 50
+		if n >= 5000 {
+			rounds = 5
+		}
+		for round := 0; round < rounds; round++ {
+			k.Resample(rngIdx)
+			rngVal.Resample(buf, xs)
+			SortSmall(buf)
+			for _, q := range qs {
+				got := k.Quantile(q)
+				want := QuantileSorted(buf, q)
+				if got != want {
+					t.Fatalf("N=%d round=%d q=%v: kernel %v != reference %v", n, round, q, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestBootKernelTiedValues(t *testing.T) {
+	// Heavy ties exercise the rank assignment and the prefix walk across
+	// multi-count ranks.
+	xs := []float64{2, 2, 1, 1, 1, 3, 2, 1}
+	k := NewBootKernel(NewSortedSample(xs))
+	rngIdx := xrand.New(9)
+	rngVal := xrand.New(9)
+	buf := make([]float64, len(xs))
+	for round := 0; round < 200; round++ {
+		k.Resample(rngIdx)
+		rngVal.Resample(buf, xs)
+		SortSmall(buf)
+		for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			if got, want := k.Quantile(q), QuantileSorted(buf, q); got != want {
+				t.Fatalf("round=%d q=%v: %v != %v", round, q, got, want)
+			}
+		}
+	}
+}
+
+// TestSortedSampleNaNOrdering: NaNs must order exactly as sort.Float64s
+// orders them (first), so sorted views never silently diverge from the
+// copy-and-sort value paths even on unvalidated input.
+func TestSortedSampleNaNOrdering(t *testing.T) {
+	xs := []float64{2, math.NaN(), 1, math.NaN(), 3}
+	want := append([]float64(nil), xs...)
+	sort.Float64s(want)
+	got := NewSortedSample(xs).Values()
+	for i := range want {
+		if want[i] != got[i] && !(math.IsNaN(want[i]) && math.IsNaN(got[i])) {
+			t.Fatalf("Values()[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBootKernelQuantileEdgeCases(t *testing.T) {
+	k := NewBootKernel(NewSortedSample([]float64{1, 2, 3}))
+	k.Resample(xrand.New(1))
+	if !math.IsNaN(k.Quantile(-0.1)) || !math.IsNaN(k.Quantile(1.1)) {
+		t.Fatal("out-of-range q must yield NaN")
+	}
+	empty := NewBootKernel(NewSortedSample(nil))
+	if !math.IsNaN(empty.Quantile(0.5)) {
+		t.Fatal("empty kernel must yield NaN")
+	}
+	one := NewBootKernel(NewSortedSample([]float64{7}))
+	one.Resample(xrand.New(2))
+	if one.Quantile(0.5) != 7 || one.Quantile(1) != 7 {
+		t.Fatal("single-element kernel must return the element")
+	}
+}
+
+// TestBootKernelResampleDrawSequence: the kernel must consume exactly the
+// Intn sequence of xrand.Rand.Resample, so a generator shared between
+// interleaved index- and value-space stages stays in lockstep.
+func TestBootKernelResampleDrawSequence(t *testing.T) {
+	xs := lognormalSample(xrand.New(3), 40)
+	k := NewBootKernel(NewSortedSample(xs))
+	a := xrand.New(11)
+	b := xrand.New(11)
+	buf := make([]float64, len(xs))
+	for round := 0; round < 10; round++ {
+		k.Resample(a)
+		b.Resample(buf, xs)
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("round %d: generators diverged", round)
+		}
+		// Consume the probe draw on both sides identically.
+	}
+}
+
+func BenchmarkBootKernelResampleQuantiles(b *testing.B) {
+	xs := lognormalSample(xrand.New(1), 500)
+	k := NewBootKernel(NewSortedSample(xs))
+	rng := xrand.New(2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Resample(rng)
+		for _, q := range []float64{0.25, 0.5, 0.75} {
+			_ = k.Quantile(q)
+		}
+	}
+}

@@ -215,6 +215,13 @@ func KSStatistic(a, b []float64) float64 {
 	sb := append([]float64(nil), b...)
 	sort.Float64s(sa)
 	sort.Float64s(sb)
+	return KSStatisticSorted(sa, sb)
+}
+
+// KSStatisticSorted is KSStatistic on samples already sorted ascending; the
+// allocation- and sort-free form for engines that sort each base sample
+// once (SortedSample) and compare it many times.
+func KSStatisticSorted(sa, sb []float64) float64 {
 	na, nb := float64(len(sa)), float64(len(sb))
 	var i, j int
 	var d float64

@@ -405,7 +405,7 @@ func TestBootstrapDeterministic(t *testing.T) {
 	}
 }
 
-func TestInsertionSortProperty(t *testing.T) {
+func TestSortSmallProperty(t *testing.T) {
 	f := func(xs []float64) bool {
 		for i, x := range xs {
 			if math.IsNaN(x) {
@@ -413,7 +413,7 @@ func TestInsertionSortProperty(t *testing.T) {
 			}
 		}
 		cp := append([]float64(nil), xs...)
-		insertionSort(cp)
+		SortSmall(cp)
 		want := append([]float64(nil), xs...)
 		sort.Float64s(want)
 		for i := range cp {

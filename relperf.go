@@ -293,7 +293,7 @@ func (s *Study) RunOn(ctx context.Context, budget *Budget) (*Result, error) {
 		cmp = compare.NewBootstrap(0)
 	}
 	data := res.Samples.Data()
-	res.Clusters, err = clusterData(data, cmp, clusterConfig{
+	res.Clusters, err = clusterData(res.Samples, cmp, clusterConfig{
 		Reps:         s.cfg.Reps,
 		Seed:         studyClusterSeed(s.cfg.Seed),
 		Workers:      s.cfg.Workers,
@@ -342,12 +342,31 @@ type clusterConfig struct {
 // per-repetition keyed comparator streams (and optionally via the
 // precomputed pairwise matrix); otherwise the legacy serial path is used
 // with cmp shared across repetitions.
-func clusterData(data [][]float64, cmp compare.Comparator, cfg clusterConfig) (*core.ClusterResult, error) {
+//
+// When the forked comparators also implement compare.SortedComparator
+// (bootstrap, KS), every sample is sorted exactly once up front —
+// ss.Sorted() — and all comparisons of all repetitions and matrix trials
+// read off the shared sorted views, bit-identically to the raw path.
+func clusterData(ss *measure.SampleSet, cmp compare.Comparator, cfg clusterConfig) (*core.ClusterResult, error) {
+	data := ss.Data()
 	forker, forkable := cmp.(compare.Forker)
 	if forkable {
 		fork := func(seed uint64) core.CompareFunc {
 			c := forker.Fork(seed)
 			return func(i, j int) (compare.Outcome, error) { return c.Compare(data[i], data[j]) }
+		}
+		if _, ok := forker.Fork(0).(compare.SortedComparator); ok {
+			// Pre-sort all samples once; the clustering and matrix stages
+			// then never re-derive sample order.
+			sorted := ss.Sorted()
+			fork = func(seed uint64) core.CompareFunc {
+				c := forker.Fork(seed)
+				sc, ok := c.(compare.SortedComparator)
+				if !ok { // a Fork that changes type mid-stream: stay correct
+					return func(i, j int) (compare.Outcome, error) { return c.Compare(data[i], data[j]) }
+				}
+				return func(i, j int) (compare.Outcome, error) { return sc.CompareSorted(sorted[i], sorted[j]) }
+			}
 		}
 		if cfg.Matrix {
 			return core.ClusterMatrix(len(data), core.MatrixOptions{
@@ -408,6 +427,12 @@ type ClusterSamplesOptions struct {
 // Study.Run. As with StudyConfig.Comparator, a forkable cmp contributes
 // only its decision parameters — all clustering randomness derives from
 // opts.Seed, not from any RNG built into cmp.
+//
+// The engine sorts every sample once up front and reuses the sorted views
+// across calls (measure.SampleSet.Sorted). Samples that grow or visibly
+// change between calls are re-sorted automatically; beyond that, the set
+// is assumed immutable while being clustered — the methodology re-clusters
+// archived measurements (footnote 5), it never edits them in place.
 func ClusterSamplesWith(ss *measure.SampleSet, cmp compare.Comparator, opts ClusterSamplesOptions) (*core.ClusterResult, *core.FinalAssignment, error) {
 	if err := ss.Validate(); err != nil {
 		return nil, nil, err
@@ -418,7 +443,7 @@ func ClusterSamplesWith(ss *measure.SampleSet, cmp compare.Comparator, opts Clus
 	if opts.Reps <= 0 {
 		opts.Reps = 100
 	}
-	cr, err := clusterData(ss.Data(), cmp, clusterConfig{
+	cr, err := clusterData(ss, cmp, clusterConfig{
 		Reps:         opts.Reps,
 		Seed:         opts.Seed,
 		Workers:      opts.Workers,
