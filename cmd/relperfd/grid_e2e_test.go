@@ -1,0 +1,138 @@
+package main
+
+// Process-level end-to-end test of the grid tier: build the real binary,
+// capture a single-node golden, then run 1 coordinator + 2 workers,
+// SIGKILL one worker mid-suite, and assert every study the coordinator
+// serves is byte-identical to the golden — worker loss costs a retry,
+// never a byte. The in-process twin (internal/grid's property tests)
+// covers the same contract with deterministic fault injection; this one
+// exercises the binary's flag wiring, the real heartbeat loop and a real
+// process death.
+
+import (
+	"bytes"
+	"encoding/json"
+
+	"net/http"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// gridE2ESuite is sized so a 2-worker grid chews on it for a couple of
+// seconds — long enough that the kill below lands mid-suite.
+const gridE2ESuite = `{"studies":[
+	{"workload":"tableI","loop_n":2,"measurements":60,"reps":250},
+	{"workload":"tableI","loop_n":3,"measurements":60,"reps":250},
+	{"workload":"fig1","measurements":60,"reps":250},
+	{"workload":"tableI","loop_n":2,"measurements":80,"reps":250}
+]}`
+
+// postGridSuite submits the suite and returns the fingerprints.
+func postGridSuite(t *testing.T, d *daemon) []string {
+	t.Helper()
+	resp, err := http.Post("http://"+d.addr+"/v1/suites", "application/json", strings.NewReader(gridE2ESuite))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr struct {
+		Fingerprints []string `json:"fingerprints"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted || len(sr.Fingerprints) != 4 {
+		t.Fatalf("POST /v1/suites: %d %v", resp.StatusCode, sr.Fingerprints)
+	}
+	return sr.Fingerprints
+}
+
+// gridWorkers reads the coordinator's worker listing.
+func gridWorkers(t *testing.T, d *daemon) (workers int, remote, retries, fallbacks uint64) {
+	t.Helper()
+	code, b := d.get(t, "/v1/grid/workers")
+	if code != 200 {
+		t.Fatalf("GET /v1/grid/workers: %d %s", code, b)
+	}
+	var wr struct {
+		Workers  []json.RawMessage `json:"workers"`
+		Dispatch struct {
+			Remote    uint64 `json:"remote"`
+			Retries   uint64 `json:"retries"`
+			Fallbacks uint64 `json:"fallbacks"`
+		} `json:"dispatch"`
+	}
+	if err := json.Unmarshal(b, &wr); err != nil {
+		t.Fatal(err)
+	}
+	return len(wr.Workers), wr.Dispatch.Remote, wr.Dispatch.Retries, wr.Dispatch.Fallbacks
+}
+
+func TestGridE2EKillWorkerMidSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs three real daemon processes")
+	}
+	dir := t.TempDir()
+	bin := buildDaemon(t, dir)
+
+	// Single-node golden: the bytes every grid topology must reproduce.
+	single := startDaemon(t, bin, "-seed", "9", "-workers", "2")
+	fps := postGridSuite(t, single)
+	want := map[string][]byte{}
+	for _, fp := range fps {
+		code, body := single.get(t, "/v1/studies/"+fp)
+		if code != 200 {
+			t.Fatalf("golden GET %s: %d %s", fp, code, body)
+		}
+		want[fp] = body
+	}
+	single.stop(t)
+
+	// Grid topology: 1 coordinator, 2 workers joined over real heartbeats.
+	coord := startDaemon(t, bin, "-seed", "9", "-workers", "2", "-coordinator", "-grid-ttl", "5s")
+	w1 := startDaemon(t, bin, "-seed", "9", "-workers", "2", "-join", "http://"+coord.addr)
+	startDaemon(t, bin, "-seed", "9", "-workers", "2", "-join", "http://"+coord.addr)
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if n, _, _, _ := gridWorkers(t, coord); n == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("workers never registered; coordinator logs:\n%s", coord.logText())
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// Submit, then kill one worker while the suite is in flight. SIGKILL,
+	// not SIGTERM: the worker must vanish without any goodbye.
+	fps2 := postGridSuite(t, coord)
+	time.Sleep(150 * time.Millisecond)
+	if err := w1.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, fp := range fps2 {
+		code, body := coord.get(t, "/v1/studies/"+fp)
+		if code != 200 {
+			t.Fatalf("grid GET %s: %d %s\ncoordinator logs:\n%s", fp, code, body, coord.logText())
+		}
+		if !bytes.Equal(body, want[fp]) {
+			t.Fatalf("study %s: grid bytes differ from the single-node golden\ncoordinator logs:\n%s", fp, coord.logText())
+		}
+	}
+
+	// The grid actually dispatched (this was not a silent all-local run),
+	// and every study ended up merged into the coordinator's own store.
+	_, remote, retries, fallbacks := gridWorkers(t, coord)
+	t.Logf("dispatch after kill: remote=%d retries=%d fallbacks=%d", remote, retries, fallbacks)
+	if remote == 0 {
+		t.Fatalf("no study ran remotely; coordinator logs:\n%s", coord.logText())
+	}
+	if _, entries, _ := coord.health(t); entries != len(want) {
+		t.Fatalf("coordinator store holds %d results, want %d", entries, len(want))
+	}
+	coord.stop(t)
+}

@@ -13,11 +13,23 @@
 //
 //	GET  /v1/healthz                  liveness + engine counters
 //	POST /v1/suites                   submit a suite, receive fingerprints
+//	GET  /v1/studies                  paginated fingerprint index
 //	GET  /v1/studies/{fingerprint}    canonical study result JSON
+//	                                  (?wait=stream serves SSE events)
+//	POST /v1/grid/workers             worker heartbeat   (-coordinator)
+//	GET  /v1/grid/workers             worker + dispatch state (-coordinator)
+//	GET  /v1/grid/tasks               recent dispatch journal (-coordinator)
+//
+// Grid modes: -coordinator shards submitted suites across workers that
+// join with -join <coordinator-url>; workers are ordinary daemons started
+// with the same -seed. -max-study-cost bounds the admission-control cost
+// estimate of any single study (HTTP 429 above it).
 //
 // Determinism contract: for a fixed -seed, a study's response bytes are
 // identical whatever the worker budget, whether the result was computed,
-// cached or restored from a snapshot, and whichever suite submitted it.
+// cached or restored from a snapshot, whichever suite submitted it — and,
+// in grid mode, whichever worker computed it, at any worker count, across
+// worker deaths, retries and local fallback.
 // The snapshot is loaded at startup (if present), rewritten after every
 // completed study and on shutdown, so restarts serve warm results.
 package main
@@ -39,19 +51,42 @@ import (
 	"time"
 
 	"relperf/internal/fleet"
+	"relperf/internal/grid"
 )
 
+// options collects the daemon's flag values.
+type options struct {
+	addr         string
+	workers      int
+	seed         uint64
+	cacheCap     int
+	snapshotPath string
+	suitePath    string
+	pprofAddr    string
+	maxStudyCost int64
+	coordinator  bool
+	joinURL      string
+	advertiseURL string
+	gridTTL      time.Duration
+}
+
 func main() {
-	addr := flag.String("addr", ":8077", "HTTP listen address")
-	workers := flag.Int("workers", 0, "global worker budget shared by all studies (0 = GOMAXPROCS)")
-	seed := flag.Uint64("seed", 1, "suite seed; equal seeds serve bit-identical results")
-	cacheCap := flag.Int("cache", 0, "max cached studies, LRU-evicted (0 = unbounded)")
-	snapshotPath := flag.String("snapshot", "", "snapshot file: loaded at startup, rewritten as results land")
-	suitePath := flag.String("suite", "", "suite spec JSON to submit at startup (warms the cache)")
-	pprofAddr := flag.String("pprof", "", "optional net/http/pprof listen address (e.g. localhost:6060); off when empty")
+	var o options
+	flag.StringVar(&o.addr, "addr", ":8077", "HTTP listen address")
+	flag.IntVar(&o.workers, "workers", 0, "global worker budget shared by all studies (0 = GOMAXPROCS)")
+	flag.Uint64Var(&o.seed, "seed", 1, "suite seed; equal seeds serve bit-identical results")
+	flag.IntVar(&o.cacheCap, "cache", 0, "max cached studies, LRU-evicted (0 = unbounded)")
+	flag.StringVar(&o.snapshotPath, "snapshot", "", "snapshot file: loaded at startup, rewritten as results land")
+	flag.StringVar(&o.suitePath, "suite", "", "suite spec JSON to submit at startup (warms the cache)")
+	flag.StringVar(&o.pprofAddr, "pprof", "", "optional net/http/pprof listen address (e.g. localhost:6060); off when empty")
+	flag.Int64Var(&o.maxStudyCost, "max-study-cost", 0, "admission bound on a study's estimated cost (placements × measurements × reps); 0 = unbounded")
+	flag.BoolVar(&o.coordinator, "coordinator", false, "serve as a grid coordinator: register workers on /v1/grid/workers and shard suites across them")
+	flag.StringVar(&o.joinURL, "join", "", "coordinator base URL to join as a grid worker (e.g. http://coord:8077)")
+	flag.StringVar(&o.advertiseURL, "advertise", "", "base URL this worker advertises to the coordinator (default http://<bound address>)")
+	flag.DurationVar(&o.gridTTL, "grid-ttl", 0, "coordinator: expire workers silent for this long (default 15s)")
 	flag.Parse()
 
-	if err := run(*addr, *workers, *seed, *cacheCap, *snapshotPath, *suitePath, *pprofAddr); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintf(os.Stderr, "relperfd: %v\n", err)
 		os.Exit(1)
 	}
@@ -83,47 +118,64 @@ func servePprof(addr string) (io.Closer, error) {
 	return srv, nil
 }
 
-func run(addr string, workers int, seed uint64, cacheCap int, snapshotPath, suitePath, pprofAddr string) error {
-	if pprofAddr != "" {
-		srv, err := servePprof(pprofAddr)
+func run(o options) error {
+	if o.coordinator && o.joinURL != "" {
+		return errors.New("-coordinator and -join are mutually exclusive (a node is either the coordinator or a worker)")
+	}
+	if o.pprofAddr != "" {
+		srv, err := servePprof(o.pprofAddr)
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
 	}
-	store := fleet.NewStore(cacheCap)
-	if snapshotPath != "" {
-		if f, err := os.Open(snapshotPath); err == nil {
-			n, err := store.LoadSnapshot(f, seed)
+	store := fleet.NewStore(o.cacheCap)
+	if o.snapshotPath != "" {
+		if f, err := os.Open(o.snapshotPath); err == nil {
+			n, err := store.LoadSnapshot(f, o.seed)
 			f.Close()
 			if err != nil {
-				return fmt.Errorf("loading snapshot %s: %w", snapshotPath, err)
+				return fmt.Errorf("loading snapshot %s: %w", o.snapshotPath, err)
 			}
-			log.Printf("restored %d cached studies from %s", n, snapshotPath)
+			log.Printf("restored %d cached studies from %s", n, o.snapshotPath)
 		} else if !errors.Is(err, os.ErrNotExist) {
 			return err
 		}
 	}
 
-	sched := fleet.New(fleet.Options{Workers: workers, Seed: seed, Store: store})
+	// Coordinator mode: studies are offered to the grid dispatcher before
+	// local execution, and the /v1/grid/* endpoints join the mux below.
+	var coord *grid.Coordinator
+	opts := fleet.Options{Workers: o.workers, Seed: o.seed, Store: store}
+	if o.coordinator {
+		coord = grid.New(grid.Config{Seed: o.seed, TTL: o.gridTTL, Logf: log.Printf})
+		opts.Dispatch = coord.Dispatch
+	}
+	sched := fleet.New(opts)
 	defer sched.Close()
 
 	// Persist the store as studies land so a crash loses at most the work
 	// in flight; writes are serialized and atomic (write + rename).
 	var persist func(reason string)
-	if snapshotPath != "" {
+	if o.snapshotPath != "" {
 		var mu sync.Mutex
 		persist = func(reason string) {
 			mu.Lock()
 			defer mu.Unlock()
-			if err := writeSnapshotAtomic(store, snapshotPath, seed); err != nil {
+			if err := writeSnapshotAtomic(store, o.snapshotPath, o.seed); err != nil {
 				log.Printf("snapshot (%s): %v", reason, err)
 			}
 		}
-		events, cancel := sched.Subscribe(64)
+		// 256, not 64: every study now costs two buffer slots (computing +
+		// done phase events), and a dropped done event here would mean a
+		// completion that never gets logged or snapshotted.
+		events, cancel := sched.Subscribe(256)
 		defer cancel()
 		go func() {
 			for ev := range events {
+				if ev.Phase != fleet.PhaseDone {
+					continue
+				}
 				if ev.Err != nil {
 					log.Printf("study %s failed: %v", ev.Fingerprint, ev.Err)
 					continue
@@ -134,8 +186,8 @@ func run(addr string, workers int, seed uint64, cacheCap int, snapshotPath, suit
 		}()
 	}
 
-	if suitePath != "" {
-		f, err := os.Open(suitePath)
+	if o.suitePath != "" {
+		f, err := os.Open(o.suitePath)
 		if err != nil {
 			return err
 		}
@@ -150,20 +202,33 @@ func run(addr string, workers int, seed uint64, cacheCap int, snapshotPath, suit
 		if err != nil {
 			return err
 		}
-		log.Printf("submitted startup suite %s: %d studies", suitePath, len(fps))
+		log.Printf("submitted startup suite %s: %d studies", o.suitePath, len(fps))
 		for _, fp := range fps {
 			log.Printf("  /v1/studies/%s", fp)
 		}
 	}
 
+	var serverOpts []fleet.ServerOption
+	if o.maxStudyCost > 0 {
+		serverOpts = append(serverOpts, fleet.WithMaxStudyCost(o.maxStudyCost))
+	}
+	handler := http.Handler(fleet.NewServer(sched, serverOpts...))
+	if coord != nil {
+		// The grid endpoints share the serving address: workers register
+		// against the same URL clients submit suites to.
+		mux := http.NewServeMux()
+		mux.Handle("/v1/grid/", coord.Handler())
+		mux.Handle("/", handler)
+		handler = mux
+	}
 	httpSrv := &http.Server{
-		Handler:           fleet.NewServer(sched),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	// Listen explicitly so the actual bound address is known (and logged)
 	// even with ":0"-style addrs — scripted callers and the e2e test scrape
 	// it from the log line.
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
 		return err
 	}
@@ -171,7 +236,33 @@ func run(addr string, workers int, seed uint64, cacheCap int, snapshotPath, suit
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
-	log.Printf("relperfd serving on %s (seed=%d workers=%d cache=%d)", ln.Addr(), seed, workers, cacheCap)
+	mode := "single-node"
+	if o.coordinator {
+		mode = "coordinator"
+	} else if o.joinURL != "" {
+		mode = "worker"
+	}
+	log.Printf("relperfd serving on %s (seed=%d workers=%d cache=%d mode=%s)", ln.Addr(), o.seed, o.workers, o.cacheCap, mode)
+
+	// Worker mode: announce this daemon to the coordinator and keep the
+	// lease fresh until shutdown.
+	if o.joinURL != "" {
+		advertise := o.advertiseURL
+		if advertise == "" {
+			// A wildcard bind (":8078", "0.0.0.0:...") has no host the
+			// coordinator could dial back; advertising it would register a
+			// worker that resolves to the coordinator's own machine and
+			// silently fail every dispatch. Refuse loudly instead.
+			tcp, ok := ln.Addr().(*net.TCPAddr)
+			if !ok || tcp.IP.IsUnspecified() {
+				httpSrv.Close()
+				return fmt.Errorf("-join with a wildcard -addr (%s) needs -advertise http://<reachable-host:port> so the coordinator can dial back", ln.Addr())
+			}
+			advertise = "http://" + ln.Addr().String()
+		}
+		info := grid.WorkerInfo{ID: advertise, URL: advertise, Capacity: sched.Workers(), Seed: o.seed}
+		go grid.RunHeartbeats(ctx, nil, o.joinURL, info, 0, log.Printf)
+	}
 
 	select {
 	case err := <-errCh:

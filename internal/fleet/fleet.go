@@ -30,13 +30,38 @@ type Options struct {
 	Seed uint64
 	// Store is the result cache; nil means a fresh unbounded store.
 	Store *Store
+	// Dispatch, when set, is offered each study before local execution:
+	// the grid coordinator uses it to shard studies onto remote relperfd
+	// workers. It receives the study's self-contained task envelope
+	// (fingerprint, derived seed, declarative spec) and returns the
+	// study's canonical result bytes. Any dispatch error — no workers, all
+	// retries exhausted, an unverifiable reply — falls back to local
+	// execution, so a degraded grid degrades to a single node, never to a
+	// failed suite. Studies submitted without a declarative spec (the
+	// config-level Submit path) cannot travel the wire and always run
+	// locally.
+	Dispatch func(ctx context.Context, task relperf.GridTask) ([]byte, error)
 }
 
-// StudyEvent is streamed to subscribers as each study completes.
+// Phase tags the stage of a StudyEvent.
+type Phase string
+
+const (
+	// PhaseComputing is published when a study's computation starts.
+	PhaseComputing Phase = "computing"
+	// PhaseDone is published when a study completes (Result or Err set).
+	PhaseDone Phase = "done"
+)
+
+// StudyEvent is streamed to subscribers as each study starts computing and
+// again as it completes.
 type StudyEvent struct {
 	// Fingerprint identifies the study.
 	Fingerprint string
-	// Result is the completed result (nil when Err is set).
+	// Phase is the stage this event reports.
+	Phase Phase
+	// Result is the completed result (nil unless Phase is PhaseDone and
+	// the study succeeded).
 	Result *relperf.Result
 	// Err is the study's failure, if it failed.
 	Err error
@@ -121,6 +146,33 @@ func (s *Scheduler) Inflight() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.inflight)
+}
+
+// Computing reports whether the fingerprint is currently in flight — the
+// probe the SSE streaming handler uses to pick a study's initial phase.
+func (s *Scheduler) Computing(fp string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.inflight[fp]
+	return ok
+}
+
+// Known reports whether the scheduler can serve the fingerprint at all: a
+// cached result, an in-flight computation, a retained study, or a
+// snapshot spec to recompute from. The SSE handler checks this before
+// telling a subscriber a study is queued — a fingerprint nobody ever
+// submitted must stream only its error, never a status implying it
+// exists.
+func (s *Scheduler) Known(fp string) bool {
+	s.mu.Lock()
+	_, inflight := s.inflight[fp]
+	_, submitted := s.studies[fp]
+	s.mu.Unlock()
+	if inflight || submitted || s.store.Contains(fp) {
+		return true
+	}
+	_, ok := s.store.Spec(fp)
+	return ok
 }
 
 // Submit registers a suite of study configurations and returns their
@@ -338,26 +390,48 @@ func (s *Scheduler) ensure(fp string, study *relperf.Study) (*flight, error) {
 	return f, nil
 }
 
-// compute runs one study on the shared budget under its derived seed and
-// publishes the outcome: store first, then the in-flight set, then the
-// subscribers. Errors are not cached — a later request retries.
+// compute runs one study — remotely through the dispatch hook when one is
+// set, locally on the shared budget otherwise — and publishes the outcome:
+// store first (a Merge, so a conflicting duplicate fails loudly instead of
+// silently overwriting), then the in-flight set, then the subscribers.
+// Errors are not cached — a later request retries.
 func (s *Scheduler) compute(f *flight, fp string, study *relperf.Study) {
 	defer s.wg.Done()
 	s.computes.Add(1)
-	f.blob, f.res, f.err = s.run(study)
+	s.publish(StudyEvent{Fingerprint: fp, Phase: PhaseComputing})
+	f.blob, f.res, f.err = s.run(fp, study)
 	if f.err == nil {
-		s.store.Put(fp, f.blob)
+		f.err = s.store.Merge(fp, f.blob)
+	}
+	if f.err != nil {
+		f.blob, f.res = nil, nil
 	}
 	s.mu.Lock()
 	delete(s.inflight, fp)
 	s.mu.Unlock()
 	close(f.done)
-	s.publish(StudyEvent{Fingerprint: fp, Result: f.res, Err: f.err})
+	s.publish(StudyEvent{Fingerprint: fp, Phase: PhaseDone, Result: f.res, Err: f.err})
 }
 
 // run executes a retained study (already validated and seeded by
-// NewKeyedStudy) on the shared budget and encodes the result.
-func (s *Scheduler) run(study *relperf.Study) ([]byte, *relperf.Result, error) {
+// NewKeyedStudy) and encodes the result. With a dispatch hook and a
+// retained declarative spec the study is offered to the grid first; a
+// dispatched result only counts if it parses back — anything else falls
+// back to local execution, which the determinism contract guarantees
+// produces the identical bytes.
+func (s *Scheduler) run(fp string, study *relperf.Study) ([]byte, *relperf.Result, error) {
+	if s.opts.Dispatch != nil {
+		if spec, ok := s.store.Spec(fp); ok {
+			if seed, err := relperf.StudySeed(s.opts.Seed, fp); err == nil {
+				task := relperf.GridTask{Fingerprint: fp, Seed: seed, Spec: spec}
+				if blob, err := s.opts.Dispatch(s.ctx, task); err == nil {
+					if res, err := relperf.VerifyGridResult(task, blob); err == nil {
+						return blob, res, nil
+					}
+				}
+			}
+		}
+	}
 	res, err := study.RunOn(s.ctx, s.budget)
 	if err != nil {
 		return nil, nil, err
@@ -369,9 +443,10 @@ func (s *Scheduler) run(study *relperf.Study) ([]byte, *relperf.Result, error) {
 	return blob, res, nil
 }
 
-// Subscribe returns a channel streaming every completed study and a cancel
-// function. A subscriber that falls more than buffer events behind misses
-// the overflow (sends never block the engine); buffer <= 0 means 16.
+// Subscribe returns a channel streaming every study's phase events
+// (computing, then done) and a cancel function. A subscriber that falls
+// more than buffer events behind misses the overflow (sends never block
+// the engine); buffer <= 0 means 16.
 func (s *Scheduler) Subscribe(buffer int) (<-chan StudyEvent, func()) {
 	if buffer <= 0 {
 		buffer = 16

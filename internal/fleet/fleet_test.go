@@ -198,8 +198,13 @@ func TestSchedulerSubscribe(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Phase events arrive in order: computing first, then done.
 	ev := <-ch
-	if ev.Fingerprint != fp || ev.Err != nil || ev.Result == nil {
+	if ev.Fingerprint != fp || ev.Phase != PhaseComputing || ev.Result != nil || ev.Err != nil {
+		t.Fatalf("first event = %+v, want computing phase", ev)
+	}
+	ev = <-ch
+	if ev.Fingerprint != fp || ev.Phase != PhaseDone || ev.Err != nil || ev.Result == nil {
 		t.Fatalf("event = %+v", ev)
 	}
 	if _, err := ev.Result.ProfileByName(ev.Result.Profiles[0].Name); err != nil {

@@ -18,6 +18,9 @@ func FuzzDecodeSuiteRequest(f *testing.F) {
 		`{"studies":[{"workload":"fig1","comparator":"mannwhitney"}]}`,
 		`{"studies":[{"program":{"name":"p","tasks":[{"name":"L1","kernel":"gemm","size":64,"iters":5}]},
 			"platform":{"edge":{"preset":"raspberry-pi-4"},"link":{"preset":"wifi"}},"measurements":5,"reps":8}]}`,
+		suitePlatformsBody,
+		`{"platforms":{"x":{"name":"y"}},"studies":[{"workload":"tableI","platform":{"name":"x"}}]}`,
+		`{"studies":[{"workload":"tableI","platform":{"name":"ghost"}}]}`,
 		`{"studies":[]}`,
 		`{"studies":[{"workload":"tableI","bogus":1}]}`,
 		`{"studies":[{"workload":"tableI","reps":-3}]}`,

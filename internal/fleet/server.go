@@ -3,29 +3,54 @@ package fleet
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
+	"sort"
+	"strconv"
 )
 
 // Server is the HTTP face of a Scheduler:
 //
 //	GET  /v1/healthz                  liveness + engine counters
 //	POST /v1/suites                   submit a suite, receive fingerprints
+//	GET  /v1/studies                  enumerate known studies (paginated)
 //	GET  /v1/studies/{fingerprint}    the study's canonical result JSON
 //
 // A GET for a submitted-but-still-computing study blocks until the result
 // lands (coalescing onto the single in-flight computation); a GET for a
 // never-submitted fingerprint is 404 — the server cannot invert a hash
-// back into a config.
+// back into a config. With ?wait=stream the study GET serves Server-Sent
+// Events instead of blocking silently: status events (queued, computing)
+// as the study progresses, then a result event carrying the canonical
+// JSON — the subscription the grid coordinator rides so it never polls a
+// worker.
 type Server struct {
-	sched *Scheduler
-	mux   *http.ServeMux
+	sched        *Scheduler
+	mux          *http.ServeMux
+	maxStudyCost int64
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithMaxStudyCost bounds the admission-control cost estimate
+// (placements × measurements × reps, see relperf.StudySpec.CostEstimate)
+// of any single submitted study; suites containing a costlier spec are
+// rejected with HTTP 429 and the estimate in the body. 0 means unbounded —
+// the right setting for trusted suites, not for a public endpoint.
+func WithMaxStudyCost(max int64) ServerOption {
+	return func(s *Server) { s.maxStudyCost = max }
 }
 
 // NewServer wires the routes.
-func NewServer(sched *Scheduler) *Server {
+func NewServer(sched *Scheduler, opts ...ServerOption) *Server {
 	s := &Server{sched: sched, mux: http.NewServeMux()}
+	for _, opt := range opts {
+		opt(s)
+	}
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("POST /v1/suites", s.handleSuites)
+	s.mux.HandleFunc("GET /v1/studies", s.handleStudyIndex)
 	s.mux.HandleFunc("GET /v1/studies/{fingerprint}", s.handleStudy)
 	return s
 }
@@ -79,11 +104,37 @@ type suiteResponse struct {
 // daemon into the ground.
 const maxSuiteBody = 1 << 20
 
+// costResponse is the HTTP 429 body of a spec rejected by admission
+// control: which study was over the line, its estimate, and the bound.
+type costResponse struct {
+	Error        string `json:"error"`
+	Study        int    `json:"study"`
+	Cost         int64  `json:"cost"`
+	MaxStudyCost int64  `json:"max_study_cost"`
+}
+
 func (s *Server) handleSuites(w http.ResponseWriter, r *http.Request) {
 	req, err := DecodeSuiteRequest(http.MaxBytesReader(w, r.Body, maxSuiteBody))
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
+	}
+	// Admission control happens after validation but before any submission
+	// or spec retention: a hostile spec is priced and refused while it is
+	// still just bytes.
+	if s.maxStudyCost > 0 {
+		for i := range req.Studies {
+			if cost := req.Studies[i].CostEstimate(); cost > s.maxStudyCost {
+				writeJSON(w, http.StatusTooManyRequests, costResponse{
+					Error: fmt.Sprintf("fleet: study %d estimated cost %d exceeds the admission bound %d (placements × measurements × reps)",
+						i, cost, s.maxStudyCost),
+					Study:        i,
+					Cost:         cost,
+					MaxStudyCost: s.maxStudyCost,
+				})
+				return
+			}
+		}
 	}
 	// SubmitSpecs (not Submit): beyond starting the studies it retains each
 	// spec's wire JSON in the store, so snapshots can recompute evictions
@@ -102,6 +153,10 @@ func (s *Server) handleSuites(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) {
 	fp := r.PathValue("fingerprint")
+	if r.URL.Query().Get("wait") == "stream" {
+		s.handleStudyStream(w, r, fp)
+		return
+	}
 	blob, err := s.sched.Result(r.Context(), fp)
 	switch {
 	case errors.Is(err, ErrUnknownStudy):
@@ -117,4 +172,122 @@ func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) {
 		w.Write(blob)
 		w.Write([]byte{'\n'})
 	}
+}
+
+// writeSSE emits one Server-Sent Event. Data must be newline-free — the
+// canonical result encoding is compact JSON, which is.
+func writeSSE(w http.ResponseWriter, event string, data []byte) {
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+	if fl, ok := w.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+// handleStudyStream serves GET /v1/studies/{fp}?wait=stream: an SSE stream
+// of the study's lifecycle — queued and computing status events off the
+// scheduler's subscriber channel, then a single result (or error) event —
+// so a caller tracking many studies holds one idle connection per study
+// instead of polling. The stream subscribes before attaching to the
+// result, so no phase transition between the two can be missed; the
+// blocking Result call (not the lossy subscriber channel) is the
+// authoritative completion signal.
+func (s *Server) handleStudyStream(w http.ResponseWriter, r *http.Request, fp string) {
+	events, cancel := s.sched.Subscribe(64)
+	defer cancel()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	type outcome struct {
+		blob []byte
+		err  error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		blob, err := s.sched.Result(r.Context(), fp)
+		done <- outcome{blob, err}
+	}()
+
+	// Initial status: cached results go straight to the result event (the
+	// Result call above returns immediately), unknown fingerprints
+	// straight to the error event — a status first would imply a
+	// nonexistent study is pending. Otherwise report where the study
+	// currently stands.
+	if !s.sched.Store().Contains(fp) && s.sched.Known(fp) {
+		if s.sched.Computing(fp) {
+			writeSSE(w, "computing", []byte("{}"))
+		} else {
+			writeSSE(w, "queued", []byte("{}"))
+		}
+	}
+	for {
+		select {
+		case ev := <-events:
+			if ev.Fingerprint == fp && ev.Phase == PhaseComputing {
+				writeSSE(w, "computing", []byte("{}"))
+			}
+		case out := <-done:
+			if out.err != nil {
+				b, _ := json.Marshal(errorResponse{Error: out.err.Error()})
+				writeSSE(w, "error", b)
+				return
+			}
+			writeSSE(w, "result", out.blob)
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// studyIndexResponse is the GET /v1/studies body: one page of the store's
+// deterministic (lexicographic) fingerprint listing. NextCursor is empty on
+// the last page; otherwise pass it back as ?cursor= to resume.
+type studyIndexResponse struct {
+	Studies    []IndexEntry `json:"studies"`
+	NextCursor string       `json:"next_cursor,omitempty"`
+}
+
+// Index pagination bounds.
+const (
+	defaultIndexLimit = 100
+	maxIndexLimit     = 1000
+)
+
+// handleStudyIndex serves GET /v1/studies?limit=N&cursor=fp: a
+// deterministically ordered, cursor-paginated enumeration of every
+// fingerprint the store knows, so an operator can walk a store without
+// knowing any fingerprint up front. The cursor is exclusive — pages resume
+// strictly after it — so a listing never duplicates entries even when
+// studies land between pages.
+func (s *Server) handleStudyIndex(w http.ResponseWriter, r *http.Request) {
+	limit := defaultIndexLimit
+	if raw := r.URL.Query().Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n <= 0 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("fleet: limit %q is not a positive integer", raw)})
+			return
+		}
+		if n > maxIndexLimit {
+			n = maxIndexLimit
+		}
+		limit = n
+	}
+	cursor := r.URL.Query().Get("cursor")
+	all := s.sched.Store().Index()
+	// First entry strictly after the cursor; the zero cursor starts at the
+	// beginning.
+	start := sort.Search(len(all), func(i int) bool { return all[i].Fingerprint > cursor })
+	end := start + limit
+	if end > len(all) {
+		end = len(all)
+	}
+	resp := studyIndexResponse{Studies: all[start:end]}
+	if resp.Studies == nil {
+		resp.Studies = []IndexEntry{} // an empty page is [], not null
+	}
+	if end < len(all) {
+		resp.NextCursor = all[end-1].Fingerprint
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

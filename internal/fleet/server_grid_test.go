@@ -1,0 +1,354 @@
+package fleet
+
+// Tests of the serving features the grid tier rides on: SSE result
+// streaming, the paginated study index, admission control, and named
+// custom platforms in suite requests (with a committed golden pinning the
+// expanded canonical form).
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+)
+
+var updateFleetGolden = flag.Bool("update", false, "rewrite the fleet golden fixtures")
+
+// readSSE consumes one SSE stream and returns the terminal event name and
+// its data, plus every status event seen on the way.
+func readSSE(t *testing.T, body io.Reader) (terminal string, data []byte, statuses []string) {
+	t.Helper()
+	rd := bufio.NewReader(body)
+	event := ""
+	var buf []byte
+	for {
+		line, err := rd.ReadString('\n')
+		if err != nil {
+			t.Fatalf("stream ended without a terminal event (saw %v): %v", statuses, err)
+		}
+		line = strings.TrimRight(line, "\r\n")
+		switch {
+		case line == "":
+			switch event {
+			case "result", "error":
+				return event, buf, statuses
+			case "":
+			default:
+				statuses = append(statuses, event)
+			}
+			event, buf = "", nil
+		case strings.HasPrefix(line, "event: "):
+			event = line[len("event: "):]
+		case strings.HasPrefix(line, "data: "):
+			buf = append(buf, line[len("data: "):]...)
+		}
+	}
+}
+
+// TestServerStudyStream: ?wait=stream serves status events then the result
+// event, whose data is byte-identical to the blocking GET's body; a second
+// stream for the now-cached study goes straight to the result.
+func TestServerStudyStream(t *testing.T) {
+	srv, _ := newTestServer(t, 17, nil)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	sr := postSuite(t, ts, `{"studies":[{"workload":"tableI","loop_n":2,"measurements":6,"reps":10}]}`)
+	fp := sr.Fingerprints[0]
+
+	resp, err := http.Get(ts.URL + "/v1/studies/" + fp + "?wait=stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	terminal, data, _ := readSSE(t, resp.Body)
+	if terminal != "result" {
+		t.Fatalf("terminal event = %s %s", terminal, data)
+	}
+
+	_, plain := getStudy(t, ts, fp)
+	if !bytes.Equal(append(data, '\n'), plain) {
+		t.Fatal("streamed result differs from the blocking GET body")
+	}
+
+	// Cached study: the stream must deliver the identical bytes again
+	// (and, being cached, needs no status preamble).
+	resp2, err := http.Get(ts.URL + "/v1/studies/" + fp + "?wait=stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	terminal2, data2, statuses2 := readSSE(t, resp2.Body)
+	if terminal2 != "result" || !bytes.Equal(data2, data) {
+		t.Fatalf("cached stream: %s (equal=%v)", terminal2, bytes.Equal(data2, data))
+	}
+	if len(statuses2) != 0 {
+		t.Fatalf("cached stream emitted statuses %v", statuses2)
+	}
+}
+
+func TestServerStudyStreamUnknown(t *testing.T) {
+	srv, _ := newTestServer(t, 17, nil)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/v1/studies/ffffffffffffffffffffffffffffffff?wait=stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	terminal, data, statuses := readSSE(t, resp.Body)
+	if terminal != "error" || !bytes.Contains(data, []byte("unknown study")) {
+		t.Fatalf("terminal = %s %s", terminal, data)
+	}
+	// No status event may precede the error: "queued" would tell the
+	// subscriber a nonexistent study is pending.
+	if len(statuses) != 0 {
+		t.Fatalf("unknown study streamed statuses %v before the error", statuses)
+	}
+}
+
+// TestServerStudyIndex: deterministic ordering, exclusive cursors, and the
+// cached/spec flags of every known study.
+func TestServerStudyIndex(t *testing.T) {
+	srv, _ := newTestServer(t, 29, nil)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	sr := postSuite(t, ts, `{"studies":[
+		{"workload":"tableI","loop_n":2,"measurements":6,"reps":10},
+		{"workload":"tableI","loop_n":3,"measurements":6,"reps":10},
+		{"workload":"fig1","measurements":6,"reps":10}
+	]}`)
+	for _, fp := range sr.Fingerprints {
+		getStudy(t, ts, fp) // block until computed so cached=true is stable
+	}
+
+	getIndex := func(query string) studyIndexResponse {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/studies" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b, _ := io.ReadAll(resp.Body)
+			t.Fatalf("GET /v1/studies%s: %d %s", query, resp.StatusCode, b)
+		}
+		var ir studyIndexResponse
+		if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
+			t.Fatal(err)
+		}
+		return ir
+	}
+
+	full := getIndex("")
+	if len(full.Studies) != 3 || full.NextCursor != "" {
+		t.Fatalf("full index = %+v", full)
+	}
+	for i, e := range full.Studies {
+		if !e.Cached || !e.Spec {
+			t.Fatalf("entry %+v missing flags", e)
+		}
+		if i > 0 && full.Studies[i-1].Fingerprint >= e.Fingerprint {
+			t.Fatalf("index not sorted: %+v", full.Studies)
+		}
+	}
+
+	// Cursor walk at limit=2 reassembles the exact listing.
+	var walked []IndexEntry
+	cursor := ""
+	for pages := 0; ; pages++ {
+		if pages > 3 {
+			t.Fatal("pagination did not terminate")
+		}
+		page := getIndex("?limit=2&cursor=" + cursor)
+		walked = append(walked, page.Studies...)
+		if page.NextCursor == "" {
+			break
+		}
+		cursor = page.NextCursor
+	}
+	if len(walked) != 3 {
+		t.Fatalf("walked %d entries", len(walked))
+	}
+	for i := range walked {
+		if walked[i] != full.Studies[i] {
+			t.Fatalf("cursor walk diverged at %d: %+v vs %+v", i, walked[i], full.Studies[i])
+		}
+	}
+
+	if resp, err := http.Get(ts.URL + "/v1/studies?limit=frog"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("bad limit: %d", resp.StatusCode)
+		}
+	}
+}
+
+// TestServerAdmissionControl: specs are priced before any work starts, and
+// a spec over the bound is a 429 carrying the estimate.
+func TestServerAdmissionControl(t *testing.T) {
+	sched := New(Options{Workers: 2, Seed: 3})
+	t.Cleanup(sched.Close)
+	ts := httptest.NewServer(NewServer(sched, WithMaxStudyCost(5000)))
+	defer ts.Close()
+
+	cases := []struct {
+		name     string
+		body     string
+		wantCode int
+		wantCost int64
+	}{
+		{"under the bound",
+			`{"studies":[{"workload":"tableI","loop_n":2,"measurements":6,"reps":10}]}`,
+			http.StatusAccepted, 0}, // 8*6*10 = 480
+		{"over via defaults",
+			`{"studies":[{"workload":"tableI"}]}`,
+			http.StatusTooManyRequests, 8 * 30 * 100},
+		{"over via reps, second study",
+			`{"studies":[{"workload":"tableI","loop_n":2,"measurements":6,"reps":10},
+			             {"workload":"fig1","measurements":10,"reps":1000}]}`,
+			http.StatusTooManyRequests, 4 * 10 * 1000},
+		{"placement list shrinks the cost under the bound",
+			`{"studies":[{"workload":"fig1","placements":["DA"],"measurements":10,"reps":100}]}`,
+			http.StatusAccepted, 0}, // 1*10*100 = 1000
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+"/v1/suites", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.wantCode {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, resp.StatusCode, tc.wantCode, b)
+			continue
+		}
+		if tc.wantCode == http.StatusTooManyRequests {
+			var cr costResponse
+			if err := json.Unmarshal(b, &cr); err != nil {
+				t.Fatalf("%s: %v", tc.name, err)
+			}
+			if cr.Cost != tc.wantCost || cr.MaxStudyCost != 5000 || cr.Error == "" {
+				t.Errorf("%s: 429 body = %+v, want cost %d", tc.name, cr, tc.wantCost)
+			}
+		}
+	}
+	// Nothing over the bound was admitted: only the two accepted suites'
+	// studies may ever compute.
+	if sched.Computes() > 2 {
+		t.Fatalf("computes = %d after rejected suites", sched.Computes())
+	}
+}
+
+// suitePlatformsBody defines a platform once and references it from two
+// studies; the third study uses a preset to prove mixing works.
+const suitePlatformsBody = `{
+	"platforms": {
+		"edge-cloud": {"edge": {"preset": "raspberry-pi-4"}, "link": {"preset": "wifi"}}
+	},
+	"studies": [
+		{"workload": "tableI", "loop_n": 2, "platform": {"name": "edge-cloud"}, "measurements": 6, "reps": 10},
+		{"workload": "fig1", "platform": {"name": "edge-cloud"}, "measurements": 6, "reps": 10},
+		{"workload": "tableI", "loop_n": 2, "measurements": 6, "reps": 10}
+	]
+}`
+
+const suitePlatformsGoldenPath = "testdata/suite_platforms_golden.json"
+
+// TestSuiteRequestNamedPlatforms: references substitute at decode time and
+// the expanded studies are self-contained — pinned by a committed golden of
+// their canonical encoding, so named platforms can never silently change
+// what gets fingerprinted, retained or dispatched.
+func TestSuiteRequestNamedPlatforms(t *testing.T) {
+	req, err := DecodeSuiteRequest(strings.NewReader(suitePlatformsBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		pl := req.Studies[i].Platform
+		if pl == nil || pl.Name != "" || pl.Edge == nil {
+			t.Fatalf("study %d platform not expanded: %+v", i, pl)
+		}
+	}
+	canon, err := json.Marshal(req.Studies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon = append(canon, '\n')
+	if *updateFleetGolden {
+		if err := os.WriteFile(suitePlatformsGoldenPath, canon, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(suitePlatformsGoldenPath)
+	if err != nil {
+		t.Fatalf("%v (regenerate with: go test -run TestSuiteRequestNamedPlatforms -update ./internal/fleet)", err)
+	}
+	if !bytes.Equal(canon, want) {
+		t.Errorf("expanded suite encoding drifted:\n got: %s\nwant: %s", canon, want)
+	}
+}
+
+// TestSuiteRequestNamedPlatformsServed: over the wire, a referencing study
+// fingerprints and serves identically to its inline twin.
+func TestSuiteRequestNamedPlatformsServed(t *testing.T) {
+	srv, _ := newTestServer(t, 41, nil)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	sr := postSuite(t, ts, suitePlatformsBody)
+	if len(sr.Fingerprints) != 3 {
+		t.Fatalf("fingerprints = %v", sr.Fingerprints)
+	}
+
+	inline := `{"studies":[{"workload":"tableI","loop_n":2,
+		"platform":{"edge":{"preset":"raspberry-pi-4"},"link":{"preset":"wifi"}},
+		"measurements":6,"reps":10}]}`
+	srv2, _ := newTestServer(t, 41, nil)
+	ts2 := httptest.NewServer(srv2)
+	defer ts2.Close()
+	sr2 := postSuite(t, ts2, inline)
+	if sr2.Fingerprints[0] != sr.Fingerprints[0] {
+		t.Fatalf("inline twin fingerprints differently: %s vs %s", sr2.Fingerprints[0], sr.Fingerprints[0])
+	}
+	_, a := getStudy(t, ts, sr.Fingerprints[0])
+	_, b := getStudy(t, ts2, sr2.Fingerprints[0])
+	if !bytes.Equal(a, b) {
+		t.Fatal("named-platform study served different bytes than its inline twin")
+	}
+}
+
+func TestSuiteRequestNamedPlatformsErrors(t *testing.T) {
+	for _, body := range []string{
+		// Undefined reference.
+		`{"studies":[{"workload":"tableI","platform":{"name":"ghost"}}]}`,
+		// Reference alongside explicit fields.
+		`{"platforms":{"x":{"preset":"fig1"}},
+		  "studies":[{"workload":"tableI","platform":{"name":"x","preset":"fig1"}}]}`,
+		// Invalid definition.
+		`{"platforms":{"x":{"preset":"warp-drive"}},
+		  "studies":[{"workload":"tableI","platform":{"name":"x"}}]}`,
+		// Chained definition.
+		`{"platforms":{"x":{"name":"y"},"y":{"preset":"fig1"}},
+		  "studies":[{"workload":"tableI","platform":{"name":"x"}}]}`,
+	} {
+		if _, err := DecodeSuiteRequest(strings.NewReader(body)); err == nil {
+			t.Errorf("body %s decoded without error", body)
+		}
+	}
+	// Defined-but-unreferenced platforms are fine.
+	ok := `{"platforms":{"spare":{"preset":"fig1"}},
+	        "studies":[{"workload":"tableI","loop_n":2,"measurements":6,"reps":10}]}`
+	if _, err := DecodeSuiteRequest(strings.NewReader(ok)); err != nil {
+		t.Errorf("unreferenced platform rejected: %v", err)
+	}
+}

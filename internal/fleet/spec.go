@@ -17,9 +17,15 @@ import (
 // schema one type.
 type StudySpec = relperf.StudySpec
 
-// SuiteRequest is the POST /v1/suites body.
+// SuiteRequest is the POST /v1/suites body. Platforms optionally defines
+// named custom platforms once at the suite level; studies reference one
+// with a platform of the form {"name": "x"}. References are substituted
+// into the studies at decode time (relperf.ExpandPlatformRefs), so by the
+// time specs are validated, fingerprinted or retained for snapshots they
+// are fully self-contained.
 type SuiteRequest struct {
-	Studies []StudySpec `json:"studies"`
+	Studies   []StudySpec                      `json:"studies"`
+	Platforms map[string]*relperf.PlatformSpec `json:"platforms,omitempty"`
 }
 
 // Configs resolves every spec of the request.
@@ -50,6 +56,12 @@ func DecodeSuiteRequest(rd io.Reader) (*SuiteRequest, error) {
 	}
 	if len(req.Studies) == 0 {
 		return nil, errors.New("fleet: suite request without studies")
+	}
+	// Named-platform references substitute before validation: afterwards
+	// every study spec stands alone, which snapshots and grid dispatch
+	// depend on.
+	if err := relperf.ExpandPlatformRefs(req.Studies, req.Platforms); err != nil {
+		return nil, fmt.Errorf("fleet: %w", err)
 	}
 	for i := range req.Studies {
 		if err := req.Studies[i].Validate(); err != nil {

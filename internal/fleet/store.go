@@ -12,8 +12,10 @@
 package fleet
 
 import (
+	"bytes"
 	"container/list"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -91,6 +93,12 @@ func (s *Store) Put(fp string, blob []byte) {
 		s.ll.MoveToFront(el)
 		return
 	}
+	s.putLocked(fp, blob)
+}
+
+// putLocked inserts a new entry and applies the capacity bound. The caller
+// holds mu and has verified fp is absent.
+func (s *Store) putLocked(fp string, blob []byte) {
 	s.items[fp] = s.ll.PushFront(&storeEntry{fp: fp, blob: blob})
 	for s.capacity > 0 && s.ll.Len() > s.capacity {
 		oldest := s.ll.Back()
@@ -98,6 +106,32 @@ func (s *Store) Put(fp string, blob []byte) {
 		delete(s.items, oldest.Value.(*storeEntry).fp)
 		s.evictions++
 	}
+}
+
+// ErrMergeConflict is returned by Merge when two sources disagree on a
+// fingerprint's bytes — an engine-version skew or a corrupted transfer that
+// must surface loudly, never be papered over by overwriting.
+var ErrMergeConflict = errors.New("fleet: store merge conflict")
+
+// Merge stores the encoding under the fingerprint like Put, but with the
+// multi-source contract the grid coordinator relies on: merging the same
+// bytes again is an idempotent no-op (beyond an LRU recency bump), and
+// merging different bytes for an existing fingerprint is an
+// ErrMergeConflict — the store never silently replaces a result it already
+// serves. One fingerprint must mean one sequence of bytes, whichever node
+// computed it.
+func (s *Store) Merge(fp string, blob []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[fp]; ok {
+		if !bytes.Equal(el.Value.(*storeEntry).blob, blob) {
+			return fmt.Errorf("%w: fingerprint %s already cached with different bytes", ErrMergeConflict, fp)
+		}
+		s.ll.MoveToFront(el)
+		return nil
+	}
+	s.putLocked(fp, blob)
+	return nil
 }
 
 // Len returns the number of cached results.
@@ -115,6 +149,42 @@ func (s *Store) Keys() []string {
 	for el := s.ll.Front(); el != nil; el = el.Next() {
 		out = append(out, el.Value.(*storeEntry).fp)
 	}
+	return out
+}
+
+// IndexEntry is one known study in a store enumeration: a fingerprint with
+// flags for what the store holds under it — a cached result blob, a
+// retained declarative spec (recomputable after eviction), or both.
+type IndexEntry struct {
+	Fingerprint string `json:"fingerprint"`
+	Cached      bool   `json:"cached"`
+	Spec        bool   `json:"spec"`
+}
+
+// Index enumerates every fingerprint the store knows — the union of cached
+// results and retained specs — sorted lexicographically, so repeated calls
+// over an unchanged store return the identical listing and a cursor taken
+// from one page stays a stable resume point for the next. Enumeration does
+// not touch the hit/miss counters or LRU recency.
+func (s *Store) Index() []IndexEntry {
+	s.mu.Lock()
+	at := make(map[string]int, len(s.items)+len(s.specs))
+	out := make([]IndexEntry, 0, len(s.items)+len(s.specs))
+	for fp := range s.items {
+		at[fp] = len(out)
+		out = append(out, IndexEntry{Fingerprint: fp, Cached: true})
+	}
+	for fp := range s.specs {
+		if i, ok := at[fp]; ok {
+			out[i].Spec = true
+			continue
+		}
+		out = append(out, IndexEntry{Fingerprint: fp, Spec: true})
+	}
+	s.mu.Unlock()
+	// Sorting dominates on a large store; do it off the mutex so an
+	// enumeration never stalls Get/Put/Merge for the O(n log n) part.
+	sort.Slice(out, func(i, j int) bool { return out[i].Fingerprint < out[j].Fingerprint })
 	return out
 }
 

@@ -1,0 +1,281 @@
+// Package grid is the multi-node tier of the serving system: a coordinator
+// that registers remote relperfd workers, shards a suite's fingerprinted
+// studies across them over the daemon's existing HTTP API, verifies every
+// reply, and merges the results into the coordinator's own fleet store —
+// so snapshots, eviction-recompute and serving work exactly as on a single
+// node.
+//
+// The unit of distribution is the fleet layer's study primitive: a
+// content-addressed fingerprint plus a self-contained derived seed
+// (StudySeed = Mix(suiteSeed, fingerprintKey)) and a declarative spec,
+// carried in a relperf/grid-task/v1 envelope. Because the envelope fully
+// determines the study's canonical result bytes, any worker keyed with the
+// same suite seed computes exactly what the coordinator would have
+// computed locally — which is the grid determinism contract: a grid run of
+// a suite is byte-identical to a single-node run at any worker count,
+// under any assignment, and across worker failures.
+//
+// Failure handling is first-class. Studies are assigned by rendezvous
+// hashing (Registry.Pick); a failed request drops the worker and
+// deterministically reassigns the study to the next-ranked live worker,
+// and when no worker is available (or every attempt failed) Dispatch
+// returns an error, which makes the fleet scheduler run the study locally —
+// a degraded grid degrades to a single node, never to a failed suite.
+package grid
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"relperf"
+	"relperf/internal/fleet"
+)
+
+// Defaults for Config's zero values.
+const (
+	// DefaultMaxAttempts is how many workers a study is offered to before
+	// falling back to local execution.
+	DefaultMaxAttempts = 3
+	// DefaultRequestTimeout caps one remote attempt (submit + stream).
+	DefaultRequestTimeout = 10 * time.Minute
+	// journalCap bounds the in-memory dispatch journal.
+	journalCap = 256
+)
+
+// ErrNoWorkers is returned by Dispatch when no live worker is available
+// (or none is left after exclusions) — the scheduler's cue to run the
+// study locally.
+var ErrNoWorkers = errors.New("grid: no live workers")
+
+// Config configures a Coordinator.
+type Config struct {
+	// Seed is the coordinator's suite seed. Heartbeats from workers keyed
+	// with a different seed are rejected: they would compute different
+	// bytes for the same fingerprint.
+	Seed uint64
+	// TTL is the worker-expiry window (default DefaultTTL).
+	TTL time.Duration
+	// MaxAttempts bounds remote attempts per study (default
+	// DefaultMaxAttempts).
+	MaxAttempts int
+	// RequestTimeout caps one remote attempt end to end (default
+	// DefaultRequestTimeout).
+	RequestTimeout time.Duration
+	// Client is the HTTP client for worker requests; nil means a default
+	// client (no global timeout — the per-attempt context enforces one).
+	Client *http.Client
+	// Logf receives dispatch diagnostics; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Coordinator shards studies across registered workers. Its Dispatch
+// method is the fleet scheduler's dispatch hook; its Handler serves the
+// /v1/grid/* registration and observability endpoints.
+type Coordinator struct {
+	cfg    Config
+	reg    *Registry
+	client *http.Client
+
+	remote    atomic.Uint64 // studies completed on a worker
+	retries   atomic.Uint64 // failed attempts that were reassigned
+	fallbacks atomic.Uint64 // studies handed back for local execution
+
+	mu      sync.Mutex
+	journal []TaskRecord // newest first, bounded by journalCap
+}
+
+// New returns a coordinator with an empty worker registry.
+func New(cfg Config) *Coordinator {
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = DefaultMaxAttempts
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = DefaultRequestTimeout
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	return &Coordinator{cfg: cfg, reg: NewRegistry(cfg.TTL), client: client}
+}
+
+// Registry returns the coordinator's worker registry.
+func (c *Coordinator) Registry() *Registry { return c.reg }
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// TaskRecord is one dispatched study in the coordinator's journal: the
+// relperf/grid-task/v1 envelope plus where it ran and how. Served by
+// GET /v1/grid/tasks for operators chasing a slow or bouncing study.
+type TaskRecord struct {
+	// Task is the study's wire envelope.
+	Task json.RawMessage `json:"task"`
+	// Worker is the worker that completed it; empty on fallback.
+	Worker string `json:"worker,omitempty"`
+	// Attempts counts remote attempts, including the successful one.
+	Attempts int `json:"attempts"`
+	// Outcome is "remote" (a worker served it), "fallback" (handed back
+	// for local execution) or "cancelled" (the caller gave up mid-attempt).
+	Outcome string `json:"outcome"`
+	// Error is the last attempt's failure when Outcome is not "remote".
+	Error string `json:"error,omitempty"`
+}
+
+// record appends to the bounded journal (newest first).
+func (c *Coordinator) record(task relperf.GridTask, worker string, attempts int, outcome string, err error) {
+	envelope, merr := task.MarshalWire()
+	if merr != nil {
+		envelope = []byte("{}")
+	}
+	rec := TaskRecord{Task: envelope, Worker: worker, Attempts: attempts, Outcome: outcome}
+	if err != nil {
+		rec.Error = err.Error()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.journal = append([]TaskRecord{rec}, c.journal...)
+	if len(c.journal) > journalCap {
+		c.journal = c.journal[:journalCap]
+	}
+}
+
+// Stats reports the coordinator's dispatch counters.
+type Stats struct {
+	Remote    uint64 `json:"remote"`
+	Retries   uint64 `json:"retries"`
+	Fallbacks uint64 `json:"fallbacks"`
+}
+
+// Stats returns a snapshot of the dispatch counters.
+func (c *Coordinator) Stats() Stats {
+	return Stats{Remote: c.remote.Load(), Retries: c.retries.Load(), Fallbacks: c.fallbacks.Load()}
+}
+
+// Dispatch runs one study on the grid: pick a worker by rendezvous hash,
+// submit the study's spec over the worker's ordinary /v1/suites API,
+// stream the result, verify it, and hand the canonical bytes back to the
+// scheduler (which merges them into the coordinator's store). A failed
+// attempt drops the worker, counts a retry and reassigns; when no worker
+// is available or every attempt failed, the returned error makes the
+// scheduler fall back to local execution. This is the fleet
+// Options.Dispatch hook.
+func (c *Coordinator) Dispatch(ctx context.Context, task relperf.GridTask) ([]byte, error) {
+	// The envelope's seed must be the one our own suite seed derives —
+	// anything else is a mis-keyed scheduler, and serving its result would
+	// violate the determinism contract.
+	if seed, err := relperf.StudySeed(c.cfg.Seed, task.Fingerprint); err != nil || seed != task.Seed {
+		return nil, fmt.Errorf("grid: task %s carries seed %d, coordinator derives %d", task.Fingerprint, task.Seed, seed)
+	}
+	excluded := make(map[string]bool)
+	attempts := 0
+	lastErr := ErrNoWorkers
+	for attempts < c.cfg.MaxAttempts {
+		w, ok := c.reg.Pick(task.Fingerprint, excluded)
+		if !ok {
+			break
+		}
+		attempts++
+		blob, err := c.runOn(ctx, w, task)
+		if err == nil {
+			c.remote.Add(1)
+			c.record(task, w.ID, attempts, "remote", nil)
+			return blob, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			// Not a worker failure and not a fallback: the caller gave up.
+			// Record it as its own outcome so the journal reconciles with
+			// the dispatch counters.
+			c.record(task, w.ID, attempts, "cancelled", err)
+			return nil, err
+		}
+		// The worker failed us: drop it (its next heartbeat re-registers
+		// it if it is actually alive) and rehash onto the next-ranked one.
+		c.retries.Add(1)
+		excluded[w.ID] = true
+		c.reg.Drop(w.ID)
+		c.logf("grid: study %s attempt %d on %s failed: %v (reassigning)", task.Fingerprint, attempts, w.ID, err)
+	}
+	c.fallbacks.Add(1)
+	c.record(task, "", attempts, "fallback", lastErr)
+	c.logf("grid: study %s falling back to local execution after %d attempts: %v", task.Fingerprint, attempts, lastErr)
+	return nil, fmt.Errorf("grid: study %s: %w", task.Fingerprint, lastErr)
+}
+
+// suiteResponse mirrors the worker's POST /v1/suites reply.
+type suiteResponse struct {
+	Fingerprints []string `json:"fingerprints"`
+	Seed         uint64   `json:"seed"`
+}
+
+// runOn executes one attempt against one worker: submit the single-study
+// suite, verify the worker's identity claims (fingerprint and seed — a
+// worker running a different engine version or keyed differently is
+// detected here, before its result can enter the store), stream the
+// result, and verify the bytes are the canonical encoding.
+func (c *Coordinator) runOn(ctx context.Context, w WorkerInfo, task relperf.GridTask) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.cfg.RequestTimeout)
+	defer cancel()
+
+	spec, err := relperf.ParseStudySpec(task.Spec)
+	if err != nil {
+		return nil, fmt.Errorf("grid: task %s spec: %w", task.Fingerprint, err)
+	}
+	body, err := json.Marshal(fleet.SuiteRequest{Studies: []fleet.StudySpec{*spec}})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.URL+"/v1/suites", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("grid: submitting to %s: %w", w.ID, err)
+	}
+	respBody, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+	if err != nil {
+		return nil, fmt.Errorf("grid: reading submit reply from %s: %w", w.ID, err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return nil, fmt.Errorf("grid: worker %s rejected the study: %d %s", w.ID, resp.StatusCode, respBody)
+	}
+	var sr suiteResponse
+	if err := json.Unmarshal(respBody, &sr); err != nil {
+		return nil, fmt.Errorf("grid: submit reply from %s: %w", w.ID, err)
+	}
+	if sr.Seed != c.cfg.Seed {
+		return nil, fmt.Errorf("grid: worker %s runs seed %d, coordinator %d", w.ID, sr.Seed, c.cfg.Seed)
+	}
+	if len(sr.Fingerprints) != 1 || sr.Fingerprints[0] != task.Fingerprint {
+		return nil, fmt.Errorf("grid: worker %s fingerprints the study as %v, coordinator as %s (engine skew)", w.ID, sr.Fingerprints, task.Fingerprint)
+	}
+
+	blob, err := c.streamResult(ctx, w, task.Fingerprint)
+	if err != nil {
+		return nil, err
+	}
+	// The scheduler re-verifies before merging (its Dispatch hook is
+	// generic and cannot assume a verifying dispatcher); this check is
+	// deliberately redundant with that one because failing HERE is what
+	// attributes a bad reply to the worker — dropping it and retrying the
+	// study elsewhere instead of silently degrading to local execution.
+	if _, err := relperf.VerifyGridResult(task, blob); err != nil {
+		return nil, fmt.Errorf("grid: worker %s: %w", w.ID, err)
+	}
+	return blob, nil
+}

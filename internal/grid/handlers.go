@@ -1,0 +1,192 @@
+package grid
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Handler returns the coordinator's HTTP surface, mounted by relperfd
+// under /v1/grid/ alongside the ordinary fleet endpoints:
+//
+//	POST /v1/grid/workers    worker heartbeat (register / refresh lease)
+//	GET  /v1/grid/workers    live workers + registry and dispatch counters
+//	GET  /v1/grid/tasks      recent dispatch journal (task envelopes)
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/grid/workers", c.handleHeartbeat)
+	mux.HandleFunc("GET /v1/grid/workers", c.handleWorkers)
+	mux.HandleFunc("GET /v1/grid/tasks", c.handleTasks)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// heartbeatResponse acknowledges a registration and tells the worker how
+// long its lease lasts, so its heartbeat interval can adapt.
+type heartbeatResponse struct {
+	Status string `json:"status"`
+	TTLMs  int64  `json:"ttl_ms"`
+}
+
+// maxHeartbeatBody bounds POST /v1/grid/workers bodies.
+const maxHeartbeatBody = 1 << 16
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var info WorkerInfo
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxHeartbeatBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&info); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("grid: decoding heartbeat: %v", err)})
+		return
+	}
+	// A worker keyed with a different suite seed would compute different
+	// bytes for the same fingerprint; refusing its registration is what
+	// keeps a misconfigured node from ever being picked.
+	if info.Seed != c.cfg.Seed {
+		writeJSON(w, http.StatusConflict, errorResponse{
+			Error: fmt.Sprintf("grid: worker seed %d does not match coordinator seed %d", info.Seed, c.cfg.Seed),
+		})
+		return
+	}
+	if err := c.reg.Heartbeat(info); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, heartbeatResponse{Status: "ok", TTLMs: c.reg.TTL().Milliseconds()})
+}
+
+// workersResponse is the GET /v1/grid/workers body.
+type workersResponse struct {
+	Workers  []WorkerInfo  `json:"workers"`
+	Registry RegistryStats `json:"registry"`
+	Dispatch Stats         `json:"dispatch"`
+}
+
+func (c *Coordinator) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	workers := c.reg.Alive()
+	if workers == nil {
+		workers = []WorkerInfo{}
+	}
+	writeJSON(w, http.StatusOK, workersResponse{Workers: workers, Registry: c.reg.Stats(), Dispatch: c.Stats()})
+}
+
+// tasksResponse is the GET /v1/grid/tasks body: the dispatch journal,
+// newest first.
+type tasksResponse struct {
+	Tasks []TaskRecord `json:"tasks"`
+}
+
+func (c *Coordinator) handleTasks(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	tasks := make([]TaskRecord, len(c.journal))
+	copy(tasks, c.journal)
+	c.mu.Unlock()
+	writeJSON(w, http.StatusOK, tasksResponse{Tasks: tasks})
+}
+
+// Heartbeat announces a worker to a coordinator once and returns the
+// lease TTL the coordinator granted (0 when the coordinator predates the
+// field).
+func Heartbeat(ctx context.Context, client *http.Client, coordinatorURL string, info WorkerInfo) (time.Duration, error) {
+	body, err := json.Marshal(info)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, coordinatorURL+"/v1/grid/workers", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e errorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return 0, fmt.Errorf("grid: coordinator refused heartbeat: %d %s", resp.StatusCode, e.Error)
+	}
+	var hr heartbeatResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		return 0, nil
+	}
+	return time.Duration(hr.TTLMs) * time.Millisecond, nil
+}
+
+// minHeartbeatInterval floors the adaptive interval so a tiny coordinator
+// TTL cannot turn workers into heartbeat busy-loops.
+const minHeartbeatInterval = 100 * time.Millisecond
+
+// RunHeartbeats announces the worker to the coordinator every interval
+// until ctx is done, starting immediately. interval <= 0 means adaptive:
+// one third of the lease TTL each successful heartbeat reports (DefaultTTL/3
+// until the first reply), so workers track the coordinator's -grid-ttl
+// instead of assuming the default. Failures are logged and retried on the
+// next tick — a coordinator restart costs one interval of invisibility,
+// nothing else.
+func RunHeartbeats(ctx context.Context, client *http.Client, coordinatorURL string, info WorkerInfo, interval time.Duration, logf func(format string, args ...any)) {
+	adaptive := interval <= 0
+	if adaptive {
+		interval = DefaultTTL / 3
+	}
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	ok := false
+	beat := func() time.Duration {
+		ttl, err := Heartbeat(ctx, client, coordinatorURL, info)
+		if err != nil {
+			if ctx.Err() == nil {
+				logf("grid: heartbeat to %s: %v", coordinatorURL, err)
+			}
+			ok = false
+			return 0
+		}
+		if !ok {
+			logf("grid: registered with coordinator %s as %s (lease %s)", coordinatorURL, info.ID, ttl)
+		}
+		ok = true
+		return ttl
+	}
+	adapt := func(ttl time.Duration) {
+		if !adaptive || ttl <= 0 {
+			return
+		}
+		next := ttl / 3
+		if next < minHeartbeatInterval {
+			next = minHeartbeatInterval
+		}
+		interval = next
+	}
+	adapt(beat())
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			prev := interval
+			adapt(beat())
+			if interval != prev {
+				t.Reset(interval)
+			}
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package grid
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+
+	"relperf/internal/xrand"
+)
+
+// DefaultTTL is how long a worker stays live after its last heartbeat.
+const DefaultTTL = 15 * time.Second
+
+// WorkerInfo is one worker's registration, the POST /v1/grid/workers body.
+// Workers re-announce themselves every TTL/3; a worker that falls silent
+// for a full TTL expires from the registry.
+type WorkerInfo struct {
+	// ID names the worker uniquely; workers default it to their
+	// advertised URL.
+	ID string `json:"id"`
+	// URL is the base URL of the worker's relperfd HTTP API.
+	URL string `json:"url"`
+	// Capacity is the worker's budget width (its -workers setting,
+	// resolved), recorded for operators.
+	Capacity int `json:"capacity"`
+	// Seed is the worker's suite seed. The coordinator rejects heartbeats
+	// whose seed differs from its own: a worker keyed differently would
+	// compute different bytes and silently break the determinism
+	// contract.
+	Seed uint64 `json:"seed"`
+}
+
+// workerState is a registered worker plus its liveness bookkeeping.
+type workerState struct {
+	info     WorkerInfo
+	lastSeen time.Time
+}
+
+// Registry tracks the live workers of a coordinator. Heartbeats register
+// and refresh workers; workers expire after TTL without one, and the
+// dispatcher drops a worker immediately when a request to it fails — the
+// worker's next heartbeat re-registers it, so a transient failure costs
+// one heartbeat interval, not an operator action.
+type Registry struct {
+	ttl time.Duration
+	now func() time.Time
+
+	mu       sync.Mutex
+	workers  map[string]*workerState
+	expiries uint64
+	drops    uint64
+}
+
+// NewRegistry returns an empty registry; ttl <= 0 means DefaultTTL.
+func NewRegistry(ttl time.Duration) *Registry {
+	if ttl <= 0 {
+		ttl = DefaultTTL
+	}
+	return &Registry{ttl: ttl, now: time.Now, workers: make(map[string]*workerState)}
+}
+
+// TTL returns the registry's expiry window.
+func (r *Registry) TTL() time.Duration { return r.ttl }
+
+// Heartbeat registers the worker or refreshes its lease.
+func (r *Registry) Heartbeat(info WorkerInfo) error {
+	if info.ID == "" || info.URL == "" {
+		return fmt.Errorf("grid: worker heartbeat requires id and url")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.workers[info.ID] = &workerState{info: info, lastSeen: r.now()}
+	return nil
+}
+
+// Drop removes a worker immediately — the dispatcher's reaction to a
+// failed request. A live worker's next heartbeat re-registers it.
+func (r *Registry) Drop(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.workers[id]; ok {
+		delete(r.workers, id)
+		r.drops++
+	}
+}
+
+// pruneLocked expires workers whose last heartbeat is older than TTL.
+func (r *Registry) pruneLocked() {
+	deadline := r.now().Add(-r.ttl)
+	for id, w := range r.workers {
+		if w.lastSeen.Before(deadline) {
+			delete(r.workers, id)
+			r.expiries++
+		}
+	}
+}
+
+// Alive returns the live workers sorted by ID, pruning expired ones.
+func (r *Registry) Alive() []WorkerInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.pruneLocked()
+	out := make([]WorkerInfo, 0, len(r.workers))
+	for _, w := range r.workers {
+		out = append(out, w.info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Stats reports the registry's lifecycle counters.
+type RegistryStats struct {
+	Workers  int    `json:"workers"`
+	Expiries uint64 `json:"expiries"`
+	Drops    uint64 `json:"drops"`
+}
+
+// Stats returns a snapshot of the counters (pruning first, so Workers
+// counts only live workers).
+func (r *Registry) Stats() RegistryStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.pruneLocked()
+	return RegistryStats{Workers: len(r.workers), Expiries: r.expiries, Drops: r.drops}
+}
+
+// Pick chooses the worker a study is assigned to by rendezvous hashing:
+// every live worker outside the exclusion set is scored by mixing the
+// study's fingerprint key with the worker's ID hash, and the highest score
+// wins. Assignments therefore spread studies evenly, stay stable while the
+// worker set is stable, and — the retry property — reassigning after
+// excluding a failed worker deterministically lands on the next-ranked
+// one, with no central assignment table to keep consistent.
+func (r *Registry) Pick(fingerprint string, exclude map[string]bool) (WorkerInfo, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.pruneLocked()
+	fpKey := fingerprintKey(fingerprint)
+	var best *workerState
+	var bestScore uint64
+	for id, w := range r.workers {
+		if exclude[id] {
+			continue
+		}
+		score := xrand.Mix(fpKey, idHash(id))
+		if best == nil || score > bestScore || (score == bestScore && id < best.info.ID) {
+			best, bestScore = w, score
+		}
+	}
+	if best == nil {
+		return WorkerInfo{}, false
+	}
+	return best.info, true
+}
+
+// fingerprintKey derives the rendezvous key from a fingerprint: its
+// leading 8 bytes for well-formed hex fingerprints (matching the seed
+// derivation's key), an FNV hash otherwise.
+func fingerprintKey(fp string) uint64 {
+	if b, err := hex.DecodeString(fp); err == nil && len(b) >= 8 {
+		return binary.BigEndian.Uint64(b[:8])
+	}
+	return idHash(fp)
+}
+
+// idHash hashes a worker ID for rendezvous scoring.
+func idHash(id string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return h.Sum64()
+}

@@ -1,0 +1,137 @@
+package grid
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// fakeClock drives a registry deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newTestRegistry(ttl time.Duration) (*Registry, *fakeClock) {
+	r := NewRegistry(ttl)
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	r.now = clk.now
+	return r, clk
+}
+
+func worker(i int) WorkerInfo {
+	return WorkerInfo{ID: fmt.Sprintf("w%d", i), URL: fmt.Sprintf("http://w%d", i), Capacity: 2, Seed: 7}
+}
+
+func TestRegistryHeartbeatAndExpiry(t *testing.T) {
+	r, clk := newTestRegistry(10 * time.Second)
+	for i := 0; i < 3; i++ {
+		if err := r.Heartbeat(worker(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := r.Alive(); len(got) != 3 || got[0].ID != "w0" || got[2].ID != "w2" {
+		t.Fatalf("Alive() = %v", got)
+	}
+
+	// w1 keeps beating; the others fall silent and expire together.
+	clk.advance(6 * time.Second)
+	r.Heartbeat(worker(1))
+	clk.advance(6 * time.Second)
+	alive := r.Alive()
+	if len(alive) != 1 || alive[0].ID != "w1" {
+		t.Fatalf("after expiry Alive() = %v", alive)
+	}
+	if st := r.Stats(); st.Workers != 1 || st.Expiries != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// A heartbeat after expiry re-registers.
+	r.Heartbeat(worker(0))
+	if len(r.Alive()) != 2 {
+		t.Fatal("expired worker did not re-register")
+	}
+
+	if err := r.Heartbeat(WorkerInfo{URL: "http://x"}); err == nil {
+		t.Fatal("heartbeat without an ID accepted")
+	}
+}
+
+func TestRegistryDrop(t *testing.T) {
+	r, _ := newTestRegistry(0)
+	r.Heartbeat(worker(0))
+	r.Heartbeat(worker(1))
+	r.Drop("w0")
+	r.Drop("w0") // double drop counts once
+	if alive := r.Alive(); len(alive) != 1 || alive[0].ID != "w1" {
+		t.Fatalf("Alive() = %v", alive)
+	}
+	if st := r.Stats(); st.Drops != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestRegistryPick: rendezvous assignment is deterministic, spreads
+// fingerprints across workers, survives exclusion by moving to the
+// next-ranked worker, and stays stable for fingerprints whose top choice
+// is unaffected by an unrelated worker loss.
+func TestRegistryPick(t *testing.T) {
+	r, _ := newTestRegistry(0)
+	for i := 0; i < 4; i++ {
+		r.Heartbeat(worker(i))
+	}
+	// Realistic fingerprints carry entropy everywhere; the rendezvous key
+	// reads the leading 8 bytes, so spread the bits there.
+	fps := make([]string, 64)
+	for i := range fps {
+		fps[i] = fmt.Sprintf("%016x%016x", uint64(i+1)*0x9E3779B97F4A7C15, uint64(i))
+	}
+
+	counts := map[string]int{}
+	first := map[string]string{}
+	for _, fp := range fps {
+		w, ok := r.Pick(fp, nil)
+		if !ok {
+			t.Fatal("no worker picked")
+		}
+		counts[w.ID]++
+		first[fp] = w.ID
+	}
+	// Deterministic on repeat.
+	for _, fp := range fps {
+		if w, _ := r.Pick(fp, nil); w.ID != first[fp] {
+			t.Fatalf("pick for %s changed: %s vs %s", fp, w.ID, first[fp])
+		}
+	}
+	// Every worker gets a share (64 fingerprints over 4 workers: a
+	// pathological hash would starve one).
+	for i := 0; i < 4; i++ {
+		if counts[fmt.Sprintf("w%d", i)] == 0 {
+			t.Fatalf("worker w%d never picked: %v", i, counts)
+		}
+	}
+
+	// Excluding a fingerprint's assigned worker reassigns it elsewhere;
+	// fingerprints assigned to other workers are untouched (minimal
+	// disruption — the rendezvous property).
+	for _, fp := range fps {
+		excluded := map[string]bool{first[fp]: true}
+		w, ok := r.Pick(fp, excluded)
+		if !ok || w.ID == first[fp] {
+			t.Fatalf("exclusion did not reassign %s", fp)
+		}
+	}
+	r.Drop("w0")
+	for _, fp := range fps {
+		if first[fp] == "w0" {
+			continue
+		}
+		if w, _ := r.Pick(fp, nil); w.ID != first[fp] {
+			t.Fatalf("losing w0 moved %s from %s to %s", fp, first[fp], w.ID)
+		}
+	}
+
+	// All workers excluded: no pick.
+	if _, ok := r.Pick(fps[0], map[string]bool{"w1": true, "w2": true, "w3": true}); ok {
+		t.Fatal("picked a worker with everyone excluded")
+	}
+}

@@ -1,0 +1,77 @@
+package grid
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// maxStreamBody caps one result stream: status events are tiny and result
+// documents are at most a few MB even for very large N, so 64 MiB is
+// generous headroom while still bounding what a hostile worker can make
+// the coordinator buffer.
+const maxStreamBody = 64 << 20
+
+// streamResult subscribes to the worker's SSE stream for the study
+// (GET /v1/studies/{fp}?wait=stream) and returns the result event's data —
+// the study's canonical wire bytes. Status events (queued, computing) are
+// consumed silently; an error event or a stream that ends without a result
+// is a failed attempt. One idle connection per in-flight study replaces
+// polling, and a worker death mid-computation surfaces immediately as a
+// read error instead of a poll timeout.
+func (c *Coordinator) streamResult(ctx context.Context, w WorkerInfo, fp string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.URL+"/v1/studies/"+fp+"?wait=stream", nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("grid: streaming %s from %s: %w", fp, w.ID, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("grid: streaming %s from %s: status %d", fp, w.ID, resp.StatusCode)
+	}
+
+	// Minimal SSE reader: accumulate "event:"/"data:" fields until the
+	// blank line that terminates each event. bufio.Reader, not Scanner —
+	// result data lines are full wire documents and can exceed Scanner's
+	// token limit. The body is capped like every other inbound read: a
+	// misbehaving worker streaming unbounded data must fail the attempt,
+	// not buffer the coordinator into the ground.
+	rd := bufio.NewReader(io.LimitReader(resp.Body, maxStreamBody))
+	event := ""
+	var data []byte
+	for {
+		line, err := rd.ReadString('\n')
+		if err != nil {
+			return nil, fmt.Errorf("grid: stream for %s from %s ended without a result: %w", fp, w.ID, err)
+		}
+		line = strings.TrimRight(line, "\r\n")
+		switch {
+		case line == "":
+			switch event {
+			case "result":
+				return data, nil
+			case "error":
+				var e struct {
+					Error string `json:"error"`
+				}
+				if json.Unmarshal(data, &e) == nil && e.Error != "" {
+					return nil, fmt.Errorf("grid: worker %s failed study %s: %s", w.ID, fp, e.Error)
+				}
+				return nil, fmt.Errorf("grid: worker %s failed study %s", w.ID, fp)
+			}
+			event, data = "", nil
+		case strings.HasPrefix(line, "event: "):
+			event = line[len("event: "):]
+		case strings.HasPrefix(line, "data: "):
+			data = append(data, line[len("data: "):]...)
+		}
+	}
+}

@@ -71,6 +71,61 @@ func EncodeResult(w io.Writer, r *ResultJSON) error {
 	return err
 }
 
+// TaskSchema identifies the grid worker task envelope: the unit of work a
+// coordinator hands to a remote relperfd worker. The envelope is
+// self-contained — the fingerprint addresses the study, the derived seed
+// pins its randomness, and the declarative spec is everything needed to
+// reproduce it — so any worker that honors the schema computes the exact
+// bytes the coordinator would have computed locally.
+const TaskSchema = "relperf/grid-task/v1"
+
+// TaskJSON is the wire form of one sharded study.
+type TaskJSON struct {
+	Schema string `json:"schema"`
+	// Fingerprint is the study's canonical config fingerprint.
+	Fingerprint string `json:"fingerprint"`
+	// Seed is the derived study seed, StudySeed(suiteSeed, Fingerprint).
+	Seed uint64 `json:"seed"`
+	// Spec is the study's declarative wire spec (relperf.StudySpec JSON).
+	Spec json.RawMessage `json:"spec,omitempty"`
+}
+
+// Validate rejects incomplete envelopes.
+func (t *TaskJSON) Validate() error {
+	if t.Schema != TaskSchema {
+		return fmt.Errorf("report: task schema %q, want %q", t.Schema, TaskSchema)
+	}
+	if t.Fingerprint == "" {
+		return errors.New("report: task envelope without a fingerprint")
+	}
+	return nil
+}
+
+// MarshalTask returns the canonical compact encoding of the envelope.
+func MarshalTask(t *TaskJSON) ([]byte, error) {
+	if t.Schema == "" {
+		t.Schema = TaskSchema
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return json.Marshal(t)
+}
+
+// UnmarshalTask parses and validates a task envelope.
+func UnmarshalTask(b []byte) (*TaskJSON, error) {
+	var t TaskJSON
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&t); err != nil {
+		return nil, fmt.Errorf("report: decoding task envelope: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
 // UnmarshalResult parses and validates a wire-format document.
 func UnmarshalResult(b []byte) (*ResultJSON, error) {
 	var r ResultJSON

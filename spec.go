@@ -172,6 +172,13 @@ type TaskSpec struct {
 // explicit edge/accel/link descriptions. Components left nil default to the
 // paper testbed's corresponding part (Xeon core, P100, PCIe).
 type PlatformSpec struct {
+	// Name references a custom platform defined once in the enclosing
+	// suite's top-level "platforms" map (see ExpandPlatformRefs). A
+	// reference is resolved — substituted by the named definition — before
+	// validation; a spec that still carries one outside a suite is an
+	// error, never a silent default. Mutually exclusive with every other
+	// field.
+	Name string `json:"name,omitempty"`
 	// Preset names a complete platform: "xeon-p100" (the paper testbed,
 	// also the default) or "fig1" (the testbed with the Figure-1 noise
 	// amplitudes). Mutually exclusive with the component fields.
@@ -366,6 +373,51 @@ func (sp *StudySpec) taskCount() int {
 		return len(sp.Program.Tasks)
 	}
 	return 0
+}
+
+// CostEstimate returns the admission-control cost of the study the spec
+// describes: placements × measurements × clustering repetitions, with the
+// library defaults resolved (30 measurements, 100 reps, all 2^L placements
+// when none are named) and warmup runs counted as measurements — they are
+// simulated all the same. The estimate is what a serving daemon compares
+// against its -max-study-cost bound before admitting a spec, so a hostile
+// request (say, a 16-task program with no placement list: 65536 placements)
+// is priced before any work starts. Call it only on validated specs.
+func (sp *StudySpec) CostEstimate() int64 {
+	placements := int64(len(sp.Placements))
+	if placements == 0 {
+		placements = int64(1) << uint(sp.taskCount())
+	}
+	measurements := int64(sp.Measurements)
+	if measurements == 0 {
+		measurements = 30
+	}
+	measurements = satAdd(measurements, int64(sp.Warmup))
+	reps := int64(sp.Reps)
+	if reps == 0 {
+		reps = 100
+	}
+	// Saturating arithmetic: measurement/rep counts have no schema upper
+	// bound, and a product that wrapped around int64 would slip a
+	// maximally hostile spec under the admission bound it was built to
+	// trip.
+	return satMul(satMul(placements, measurements), reps)
+}
+
+// satAdd and satMul saturate at MaxInt64 instead of wrapping; inputs are
+// non-negative (spec validation rejects negatives).
+func satAdd(a, b int64) int64 {
+	if a > math.MaxInt64-b {
+		return math.MaxInt64
+	}
+	return a + b
+}
+
+func satMul(a, b int64) int64 {
+	if a != 0 && b > math.MaxInt64/a {
+		return math.MaxInt64
+	}
+	return a * b
 }
 
 // Config validates the spec and resolves it into a runnable study
@@ -588,6 +640,12 @@ var linkPresets = map[string]func() *device.Link{
 
 // Validate checks the platform spec.
 func (ps *PlatformSpec) Validate() error {
+	if ps.Name != "" {
+		if ps.Preset != "" || ps.Edge != nil || ps.Accel != nil || ps.Link != nil {
+			return fmt.Errorf("relperf: platform reference %q excludes preset and explicit edge/accel/link", ps.Name)
+		}
+		return fmt.Errorf("relperf: unresolved platform reference %q (references resolve only inside a suite with a top-level \"platforms\" map)", ps.Name)
+	}
 	if ps.Preset != "" {
 		if ps.Edge != nil || ps.Accel != nil || ps.Link != nil {
 			return fmt.Errorf("relperf: platform preset %q excludes explicit edge/accel/link", ps.Preset)

@@ -22,6 +22,7 @@ func FuzzParseStudySpec(f *testing.F) {
 		`{"program":{"tasks":[{"name":"L1","kernel":"raw","flops":1e9,"accel_eff":0.5}]}}`,
 		`{"workload":"tableI","platform":{"edge":{"preset":"smartphone-soc"},"link":{"preset":"5g-edge"}}}`,
 		`{"workload":"tableI","matrix":true,"matrix_trials":8}`,
+		`{"workload":"tableI","platform":{"name":"edge-cloud"}}`,
 		`{"workload":"nope"}`,
 		`{"program":{"tasks":[]}}`,
 		`{"workload":"tableI","reps":-1}`,

@@ -1,0 +1,132 @@
+package relperf
+
+// Tests of suite-level named custom platforms (ExpandPlatformRefs) and the
+// admission-control cost estimate.
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// edgeCloudPlatform is a custom platform defined once and referenced by
+// name from many studies.
+func edgeCloudPlatform() *PlatformSpec {
+	return &PlatformSpec{
+		Edge: &DeviceSpec{Preset: "raspberry-pi-4"},
+		Link: &LinkSpec{Preset: "wifi"},
+	}
+}
+
+func TestExpandPlatformRefs(t *testing.T) {
+	specs := []StudySpec{
+		{Workload: "tableI", Platform: &PlatformSpec{Name: "edge-cloud"}},
+		{Workload: "fig1"},
+		{Workload: "tableI", Platform: &PlatformSpec{Name: "edge-cloud"}},
+	}
+	platforms := map[string]*PlatformSpec{"edge-cloud": edgeCloudPlatform()}
+	if err := ExpandPlatformRefs(specs, platforms); err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 2} {
+		pl := specs[i].Platform
+		if pl == nil || pl.Name != "" || pl.Edge == nil || pl.Edge.Preset != "raspberry-pi-4" {
+			t.Fatalf("study %d platform not substituted: %+v", i, pl)
+		}
+		if err := specs[i].Validate(); err != nil {
+			t.Fatalf("study %d invalid after expansion: %v", i, err)
+		}
+	}
+	if specs[1].Platform != nil {
+		t.Fatal("study without a reference was touched")
+	}
+
+	// The expanded spec must fingerprint identically to the same study
+	// written with the platform inline — a named platform is sugar, not a
+	// new identity.
+	inline := StudySpec{Workload: "tableI", Platform: edgeCloudPlatform()}
+	cfgRef, err := specs[0].Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgInline, err := inline.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpRef, err := Fingerprint(cfgRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpInline, err := Fingerprint(cfgInline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fpRef != fpInline {
+		t.Fatalf("reference fingerprint %s != inline fingerprint %s", fpRef, fpInline)
+	}
+}
+
+func TestExpandPlatformRefsErrors(t *testing.T) {
+	ref := func(name string) []StudySpec {
+		return []StudySpec{{Workload: "tableI", Platform: &PlatformSpec{Name: name}}}
+	}
+	cases := []struct {
+		name      string
+		specs     []StudySpec
+		platforms map[string]*PlatformSpec
+		want      string
+	}{
+		{"undefined reference", ref("ghost"), nil, "undefined platform"},
+		{"empty map name", ref("x"), map[string]*PlatformSpec{"": edgeCloudPlatform()}, "empty name"},
+		{"null definition", ref("x"), map[string]*PlatformSpec{"x": nil}, "is null"},
+		{"chained reference", ref("x"),
+			map[string]*PlatformSpec{"x": {Name: "y"}, "y": edgeCloudPlatform()}, "cannot chain"},
+		{"invalid definition", ref("x"),
+			map[string]*PlatformSpec{"x": {Preset: "warp-drive"}}, "unknown platform preset"},
+		{"reference with extra fields",
+			[]StudySpec{{Workload: "tableI", Platform: &PlatformSpec{Name: "x", Preset: "fig1"}}},
+			map[string]*PlatformSpec{"x": edgeCloudPlatform()}, "excludes preset"},
+	}
+	for _, tc := range cases {
+		err := ExpandPlatformRefs(tc.specs, tc.platforms)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestPlatformRefOutsideSuite: a spec still carrying a reference (no suite
+// to resolve it) must fail validation loudly, never run a default platform.
+func TestPlatformRefOutsideSuite(t *testing.T) {
+	sp := StudySpec{Workload: "tableI", Platform: &PlatformSpec{Name: "edge-cloud"}}
+	err := sp.Validate()
+	if err == nil || !strings.Contains(err.Error(), "unresolved platform reference") {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := ParseStudySpec([]byte(`{"workload":"tableI","platform":{"name":"edge-cloud"}}`)); err == nil {
+		t.Fatal("standalone spec with a platform reference parsed")
+	}
+}
+
+func TestStudySpecCostEstimate(t *testing.T) {
+	cases := []struct {
+		name string
+		spec StudySpec
+		want int64
+	}{
+		{"defaults tableI", StudySpec{Workload: "tableI"}, 8 * 30 * 100}, // 2^3 placements
+		{"defaults fig1", StudySpec{Workload: "fig1"}, 4 * 30 * 100},     // 2^2 placements
+		{"explicit placements", StudySpec{Workload: "tableI", Placements: []string{"DDA"}, Measurements: 10, Reps: 5}, 1 * 10 * 5},
+		{"warmup counts", StudySpec{Workload: "tableI", Measurements: 10, Warmup: 5, Reps: 2}, 8 * 15 * 2},
+		{"wide program", StudySpec{Program: &ProgramSpec{Tasks: make([]TaskSpec, 16)}, Measurements: 1, Reps: 1}, 1 << 16},
+		// Hostile counts must saturate, never wrap under the admission
+		// bound: 8 × 2^61 × 8 overflows int64 to exactly 0 without the
+		// saturation.
+		{"overflow saturates", StudySpec{Workload: "tableI", Measurements: 1 << 61, Reps: 8}, math.MaxInt64},
+	}
+	for _, tc := range cases {
+		if got := tc.spec.CostEstimate(); got != tc.want {
+			t.Errorf("%s: CostEstimate() = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}

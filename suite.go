@@ -416,6 +416,48 @@ func (s *Suite) Stream(ctx context.Context, fn func(StudyOutcome)) (*SuiteResult
 	return sr, nil
 }
 
+// ExpandPlatformRefs resolves named-platform references in a suite's study
+// specs: a study whose platform is {"name": "x"} has it substituted by
+// platforms["x"], so a custom platform is defined once at the suite level
+// and referenced by many studies. Substitution happens before validation
+// and before specs are retained or fingerprinted, so an expanded spec is
+// fully self-contained — snapshots, recompute-after-eviction and grid
+// dispatch to remote workers all see the inline definition and never need
+// the map. Unknown references, invalid definitions, references carrying
+// extra fields and definitions that are themselves references are explicit
+// errors; defined-but-unreferenced platforms are fine.
+func ExpandPlatformRefs(specs []StudySpec, platforms map[string]*PlatformSpec) error {
+	for name, def := range platforms {
+		if name == "" {
+			return errors.New("relperf: suite platforms map has an empty name")
+		}
+		if def == nil {
+			return fmt.Errorf("relperf: suite platform %q is null", name)
+		}
+		if def.Name != "" {
+			return fmt.Errorf("relperf: suite platform %q references %q (definitions cannot chain)", name, def.Name)
+		}
+		if err := def.Validate(); err != nil {
+			return fmt.Errorf("relperf: suite platform %q: %w", name, err)
+		}
+	}
+	for i := range specs {
+		pl := specs[i].Platform
+		if pl == nil || pl.Name == "" {
+			continue
+		}
+		if pl.Preset != "" || pl.Edge != nil || pl.Accel != nil || pl.Link != nil {
+			return fmt.Errorf("relperf: spec study %d: platform reference %q excludes preset and explicit edge/accel/link", i, pl.Name)
+		}
+		def, ok := platforms[pl.Name]
+		if !ok {
+			return fmt.Errorf("relperf: spec study %d references undefined platform %q", i, pl.Name)
+		}
+		specs[i].Platform = def
+	}
+	return nil
+}
+
 // NewSuiteFromSpecs builds a suite from declarative wire specs (the JSON
 // schema of spec.go): each spec resolves to a StudyConfig, then the members
 // are deduplicated, keyed and budgeted exactly as in NewSuite. This is the

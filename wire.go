@@ -8,6 +8,8 @@ package relperf
 // ones.
 
 import (
+	"bytes"
+	"fmt"
 	"io"
 
 	"relperf/internal/report"
@@ -58,4 +60,58 @@ func ReadResultJSON(rd io.Reader) (*Result, error) {
 		return nil, err
 	}
 	return UnmarshalResultWire(b)
+}
+
+// GridTask is the envelope of one study sharded to a remote worker: the
+// fingerprint addresses it, the derived seed (StudySeed of the suite seed
+// and the fingerprint) pins its randomness, and the declarative spec is
+// everything a worker needs to reproduce it. Its wire form is the
+// relperf/grid-task/v1 schema of internal/report.
+type GridTask struct {
+	// Fingerprint is the study's canonical config fingerprint.
+	Fingerprint string
+	// Seed is the derived study seed.
+	Seed uint64
+	// Spec is the study's declarative wire spec (StudySpec JSON).
+	Spec []byte
+}
+
+// MarshalWire returns the canonical compact relperf/grid-task/v1 encoding.
+func (t *GridTask) MarshalWire() ([]byte, error) {
+	return report.MarshalTask(&report.TaskJSON{
+		Schema:      report.TaskSchema,
+		Fingerprint: t.Fingerprint,
+		Seed:        t.Seed,
+		Spec:        t.Spec,
+	})
+}
+
+// UnmarshalGridTask parses a document produced by GridTask.MarshalWire.
+func UnmarshalGridTask(b []byte) (*GridTask, error) {
+	doc, err := report.UnmarshalTask(b)
+	if err != nil {
+		return nil, err
+	}
+	return &GridTask{Fingerprint: doc.Fingerprint, Seed: doc.Seed, Spec: doc.Spec}, nil
+}
+
+// VerifyGridResult checks a worker's reply against the task that produced
+// it: the blob must parse as a relperf/result/v1 document and re-encode to
+// the exact same bytes. The canonical-fixed-point check is what lets a
+// coordinator merge remote results into its store without trusting the
+// worker — a result that is valid but non-canonical would silently break
+// the byte-identity contract between grid and single-node runs.
+func VerifyGridResult(task GridTask, blob []byte) (*Result, error) {
+	res, err := UnmarshalResultWire(blob)
+	if err != nil {
+		return nil, fmt.Errorf("relperf: grid result for %s: %w", task.Fingerprint, err)
+	}
+	again, err := res.MarshalWire()
+	if err != nil {
+		return nil, fmt.Errorf("relperf: grid result for %s: %w", task.Fingerprint, err)
+	}
+	if !bytes.Equal(again, blob) {
+		return nil, fmt.Errorf("relperf: grid result for %s is not canonical (re-encode differs; worker runs an incompatible engine)", task.Fingerprint)
+	}
+	return res, nil
 }
