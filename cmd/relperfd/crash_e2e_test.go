@@ -1,0 +1,240 @@
+package main
+
+// Crash-recovery and failover end-to-end tests of the real binary: a
+// daemon self-SIGKILLed mid-suite by an armed faultpoint (clean kill and
+// torn-write variants) must, after restart, serve byte-identical results
+// for everything it acknowledged; a standby fed by -standby snapshot
+// pushes must serve the primary's exact bytes with zero recomputation
+// after the primary is SIGKILLed.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"relperf/internal/faultpoint"
+)
+
+// submitSuite posts the daemonSuite and returns its fingerprints.
+func submitSuite(t *testing.T, d *daemon) []string {
+	t.Helper()
+	resp, err := http.Post("http://"+d.addr+"/v1/suites", "application/json", strings.NewReader(daemonSuite))
+	if err != nil {
+		t.Fatalf("POST /v1/suites: %v\nlogs:\n%s", err, d.logText())
+	}
+	defer resp.Body.Close()
+	var sr struct {
+		Fingerprints []string `json:"fingerprints"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted || len(sr.Fingerprints) != 2 {
+		t.Fatalf("POST /v1/suites: %d %v", resp.StatusCode, sr)
+	}
+	return sr.Fingerprints
+}
+
+// goldenRun computes the suite on a pristine daemon and returns the
+// fingerprints with the canonical bytes every later generation must match.
+func goldenRun(t *testing.T, bin string) ([]string, map[string][]byte) {
+	t.Helper()
+	d := startDaemon(t, bin, "-seed", "7", "-workers", "2")
+	fps := submitSuite(t, d)
+	want := map[string][]byte{}
+	for _, fp := range fps {
+		code, body := d.get(t, "/v1/studies/"+fp)
+		if code != 200 {
+			t.Fatalf("golden GET %s: %d %s", fp, code, body)
+		}
+		want[fp] = body
+	}
+	d.stop(t)
+	return fps, want
+}
+
+// waitSIGKILL waits for the daemon process to die and asserts it died by
+// SIGKILL — the faultpoint's self-kill, not a clean exit path.
+func waitSIGKILL(t *testing.T, d *daemon) {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- d.cmd.Wait() }()
+	select {
+	case err := <-done:
+		var ee *exec.ExitError
+		if !errors.As(err, &ee) {
+			t.Fatalf("crashed daemon exit = %v, want an exit error\nlogs:\n%s", err, d.logText())
+		}
+		if ws, ok := ee.Sys().(syscall.WaitStatus); !ok || !ws.Signaled() || ws.Signal() != syscall.SIGKILL {
+			t.Fatalf("crashed daemon status = %v, want death by SIGKILL", ee)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("armed daemon never crashed; logs:\n%s", d.logText())
+	}
+}
+
+// TestCrashRecoveryE2E: a daemon with a WAL is killed -9 (by its own
+// armed faultpoint) while the suite is mid-flight — after the specs were
+// journaled, before the results all landed. The restarted daemon must
+// serve every fingerprint byte-identically to an uncrashed run, replaying
+// what the WAL held and recomputing the rest from journaled specs.
+func TestCrashRecoveryE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real daemon binary")
+	}
+	dir := t.TempDir()
+	bin := buildDaemon(t, dir)
+	fps, want := goldenRun(t, bin)
+
+	// Crash generation: wal.append.sync fires on its 3rd hit — after both
+	// spec appends (hits 1 and 2, journaled during the POST), at the first
+	// result merge. The suite is acknowledged, the results are mid-flight.
+	crashDir := t.TempDir()
+	walPath := filepath.Join(crashDir, "relperfd.wal")
+	snapPath := filepath.Join(crashDir, "relperfd.snapshot.json")
+	d1 := startDaemonEnv(t, bin,
+		[]string{faultpoint.EnvVar + "=wal.append.sync=crash:3"},
+		"-seed", "7", "-workers", "2", "-wal", walPath, "-snapshot", snapPath)
+	crashFps := submitSuite(t, d1)
+	for i, fp := range crashFps {
+		if fp != fps[i] {
+			t.Fatalf("crash-run fingerprint %d = %s, golden %s (suite identity drifted)", i, fp, fps[i])
+		}
+	}
+	waitSIGKILL(t, d1)
+
+	// Restart without the faultpoint: recovery replays the journaled specs
+	// (and whichever results the crash let through), then every GET must
+	// reproduce the golden bytes exactly.
+	d2 := startDaemon(t, bin, "-seed", "7", "-workers", "2", "-wal", walPath, "-snapshot", snapPath)
+	if _, _, specs := d2.health(t); specs != 2 {
+		t.Fatalf("restart recovered %d specs, want 2 (both were acked before the crash)\nlogs:\n%s", specs, d2.logText())
+	}
+	for _, fp := range fps {
+		code, body := d2.get(t, "/v1/studies/"+fp)
+		if code != 200 {
+			t.Fatalf("post-crash GET %s: %d %s\nlogs:\n%s", fp, code, body, d2.logText())
+		}
+		if !bytes.Equal(body, want[fp]) {
+			t.Fatalf("study %s served different bytes after crash recovery", fp)
+		}
+	}
+	d2.stop(t)
+}
+
+// TestCrashRecoveryTornWriteE2E: the kill lands mid-append — half a frame
+// reaches the disk. Recovery must truncate the torn tail loudly and still
+// serve everything acknowledged before it, byte-identically.
+func TestCrashRecoveryTornWriteE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real daemon binary")
+	}
+	dir := t.TempDir()
+	bin := buildDaemon(t, dir)
+	fps, want := goldenRun(t, bin)
+
+	crashDir := t.TempDir()
+	walPath := filepath.Join(crashDir, "relperfd.wal")
+	// wal.append.write fires on its 3rd append: both specs land whole, the
+	// first result merge tears — half its frame on disk, then SIGKILL.
+	d1 := startDaemonEnv(t, bin,
+		[]string{faultpoint.EnvVar + "=wal.append.write=tear:3"},
+		"-seed", "7", "-workers", "2", "-wal", walPath)
+	submitSuite(t, d1)
+	waitSIGKILL(t, d1)
+
+	d2 := startDaemon(t, bin, "-seed", "7", "-workers", "2", "-wal", walPath)
+	if _, _, specs := d2.health(t); specs != 2 {
+		t.Fatalf("restart recovered %d specs, want 2\nlogs:\n%s", specs, d2.logText())
+	}
+	for _, fp := range fps {
+		code, body := d2.get(t, "/v1/studies/"+fp)
+		if code != 200 {
+			t.Fatalf("post-tear GET %s: %d %s\nlogs:\n%s", fp, code, body, d2.logText())
+		}
+		if !bytes.Equal(body, want[fp]) {
+			t.Fatalf("study %s served different bytes after torn-tail recovery", fp)
+		}
+	}
+	// The truncation must have been loud — silent data dropping is the one
+	// unforgivable recovery behavior.
+	if !strings.Contains(d2.logText(), "RECOVERY") {
+		t.Fatalf("torn tail was truncated silently; logs:\n%s", d2.logText())
+	}
+	d2.stop(t)
+}
+
+// TestStandbyFailoverE2E: a primary pushing compacted snapshots to a
+// standby is SIGKILLed; the standby then serves the primary's exact
+// result bytes having computed nothing itself.
+func TestStandbyFailoverE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real daemon binary")
+	}
+	dir := t.TempDir()
+	bin := buildDaemon(t, dir)
+
+	standby := startDaemon(t, bin, "-seed", "7", "-workers", "2")
+	primaryDir := t.TempDir()
+	primary := startDaemon(t, bin,
+		"-seed", "7", "-workers", "2",
+		"-wal", filepath.Join(primaryDir, "relperfd.wal"),
+		"-snapshot", filepath.Join(primaryDir, "relperfd.snapshot.json"),
+		"-snapshot-interval", "150ms",
+		"-standby", "http://"+standby.addr)
+
+	fps := submitSuite(t, primary)
+	want := map[string][]byte{}
+	for _, fp := range fps {
+		code, body := primary.get(t, "/v1/studies/"+fp)
+		if code != 200 {
+			t.Fatalf("primary GET %s: %d %s", fp, code, body)
+		}
+		want[fp] = body
+	}
+
+	// Wait for a compaction cycle to replicate both results and both specs
+	// to the standby — without the standby computing a thing.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		computes, entries, specs := standby.health(t)
+		if computes != 0 {
+			t.Fatalf("standby computed %d studies; replication must not recompute", computes)
+		}
+		if entries == 2 && specs == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("standby never caught up (entries=%d specs=%d)\nprimary logs:\n%s\nstandby logs:\n%s",
+				entries, specs, primary.logText(), standby.logText())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Hard failover: the primary dies without ceremony.
+	if err := primary.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = primary.cmd.Wait()
+
+	for _, fp := range fps {
+		code, body := standby.get(t, "/v1/studies/"+fp)
+		if code != 200 {
+			t.Fatalf("standby GET %s: %d %s\nlogs:\n%s", fp, code, body, standby.logText())
+		}
+		if !bytes.Equal(body, want[fp]) {
+			t.Fatalf("standby serves different bytes for %s after failover", fp)
+		}
+	}
+	if computes, _, _ := standby.health(t); computes != 0 {
+		t.Fatalf("standby computes = %d after serving the failed-over suite, want 0", computes)
+	}
+	standby.stop(t)
+}

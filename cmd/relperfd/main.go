@@ -16,9 +16,11 @@
 //	GET  /v1/studies                  paginated fingerprint index
 //	GET  /v1/studies/{fingerprint}    canonical study result JSON
 //	                                  (?wait=stream serves SSE events)
+//	POST /v1/replica/snapshot         absorb a pushed snapshot (standby)
 //	POST /v1/grid/workers             worker heartbeat   (-coordinator)
 //	GET  /v1/grid/workers             worker + dispatch state (-coordinator)
-//	GET  /v1/grid/tasks               recent dispatch journal (-coordinator)
+//	GET  /v1/grid/tasks               dispatch journal (-coordinator;
+//	                                  WAL-backed journals survive restarts)
 //
 // Grid modes: -coordinator shards submitted suites across workers that
 // join with -join <coordinator-url>; workers are ordinary daemons started
@@ -30,8 +32,19 @@
 // cached or restored from a snapshot, whichever suite submitted it — and,
 // in grid mode, whichever worker computed it, at any worker count, across
 // worker deaths, retries and local fallback.
-// The snapshot is loaded at startup (if present), rewritten after every
-// completed study and on shutdown, so restarts serve warm results.
+//
+// Durability: without -wal, the snapshot is loaded at startup and
+// rewritten after every completed study and on shutdown (a crash loses
+// the work in flight). With -wal, every control-plane event — spec
+// retained, result merged, task dispatched — is appended to a
+// checksummed, fsync'd write-ahead log before it is acked, so a `kill -9`
+// at any instant loses nothing acknowledged; startup replays the log on
+// top of the last snapshot (truncating a torn tail loudly), and
+// -snapshot-interval compacts periodically (snapshot + WAL truncate)
+// instead of rewriting the store per study. -standby pushes each
+// compacted snapshot to standby daemons over POST /v1/replica/snapshot,
+// so a promoted standby serves warm, byte-identical results with zero
+// recomputation.
 package main
 
 import (
@@ -46,28 +59,34 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
 
+	"relperf/internal/faultpoint"
 	"relperf/internal/fleet"
 	"relperf/internal/grid"
+	"relperf/internal/wal"
 )
 
 // options collects the daemon's flag values.
 type options struct {
-	addr         string
-	workers      int
-	seed         uint64
-	cacheCap     int
-	snapshotPath string
-	suitePath    string
-	pprofAddr    string
-	maxStudyCost int64
-	coordinator  bool
-	joinURL      string
-	advertiseURL string
-	gridTTL      time.Duration
+	addr             string
+	workers          int
+	seed             uint64
+	cacheCap         int
+	snapshotPath     string
+	suitePath        string
+	pprofAddr        string
+	maxStudyCost     int64
+	coordinator      bool
+	joinURL          string
+	advertiseURL     string
+	gridTTL          time.Duration
+	walPath          string
+	snapshotInterval time.Duration
+	standbys         string
 }
 
 func main() {
@@ -84,6 +103,9 @@ func main() {
 	flag.StringVar(&o.joinURL, "join", "", "coordinator base URL to join as a grid worker (e.g. http://coord:8077)")
 	flag.StringVar(&o.advertiseURL, "advertise", "", "base URL this worker advertises to the coordinator (default http://<bound address>)")
 	flag.DurationVar(&o.gridTTL, "grid-ttl", 0, "coordinator: expire workers silent for this long (default 15s)")
+	flag.StringVar(&o.walPath, "wal", "", "write-ahead log file: control-plane events are fsync'd here before being acked, and replayed over the snapshot at startup")
+	flag.DurationVar(&o.snapshotInterval, "snapshot-interval", 0, "compact periodically: write the snapshot and truncate the WAL every interval (0 = legacy rewrite-per-study without -wal, compact only at shutdown with it)")
+	flag.StringVar(&o.standbys, "standby", "", "comma-separated standby base URLs; each compacted snapshot is pushed to their POST /v1/replica/snapshot")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -122,12 +144,34 @@ func run(o options) error {
 	if o.coordinator && o.joinURL != "" {
 		return errors.New("-coordinator and -join are mutually exclusive (a node is either the coordinator or a worker)")
 	}
+	// Fault injection is armed first: a point named in the environment must
+	// already be live when the WAL below takes its first write.
+	if err := faultpoint.ArmFromEnv(os.Getenv(faultpoint.EnvVar), log.Printf); err != nil {
+		return err
+	}
 	if o.pprofAddr != "" {
 		srv, err := servePprof(o.pprofAddr)
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
+	}
+
+	// Durable state is recovered in layers: the snapshot is the compacted
+	// base, the WAL is the fsync'd tail on top of it. The WAL opens first
+	// (it validates its seed header and truncates any torn tail), but its
+	// records replay only after the snapshot loads — replay order is what
+	// makes "snapshot then Reset" compaction crash-safe, since replaying a
+	// record the snapshot already holds is an idempotent no-op merge.
+	var walLog *wal.Log
+	var walRecs []wal.Record
+	if o.walPath != "" {
+		var err error
+		walLog, walRecs, err = wal.Open(o.walPath, o.seed, log.Printf)
+		if err != nil {
+			return fmt.Errorf("opening wal %s: %w", o.walPath, err)
+		}
+		defer walLog.Close()
 	}
 	store := fleet.NewStore(o.cacheCap)
 	if o.snapshotPath != "" {
@@ -142,32 +186,79 @@ func run(o options) error {
 			return err
 		}
 	}
+	var taskRecs []wal.Record
+	if walLog != nil {
+		counts, tasks, err := fleet.ReplayWAL(store, o.seed, walRecs)
+		if err != nil {
+			return fmt.Errorf("replaying wal %s: %w", o.walPath, err)
+		}
+		taskRecs = tasks
+		if counts.Specs+counts.Results+counts.Tasks > 0 {
+			log.Printf("replayed wal %s: %d specs, %d results, %d task records", o.walPath, counts.Specs, counts.Results, counts.Tasks)
+		}
+	}
 
 	// Coordinator mode: studies are offered to the grid dispatcher before
 	// local execution, and the /v1/grid/* endpoints join the mux below.
 	var coord *grid.Coordinator
 	opts := fleet.Options{Workers: o.workers, Seed: o.seed, Store: store}
 	if o.coordinator {
-		coord = grid.New(grid.Config{Seed: o.seed, TTL: o.gridTTL, Logf: log.Printf})
+		coord = grid.New(grid.Config{Seed: o.seed, TTL: o.gridTTL, Logf: log.Printf, Journal: walLog})
+		if n := coord.RestoreJournal(taskRecs); n > 0 {
+			log.Printf("restored %d dispatch journal entries from the wal", n)
+		}
 		opts.Dispatch = coord.Dispatch
 	}
+	// Only now does the store start journaling: attached after replay, so
+	// recovered records are never appended back into the log they came from.
+	store.SetWAL(walLog)
 	sched := fleet.New(opts)
 	defer sched.Close()
 
-	// Persist the store as studies land so a crash loses at most the work
-	// in flight; writes are serialized and atomic (write + rename).
-	var persist func(reason string)
-	if o.snapshotPath != "" {
-		var mu sync.Mutex
-		persist = func(reason string) {
-			mu.Lock()
-			defer mu.Unlock()
-			if err := writeSnapshotAtomic(store, o.snapshotPath, o.seed); err != nil {
-				log.Printf("snapshot (%s): %v", reason, err)
+	var standbyURLs []string
+	if o.standbys != "" {
+		for _, u := range strings.Split(o.standbys, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				standbyURLs = append(standbyURLs, u)
 			}
 		}
-		// 256, not 64: every study now costs two buffer slots (computing +
-		// done phase events), and a dropped done event here would mean a
+	}
+	replicator := &fleet.Replicator{URLs: standbyURLs, Logf: log.Printf}
+
+	// checkpoint compacts the durable state: snapshot written atomically,
+	// then (only on success) the WAL truncated back to its header — the
+	// snapshot now holds everything the log did — then the snapshot pushed
+	// to the standbys. Serialized: overlapping checkpoints would race the
+	// snapshot-write/WAL-reset ordering that makes compaction crash-safe.
+	var checkpointMu sync.Mutex
+	checkpoint := func(reason string) {
+		checkpointMu.Lock()
+		defer checkpointMu.Unlock()
+		if o.snapshotPath != "" {
+			if err := fleet.WriteSnapshotAtomic(store, o.snapshotPath, o.seed); err != nil {
+				log.Printf("snapshot (%s): %v", reason, err)
+				return // the WAL still holds the tail; never truncate it now
+			}
+			if walLog != nil {
+				if err := walLog.Reset(o.seed); err != nil {
+					log.Printf("wal compaction (%s): %v", reason, err)
+				}
+			}
+		}
+		if err := replicator.Push(context.Background(), store, o.seed); err != nil {
+			log.Printf("replication (%s): %v", reason, err)
+		}
+	}
+
+	// Persistence cadence. With -wal the log already makes every completed
+	// study durable, so the legacy rewrite-per-study is wasted I/O and the
+	// snapshot becomes a compaction artifact (periodic via
+	// -snapshot-interval, always at shutdown). Without -wal the per-study
+	// rewrite IS the durability story, as before.
+	perStudyPersist := o.snapshotPath != "" && o.walPath == "" && o.snapshotInterval == 0
+	if o.snapshotPath != "" || o.walPath != "" {
+		// 256, not 64: every study costs two buffer slots (computing + done
+		// phase events), and a dropped done event here would mean a
 		// completion that never gets logged or snapshotted.
 		events, cancel := sched.Subscribe(256)
 		defer cancel()
@@ -181,7 +272,9 @@ func run(o options) error {
 					continue
 				}
 				log.Printf("study %s completed", ev.Fingerprint)
-				persist("study completed")
+				if perStudyPersist {
+					checkpoint("study completed")
+				}
 			}
 		}()
 	}
@@ -234,6 +327,22 @@ func run(o options) error {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	// Periodic compaction: snapshot + WAL truncate + standby push on a
+	// timer, instead of a store rewrite per completed study.
+	if o.snapshotInterval > 0 {
+		go func() {
+			ticker := time.NewTicker(o.snapshotInterval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					checkpoint("interval")
+				}
+			}
+		}()
+	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
 	mode := "single-node"
@@ -274,28 +383,8 @@ func run(o options) error {
 	defer cancel()
 	_ = httpSrv.Shutdown(shutdownCtx)
 	sched.Close()
-	if persist != nil {
-		persist("shutdown")
+	if o.snapshotPath != "" || len(standbyURLs) > 0 {
+		checkpoint("shutdown")
 	}
 	return nil
-}
-
-// writeSnapshotAtomic writes the snapshot beside the target and renames it
-// into place, so a crash mid-write can never truncate the previous one.
-func writeSnapshotAtomic(store *fleet.Store, path string, seed uint64) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := store.WriteSnapshot(f, seed); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
 }

@@ -66,7 +66,18 @@ func (d *daemon) logText() string {
 // to learn the dynamically bound address.
 func startDaemon(t *testing.T, bin string, args ...string) *daemon {
 	t.Helper()
+	return startDaemonEnv(t, bin, nil, args...)
+}
+
+// startDaemonEnv is startDaemon with extra environment variables — the
+// crash e2e tests use it to arm fault-injection points in the child
+// process only.
+func startDaemonEnv(t *testing.T, bin string, env []string, args ...string) *daemon {
+	t.Helper()
 	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	if len(env) > 0 {
+		cmd.Env = append(os.Environ(), env...)
+	}
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
 		t.Fatal(err)

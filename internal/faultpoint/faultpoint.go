@@ -1,0 +1,173 @@
+// Package faultpoint provides named, test-armable fault injection points
+// for the durability layer: the WAL, the atomic snapshot writer and the
+// replica pusher each consult a point at the moment they would touch disk
+// or the network, and an armed point makes that moment fail — with an
+// injected error, a hard process kill, or a torn (partial) write.
+//
+// Points are inert unless armed, and arming happens only in tests — either
+// in-process via Arm, or across a process boundary via the
+// RELPERF_FAULTPOINT environment variable (ArmFromEnv), which is how the
+// crash-recovery e2e kills a real relperfd mid-suite at a chosen write.
+// The set of point names is owned by the call sites; the durability layer
+// uses:
+//
+//	wal.append.write    before a WAL record's bytes are written
+//	wal.append.sync     before the WAL append's fsync
+//	snapshot.write      before the snapshot's bytes are written
+//	snapshot.sync       before the snapshot file's fsync
+//	snapshot.rename     before the snapshot's rename into place
+//	replica.push        before a snapshot is pushed to one standby
+package faultpoint
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+)
+
+// Mode is what an armed point does when it fires.
+type Mode string
+
+const (
+	// Off is the zero mode: the point does nothing.
+	Off Mode = ""
+	// Error makes Hit return ErrInjected — the "disk said no" simulation.
+	Error Mode = "error"
+	// Crash kills the process with SIGKILL — uncatchable, exactly the
+	// `kill -9` the recovery path must survive.
+	Crash Mode = "crash"
+	// Tear asks the call site to perform a partial write and then crash —
+	// the torn-tail simulation. Only sites that declare tear support
+	// honour it; others treat it as Crash.
+	Tear Mode = "tear"
+)
+
+// ErrInjected is the error an Error-mode point injects; call sites wrap it.
+var ErrInjected = errors.New("faultpoint: injected fault")
+
+// point is one armed fault: fire on the n-th upcoming hit.
+type point struct {
+	mode      Mode
+	remaining int // hits left before firing; fires when it reaches 0
+}
+
+var (
+	mu     sync.Mutex
+	points = map[string]*point{}
+)
+
+// Arm schedules the named point to fire with mode on its n-th upcoming
+// hit (n <= 1 means the very next one). A point fires once and disarms
+// itself — re-arm for repeated faults.
+func Arm(name string, mode Mode, n int) {
+	if n < 1 {
+		n = 1
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	points[name] = &point{mode: mode, remaining: n}
+}
+
+// Disarm removes the named point.
+func Disarm(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	delete(points, name)
+}
+
+// Reset disarms every point — test cleanup.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	points = map[string]*point{}
+}
+
+// Fire advances the named point by one hit and reports the mode to apply
+// at this hit: Off when the point is unarmed or its trigger count has not
+// been reached yet. A firing point disarms itself.
+func Fire(name string) Mode {
+	mu.Lock()
+	defer mu.Unlock()
+	p, ok := points[name]
+	if !ok {
+		return Off
+	}
+	p.remaining--
+	if p.remaining > 0 {
+		return Off
+	}
+	delete(points, name)
+	return p.mode
+}
+
+// Hit is the common call-site form: it fires the point and applies the
+// simple modes — Error returns a wrapped ErrInjected, Crash (and Tear, at
+// sites without torn-write support) kills the process. Unarmed points
+// cost one mutexed map lookup.
+func Hit(name string) error {
+	switch Fire(name) {
+	case Error:
+		return fmt.Errorf("%w at %s", ErrInjected, name)
+	case Crash, Tear:
+		Kill(name)
+	}
+	return nil
+}
+
+// Kill terminates the process with SIGKILL — uncatchable and unflushable,
+// so everything not yet durable is genuinely lost, which is the point. A
+// loud stderr line first, so the harness can see where the crash landed.
+func Kill(name string) {
+	fmt.Fprintf(os.Stderr, "faultpoint: killing process at %s\n", name)
+	_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+	os.Exit(137) // unreachable unless Kill is unavailable; 128+9 either way
+}
+
+// EnvVar is the environment variable ArmFromEnv reads in relperfd.
+const EnvVar = "RELPERF_FAULTPOINT"
+
+// ArmFromEnv arms points from a spec like
+// "wal.append.sync=crash:3,replica.push=error" — comma-separated
+// name=mode[:n] terms, n defaulting to 1. An empty spec arms nothing.
+// This is the cross-process arming path: the crash e2e sets the variable,
+// the daemon arms at startup, and the chosen write kills it.
+func ArmFromEnv(spec string, logf func(format string, args ...any)) error {
+	if spec == "" {
+		return nil
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	for _, term := range strings.Split(spec, ",") {
+		term = strings.TrimSpace(term)
+		if term == "" {
+			continue
+		}
+		name, rest, ok := strings.Cut(term, "=")
+		if !ok || name == "" {
+			return fmt.Errorf("faultpoint: term %q is not name=mode[:n]", term)
+		}
+		modeStr, nStr, hasN := strings.Cut(rest, ":")
+		n := 1
+		if hasN {
+			v, err := strconv.Atoi(nStr)
+			if err != nil || v < 1 {
+				return fmt.Errorf("faultpoint: term %q has a bad hit count %q", term, nStr)
+			}
+			n = v
+		}
+		mode := Mode(modeStr)
+		switch mode {
+		case Error, Crash, Tear:
+		default:
+			return fmt.Errorf("faultpoint: term %q has unknown mode %q", term, modeStr)
+		}
+		Arm(name, mode, n)
+		logf("faultpoint: armed %s mode=%s on hit %d", name, mode, n)
+	}
+	return nil
+}

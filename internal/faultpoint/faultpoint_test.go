@@ -1,0 +1,82 @@
+package faultpoint
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestHitFiresOnNthAndDisarms(t *testing.T) {
+	t.Cleanup(Reset)
+	Arm("p", Error, 3)
+	for i := 1; i <= 2; i++ {
+		if err := Hit("p"); err != nil {
+			t.Fatalf("hit %d fired early: %v", i, err)
+		}
+	}
+	if err := Hit("p"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("hit 3 = %v, want ErrInjected", err)
+	}
+	// One-shot: the fired point is gone.
+	for i := 0; i < 5; i++ {
+		if err := Hit("p"); err != nil {
+			t.Fatalf("hit after firing = %v, want nil", err)
+		}
+	}
+}
+
+func TestUnarmedPointsAreInert(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Hit("never-armed"); err != nil {
+		t.Fatal(err)
+	}
+	if m := Fire("never-armed"); m != Off {
+		t.Fatalf("Fire = %q, want Off", m)
+	}
+}
+
+func TestDisarm(t *testing.T) {
+	t.Cleanup(Reset)
+	Arm("p", Error, 1)
+	Disarm("p")
+	if err := Hit("p"); err != nil {
+		t.Fatalf("disarmed point fired: %v", err)
+	}
+}
+
+func TestFireReportsTearMode(t *testing.T) {
+	t.Cleanup(Reset)
+	Arm("p", Tear, 1)
+	if m := Fire("p"); m != Tear {
+		t.Fatalf("Fire = %q, want tear", m)
+	}
+}
+
+func TestArmFromEnv(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := ArmFromEnv("a=error:2, b=crash ,c=tear:7", t.Logf); err != nil {
+		t.Fatal(err)
+	}
+	if err := Hit("a"); err != nil {
+		t.Fatalf("a fired on hit 1: %v", err)
+	}
+	if err := Hit("a"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("a hit 2 = %v, want ErrInjected", err)
+	}
+	if m := Fire("c"); m != Off {
+		t.Fatalf("c fired on hit 1 (%q), armed for hit 7", m)
+	}
+	// b stays armed as crash; do not hit it in-process.
+	Disarm("b")
+}
+
+func TestArmFromEnvRejectsBadSpecs(t *testing.T) {
+	t.Cleanup(Reset)
+	for _, spec := range []string{"noequals", "a=warp", "a=error:0", "a=error:x", "=error"} {
+		if err := ArmFromEnv(spec, nil); err == nil {
+			t.Errorf("spec %q accepted, want error", spec)
+		}
+	}
+	if err := ArmFromEnv("", nil); err != nil {
+		t.Fatalf("empty spec: %v", err)
+	}
+}

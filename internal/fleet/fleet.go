@@ -240,7 +240,11 @@ func (s *Scheduler) SubmitSpecs(specs []StudySpec) ([]string, error) {
 func (s *Scheduler) ensureAll(fps []string, studies []*relperf.Study, specBlobs [][]byte) error {
 	for i, fp := range fps {
 		if specBlobs != nil {
-			s.store.PutSpec(fp, specBlobs[i])
+			// A spec the journal refused is a study we must not promise:
+			// after a crash the daemon could neither serve nor recompute it.
+			if err := s.store.PutSpec(fp, specBlobs[i]); err != nil {
+				return err
+			}
 		}
 		if _, err := s.ensure(fp, studies[i]); err != nil {
 			return err

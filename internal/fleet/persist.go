@@ -1,0 +1,142 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+
+	"relperf/internal/faultpoint"
+)
+
+// WriteSnapshotAtomic persists the store's snapshot at path with full
+// crash safety: the bytes are written to a sibling .tmp file, fsync'd,
+// renamed into place, and the parent directory is fsync'd after the
+// rename — without the directory sync a crash right after os.Rename can
+// still resurface the old snapshot (or none at all) when the directory
+// entry was never made durable. Every failure path removes the .tmp file.
+// The snapshot.* faultpoints fire here.
+func WriteSnapshotAtomic(store *Store, path string, seed uint64) (err error) {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	// One cleanup for every failure exit: close if still open, remove the
+	// temp file so a failed snapshot never litters (or worse, gets
+	// mistaken for a fresh one by an operator).
+	closed := false
+	defer func() {
+		if err != nil {
+			if !closed {
+				f.Close()
+			}
+			os.Remove(tmp)
+		}
+	}()
+	if err = faultpoint.Hit("snapshot.write"); err != nil {
+		return err
+	}
+	if err = store.WriteSnapshot(f, seed); err != nil {
+		return err
+	}
+	if err = faultpoint.Hit("snapshot.sync"); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	closed = true
+	if err = faultpoint.Hit("snapshot.rename"); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return err
+	}
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return fmt.Errorf("fleet: opening snapshot directory: %w", err)
+	}
+	defer d.Close()
+	if err = d.Sync(); err != nil {
+		return fmt.Errorf("fleet: syncing snapshot directory: %w", err)
+	}
+	return nil
+}
+
+// Replicator pushes store snapshots to standby coordinators over their
+// POST /v1/replica/snapshot endpoint. Store.Merge makes replica
+// convergence safe (identical bytes merge idempotently, divergent bytes
+// refuse loudly), so a standby that absorbed the pushes serves warm and
+// byte-identical after failover, with zero recomputation.
+type Replicator struct {
+	// URLs are the standby base URLs (e.g. http://standby:8077).
+	URLs []string
+	// Client is the HTTP client; nil means http.DefaultClient.
+	Client *http.Client
+	// Logf receives per-standby outcomes; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (r *Replicator) logf(format string, args ...any) {
+	if r.Logf != nil {
+		r.Logf(format, args...)
+	}
+}
+
+// Push marshals one snapshot of the store and posts it to every standby.
+// A failed standby is logged and does not stop the others; the joined
+// error reports every failure so the caller can count a degraded
+// replication round. The replica.push faultpoint fires once per standby.
+func (r *Replicator) Push(ctx context.Context, store *Store, seed uint64) error {
+	if len(r.URLs) == 0 {
+		return nil
+	}
+	var buf bytes.Buffer
+	if err := store.WriteSnapshot(&buf, seed); err != nil {
+		return fmt.Errorf("fleet: encoding replica snapshot: %w", err)
+	}
+	client := r.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	var errs []error
+	for _, url := range r.URLs {
+		if err := pushOne(ctx, client, url, buf.Bytes()); err != nil {
+			r.logf("fleet: replica push to %s failed: %v (standby will catch up on the next push)", url, err)
+			errs = append(errs, fmt.Errorf("%s: %w", url, err))
+			continue
+		}
+		r.logf("fleet: replicated snapshot to %s (%d bytes)", url, buf.Len())
+	}
+	return errors.Join(errs...)
+}
+
+// pushOne posts one snapshot to one standby.
+func pushOne(ctx context.Context, client *http.Client, url string, snapshot []byte) error {
+	if err := faultpoint.Hit("replica.push"); err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url+"/v1/replica/snapshot", bytes.NewReader(snapshot))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("standby answered %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package fleet
+
+import (
+	"fmt"
+
+	"relperf"
+	"relperf/internal/wal"
+)
+
+// ReplayCounts reports what a WAL replay restored.
+type ReplayCounts struct {
+	Specs   int // specs retained
+	Results int // results merged
+	Tasks   int // grid task records returned to the caller
+}
+
+// ReplayWAL applies recovered control-plane records to the store, oldest
+// first: spec records are re-resolved through the declarative schema and
+// must fingerprint back to the fingerprint they were journaled under (a
+// mismatch means the engine's result semantics changed under the log —
+// serving a recompute under the old identity would break the determinism
+// contract, so replay refuses loudly); result records must be the
+// canonical encoding (re-encode fixed point) and merge idempotently onto
+// whatever the snapshot already restored. Task records are not the
+// store's business — they are returned for the grid coordinator to
+// reload its dispatch journal from.
+//
+// Call before SetWAL: replay must not re-journal what the log already
+// holds.
+func ReplayWAL(store *Store, suiteSeed uint64, recs []wal.Record) (ReplayCounts, []wal.Record, error) {
+	var counts ReplayCounts
+	var tasks []wal.Record
+	for i, rec := range recs {
+		switch rec.Type {
+		case wal.TypeSpec:
+			spec, err := relperf.ParseStudySpec(rec.Data)
+			if err != nil {
+				return counts, tasks, fmt.Errorf("fleet: wal record %d: spec for %s: %w", i, rec.Fingerprint, err)
+			}
+			cfg, err := spec.Config()
+			if err != nil {
+				return counts, tasks, fmt.Errorf("fleet: wal record %d: spec for %s: %w", i, rec.Fingerprint, err)
+			}
+			_, fp, err := relperf.NewKeyedStudy(cfg, suiteSeed)
+			if err != nil {
+				return counts, tasks, fmt.Errorf("fleet: wal record %d: spec for %s: %w", i, rec.Fingerprint, err)
+			}
+			if fp != rec.Fingerprint {
+				return counts, tasks, fmt.Errorf("fleet: wal record %d: spec journaled as %s resolves to fingerprint %s (schema or engine changed); remove the log and resubmit", i, rec.Fingerprint, fp)
+			}
+			if err := store.PutSpec(rec.Fingerprint, rec.Data); err != nil {
+				return counts, tasks, err
+			}
+			counts.Specs++
+		case wal.TypeResult:
+			// The WAL binds fingerprint to bytes; trust it only as far as
+			// the bytes being a canonical result document — anything else
+			// is corruption the CRC could not judge.
+			if _, err := relperf.UnmarshalResultWire(rec.Data); err != nil {
+				return counts, tasks, fmt.Errorf("fleet: wal record %d: result for %s: %w", i, rec.Fingerprint, err)
+			}
+			if err := store.Merge(rec.Fingerprint, rec.Data); err != nil {
+				return counts, tasks, fmt.Errorf("fleet: wal record %d: %w", i, err)
+			}
+			counts.Results++
+		case wal.TypeTask:
+			tasks = append(tasks, rec)
+			counts.Tasks++
+		default:
+			return counts, tasks, fmt.Errorf("fleet: wal record %d has unknown type %q", i, rec.Type)
+		}
+	}
+	return counts, tasks, nil
+}

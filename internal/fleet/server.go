@@ -52,6 +52,7 @@ func NewServer(sched *Scheduler, opts ...ServerOption) *Server {
 	s.mux.HandleFunc("POST /v1/suites", s.handleSuites)
 	s.mux.HandleFunc("GET /v1/studies", s.handleStudyIndex)
 	s.mux.HandleFunc("GET /v1/studies/{fingerprint}", s.handleStudy)
+	s.mux.HandleFunc("POST /v1/replica/snapshot", s.handleReplicaSnapshot)
 	return s
 }
 
@@ -149,6 +150,34 @@ func (s *Server) handleSuites(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, suiteResponse{Fingerprints: fps, Seed: s.sched.Seed()})
+}
+
+// maxReplicaBody bounds POST /v1/replica/snapshot bodies. Snapshots carry
+// whole result sets, so the bound is generous — but still a bound.
+const maxReplicaBody = 256 << 20
+
+// replicaResponse is the POST /v1/replica/snapshot success body.
+type replicaResponse struct {
+	Merged int    `json:"merged"`
+	Seed   uint64 `json:"seed"`
+}
+
+// handleReplicaSnapshot is the standby side of snapshot replication: a
+// coordinator pushes its compacted snapshot here and the store absorbs it
+// with Merge semantics. Seed mismatches and byte conflicts are 409 — a
+// standby never overwrites what it already serves, and never accepts
+// another seed's bytes; both would break the failover byte-identity
+// contract.
+func (s *Server) handleReplicaSnapshot(w http.ResponseWriter, r *http.Request) {
+	n, err := s.sched.Store().MergeSnapshot(http.MaxBytesReader(w, r.Body, maxReplicaBody), s.sched.Seed())
+	switch {
+	case errors.Is(err, ErrSeedMismatch), errors.Is(err, ErrMergeConflict):
+		writeJSON(w, http.StatusConflict, errorResponse{Error: err.Error()})
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusOK, replicaResponse{Merged: n, Seed: s.sched.Seed()})
+	}
 }
 
 func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) {

@@ -20,6 +20,8 @@ import (
 	"io"
 	"sort"
 	"sync"
+
+	"relperf/internal/wal"
 )
 
 // SnapshotSchema identifies the store's persistence format.
@@ -38,6 +40,10 @@ type Store struct {
 	ll       *list.List // front = most recently used
 	items    map[string]*list.Element
 	specs    map[string][]byte
+	// journal, when attached, receives every newly merged result and
+	// newly retained spec — fsync'd before the mutation is visible or
+	// acked, so an acknowledged write survives kill -9.
+	journal *wal.Log
 
 	hits, misses, evictions uint64
 }
@@ -108,6 +114,17 @@ func (s *Store) putLocked(fp string, blob []byte) {
 	}
 }
 
+// SetWAL attaches a write-ahead journal: from now on every newly merged
+// result and newly retained spec is appended (and fsync'd) to the journal
+// before it becomes visible, and a failed append fails the operation —
+// the store never acks state the journal does not hold. Attach after
+// recovery replay, so replayed records are not re-journaled.
+func (s *Store) SetWAL(w *wal.Log) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.journal = w
+}
+
 // ErrMergeConflict is returned by Merge when two sources disagree on a
 // fingerprint's bytes — an engine-version skew or a corrupted transfer that
 // must surface loudly, never be papered over by overwriting.
@@ -129,6 +146,15 @@ func (s *Store) Merge(fp string, blob []byte) error {
 		}
 		s.ll.MoveToFront(el)
 		return nil
+	}
+	// Journal before inserting: a result the WAL does not hold must not
+	// become servable, or a crash would un-serve bytes a client already
+	// saw. The idempotent path above skips the journal — re-merging known
+	// bytes is already durable.
+	if s.journal != nil {
+		if err := s.journal.Append(wal.Record{Type: wal.TypeResult, Fingerprint: fp, Data: blob}); err != nil {
+			return fmt.Errorf("fleet: journaling result %s: %w", fp, err)
+		}
 	}
 	s.putLocked(fp, blob)
 	return nil
@@ -191,11 +217,22 @@ func (s *Store) Index() []IndexEntry {
 // PutSpec retains the declarative wire spec of a study under its
 // fingerprint, replacing any previous recipe. Specs are not subject to LRU
 // eviction: they are a few hundred bytes each and every retained spec keeps
-// one study recomputable forever.
-func (s *Store) PutSpec(fp string, spec []byte) {
+// one study recomputable forever. With a journal attached the spec is
+// WAL-appended (fsync'd) before it is retained; re-putting identical bytes
+// is a free no-op either way, so resubmitted suites do not grow the log.
+func (s *Store) PutSpec(fp string, spec []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if prev, ok := s.specs[fp]; ok && bytes.Equal(prev, spec) {
+		return nil
+	}
+	if s.journal != nil {
+		if err := s.journal.Append(wal.Record{Type: wal.TypeSpec, Fingerprint: fp, Data: spec}); err != nil {
+			return fmt.Errorf("fleet: journaling spec %s: %w", fp, err)
+		}
+	}
 	s.specs[fp] = spec
+	return nil
 }
 
 // Spec returns the retained spec for the fingerprint. The returned slice is
@@ -272,29 +309,44 @@ func (s *Store) WriteSnapshot(w io.Writer, seed uint64) error {
 	return err
 }
 
+// ErrSeedMismatch is returned by LoadSnapshot and MergeSnapshot when the
+// snapshot was computed under a different suite seed: fingerprints address
+// results only together with the seed, so absorbing another seed's
+// snapshot would silently break the determinism contract.
+var ErrSeedMismatch = errors.New("fleet: snapshot seed mismatch")
+
+// decodeSnapshot decodes and validates a snapshot document for seed.
+func decodeSnapshot(r io.Reader, seed uint64) (*snapshot, error) {
+	var snap snapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("fleet: decoding snapshot: %w", err)
+	}
+	if snap.Schema != SnapshotSchema {
+		return nil, fmt.Errorf("fleet: snapshot schema %q, want %q", snap.Schema, SnapshotSchema)
+	}
+	if snap.Seed != seed {
+		return nil, fmt.Errorf("%w: snapshot was computed under seed %d, store serves seed %d", ErrSeedMismatch, snap.Seed, seed)
+	}
+	return &snap, nil
+}
+
 // LoadSnapshot restores the entries of a snapshot written for the given
 // suite seed and returns how many are actually retained afterwards — a
 // capacity-bounded store may LRU-evict earlier entries during the replay,
 // and reporting the raw entry count would let an operator believe evicted
-// results are servable. A seed mismatch is an error: fingerprints address
-// results only together with the seed, so serving another seed's snapshot
-// would silently break the determinism contract.
+// results are servable. A seed mismatch is an ErrSeedMismatch.
 func (s *Store) LoadSnapshot(r io.Reader, seed uint64) (int, error) {
-	var snap snapshot
-	if err := json.NewDecoder(r).Decode(&snap); err != nil {
-		return 0, fmt.Errorf("fleet: decoding snapshot: %w", err)
-	}
-	if snap.Schema != SnapshotSchema {
-		return 0, fmt.Errorf("fleet: snapshot schema %q, want %q", snap.Schema, SnapshotSchema)
-	}
-	if snap.Seed != seed {
-		return 0, fmt.Errorf("fleet: snapshot was computed under seed %d, store serves seed %d", snap.Seed, seed)
+	snap, err := decodeSnapshot(r, seed)
+	if err != nil {
+		return 0, err
 	}
 	for _, e := range snap.Entries {
 		s.Put(e.Fingerprint, []byte(e.Result))
 	}
 	for _, e := range snap.Specs {
-		s.PutSpec(e.Fingerprint, []byte(e.Spec))
+		if err := s.PutSpec(e.Fingerprint, []byte(e.Spec)); err != nil {
+			return 0, err
+		}
 	}
 	retained := 0
 	for _, e := range snap.Entries {
@@ -303,4 +355,32 @@ func (s *Store) LoadSnapshot(r io.Reader, seed uint64) (int, error) {
 		}
 	}
 	return retained, nil
+}
+
+// MergeSnapshot absorbs a snapshot into a live store with Merge semantics:
+// entries the store already holds must carry identical bytes
+// (ErrMergeConflict otherwise — a replica push never overwrites), new
+// entries and specs are added (journaled, when a WAL is attached). This is
+// the standby side of snapshot replication: a coordinator pushes each
+// compacted snapshot here, and a promoted standby then serves the same
+// bytes with zero recomputation. Returns how many result entries were
+// applied.
+func (s *Store) MergeSnapshot(r io.Reader, seed uint64) (int, error) {
+	snap, err := decodeSnapshot(r, seed)
+	if err != nil {
+		return 0, err
+	}
+	applied := 0
+	for _, e := range snap.Entries {
+		if err := s.Merge(e.Fingerprint, []byte(e.Result)); err != nil {
+			return applied, err
+		}
+		applied++
+	}
+	for _, e := range snap.Specs {
+		if err := s.PutSpec(e.Fingerprint, []byte(e.Spec)); err != nil {
+			return applied, err
+		}
+	}
+	return applied, nil
 }

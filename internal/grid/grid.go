@@ -37,6 +37,8 @@ import (
 
 	"relperf"
 	"relperf/internal/fleet"
+	"relperf/internal/wal"
+	"relperf/internal/xrand"
 )
 
 // Defaults for Config's zero values.
@@ -46,7 +48,13 @@ const (
 	DefaultMaxAttempts = 3
 	// DefaultRequestTimeout caps one remote attempt (submit + stream).
 	DefaultRequestTimeout = 10 * time.Minute
-	// journalCap bounds the in-memory dispatch journal.
+	// DefaultRetryBase is the first retry's backoff window.
+	DefaultRetryBase = 50 * time.Millisecond
+	// DefaultRetryMax caps the exponential backoff growth.
+	DefaultRetryMax = 5 * time.Second
+	// journalCap bounds the in-memory (serving) dispatch journal; with a
+	// WAL attached the full history is durable, this only bounds what
+	// GET /v1/grid/tasks returns.
 	journalCap = 256
 )
 
@@ -69,9 +77,24 @@ type Config struct {
 	// RequestTimeout caps one remote attempt end to end (default
 	// DefaultRequestTimeout).
 	RequestTimeout time.Duration
+	// RetryBase is the backoff window before the first reassignment
+	// (default DefaultRetryBase). Each further attempt doubles it, capped
+	// at RetryMax; the actual delay is drawn deterministically from
+	// [window/2, window] keyed by (Seed, fingerprint, attempt), so
+	// coordinators with equal seeds retry on identical schedules while a
+	// burst of failing studies still spreads instead of thundering onto
+	// the next-ranked worker in lockstep.
+	RetryBase time.Duration
+	// RetryMax caps the backoff window (default DefaultRetryMax).
+	RetryMax time.Duration
 	// Client is the HTTP client for worker requests; nil means a default
 	// client (no global timeout — the per-attempt context enforces one).
 	Client *http.Client
+	// Journal, when set, makes the dispatch journal durable: every task
+	// record is appended to the write-ahead log as a wal.TypeTask record,
+	// and RestoreJournal reloads them at startup — so GET /v1/grid/tasks
+	// survives coordinator restarts instead of forgetting every dispatch.
+	Journal *wal.Log
 	// Logf receives dispatch diagnostics; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -83,6 +106,9 @@ type Coordinator struct {
 	cfg    Config
 	reg    *Registry
 	client *http.Client
+	// sleep waits out a retry backoff; tests replace it to record the
+	// schedule instead of paying it.
+	sleep func(ctx context.Context, d time.Duration)
 
 	remote    atomic.Uint64 // studies completed on a worker
 	retries   atomic.Uint64 // failed attempts that were reassigned
@@ -100,11 +126,45 @@ func New(cfg Config) *Coordinator {
 	if cfg.RequestTimeout <= 0 {
 		cfg.RequestTimeout = DefaultRequestTimeout
 	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = DefaultRetryBase
+	}
+	if cfg.RetryMax < cfg.RetryBase {
+		cfg.RetryMax = DefaultRetryMax
+	}
 	client := cfg.Client
 	if client == nil {
 		client = &http.Client{}
 	}
-	return &Coordinator{cfg: cfg, reg: NewRegistry(cfg.TTL), client: client}
+	return &Coordinator{cfg: cfg, reg: NewRegistry(cfg.TTL), client: client, sleep: sleepCtx}
+}
+
+// sleepCtx waits d or until ctx is done, whichever is first.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// retryDelay computes the backoff before attempt+1: the window doubles
+// from RetryBase per completed attempt, capped at RetryMax, and the delay
+// within [window/2, window] is drawn by mixing (Seed, fingerprint,
+// attempt) — deterministic for a given coordinator key, decorrelated
+// across studies.
+func (c *Coordinator) retryDelay(fingerprint string, attempt int) time.Duration {
+	window := c.cfg.RetryBase
+	for i := 1; i < attempt && window < c.cfg.RetryMax; i++ {
+		window *= 2
+	}
+	if window > c.cfg.RetryMax {
+		window = c.cfg.RetryMax
+	}
+	half := window / 2
+	jitter := xrand.Mix(xrand.Mix(c.cfg.Seed, fingerprintKey(fingerprint)), uint64(attempt))
+	return half + time.Duration(jitter%uint64(half+1))
 }
 
 // Registry returns the coordinator's worker registry.
@@ -133,7 +193,12 @@ type TaskRecord struct {
 	Error string `json:"error,omitempty"`
 }
 
-// record appends to the bounded journal (newest first).
+// record appends to the bounded serving journal (newest first) and, when
+// a WAL is attached, journals the record durably. A WAL append failure is
+// logged, not returned: the task record is observability, and a full disk
+// must not turn a successfully dispatched study into a failed one. (The
+// store's own WAL appends — the correctness-bearing ones — do fail their
+// operations.)
 func (c *Coordinator) record(task relperf.GridTask, worker string, attempts int, outcome string, err error) {
 	envelope, merr := task.MarshalWire()
 	if merr != nil {
@@ -144,11 +209,46 @@ func (c *Coordinator) record(task relperf.GridTask, worker string, attempts int,
 		rec.Error = err.Error()
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.journal = append([]TaskRecord{rec}, c.journal...)
 	if len(c.journal) > journalCap {
 		c.journal = c.journal[:journalCap]
 	}
+	c.mu.Unlock()
+	if c.cfg.Journal != nil {
+		data, jerr := json.Marshal(&rec)
+		if jerr == nil {
+			jerr = c.cfg.Journal.Append(wal.Record{Type: wal.TypeTask, Fingerprint: task.Fingerprint, Data: data})
+		}
+		if jerr != nil {
+			c.logf("grid: journaling task record for %s: %v", task.Fingerprint, jerr)
+		}
+	}
+}
+
+// RestoreJournal reloads task records recovered from the write-ahead log
+// (oldest first, as ReplayWAL returns them) into the serving journal, so
+// GET /v1/grid/tasks picks up across a restart exactly where the dead
+// coordinator left off. Unparseable records are skipped with a loud log —
+// the WAL's CRC already vouched for the bytes, so a parse failure means an
+// incompatible older schema, not corruption worth dying over. Returns how
+// many records were restored.
+func (c *Coordinator) RestoreJournal(recs []wal.Record) int {
+	restored := 0
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, rec := range recs {
+		var tr TaskRecord
+		if err := json.Unmarshal(rec.Data, &tr); err != nil {
+			c.logf("grid: skipping unparseable task record for %s: %v", rec.Fingerprint, err)
+			continue
+		}
+		c.journal = append([]TaskRecord{tr}, c.journal...)
+		restored++
+	}
+	if len(c.journal) > journalCap {
+		c.journal = c.journal[:journalCap]
+	}
+	return restored
 }
 
 // Stats reports the coordinator's dispatch counters.
@@ -182,6 +282,20 @@ func (c *Coordinator) Dispatch(ctx context.Context, task relperf.GridTask) ([]by
 	attempts := 0
 	lastErr := ErrNoWorkers
 	for attempts < c.cfg.MaxAttempts {
+		if attempts > 0 {
+			// Back off before reassigning: an immediate rehash lands the
+			// study (and every other study the dead worker held) on the
+			// next-ranked worker in the same instant, which is how one
+			// failure cascades into the next. The delay is deterministic
+			// per (seed, study, attempt) — see retryDelay.
+			d := c.retryDelay(task.Fingerprint, attempts)
+			c.logf("grid: study %s backing off %s before attempt %d", task.Fingerprint, d, attempts+1)
+			c.sleep(ctx, d)
+			if ctx.Err() != nil {
+				c.record(task, "", attempts, "cancelled", ctx.Err())
+				return nil, ctx.Err()
+			}
+		}
 		w, ok := c.reg.Pick(task.Fingerprint, excluded)
 		if !ok {
 			break

@@ -130,13 +130,36 @@ func Heartbeat(ctx context.Context, client *http.Client, coordinatorURL string, 
 // TTL cannot turn workers into heartbeat busy-loops.
 const minHeartbeatInterval = 100 * time.Millisecond
 
-// RunHeartbeats announces the worker to the coordinator every interval
-// until ctx is done, starting immediately. interval <= 0 means adaptive:
-// one third of the lease TTL each successful heartbeat reports (DefaultTTL/3
-// until the first reply), so workers track the coordinator's -grid-ttl
-// instead of assuming the default. Failures are logged and retried on the
-// next tick — a coordinator restart costs one interval of invisibility,
-// nothing else.
+// heartbeatMaxBackoff caps the unreachable-coordinator backoff: long
+// enough that a dead coordinator is not hammered, short enough that a
+// failed-over one regains its whole fleet within seconds.
+const heartbeatMaxBackoff = 10 * time.Second
+
+// heartbeatDelay is the wait before the next heartbeat: the healthy
+// cadence while the coordinator answers, doubling per consecutive failure
+// while it does not, capped at heartbeatMaxBackoff. Pure, so the backoff
+// schedule is unit-testable without clocks.
+func heartbeatDelay(interval time.Duration, failures int) time.Duration {
+	d := interval
+	for i := 0; i < failures && d < heartbeatMaxBackoff; i++ {
+		d *= 2
+	}
+	if d > heartbeatMaxBackoff {
+		d = heartbeatMaxBackoff
+	}
+	return d
+}
+
+// RunHeartbeats announces the worker to the coordinator until ctx is
+// done, starting immediately. interval <= 0 means adaptive: one third of
+// the lease TTL each successful heartbeat reports (DefaultTTL/3 until the
+// first reply), so workers track the coordinator's -grid-ttl instead of
+// assuming the default. While the coordinator is unreachable the worker
+// backs off exponentially (capped — see heartbeatDelay) instead of
+// drumming on a dead address; the first successful beat after an outage
+// IS the re-announcement, and it resets the cadence immediately, so a
+// recovered (or failed-over) coordinator regains the worker within one
+// backoff window and keeps it at the healthy rate from then on.
 func RunHeartbeats(ctx context.Context, client *http.Client, coordinatorURL string, info WorkerInfo, interval time.Duration, logf func(format string, args ...any)) {
 	adaptive := interval <= 0
 	if adaptive {
@@ -148,45 +171,40 @@ func RunHeartbeats(ctx context.Context, client *http.Client, coordinatorURL stri
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	ok := false
-	beat := func() time.Duration {
+	failures := 0
+	registered := false
+	beat := func() {
 		ttl, err := Heartbeat(ctx, client, coordinatorURL, info)
 		if err != nil {
+			failures++
+			registered = false
 			if ctx.Err() == nil {
-				logf("grid: heartbeat to %s: %v", coordinatorURL, err)
+				logf("grid: heartbeat to %s: %v (retrying in %s)", coordinatorURL, err, heartbeatDelay(interval, failures))
 			}
-			ok = false
-			return 0
-		}
-		if !ok {
-			logf("grid: registered with coordinator %s as %s (lease %s)", coordinatorURL, info.ID, ttl)
-		}
-		ok = true
-		return ttl
-	}
-	adapt := func(ttl time.Duration) {
-		if !adaptive || ttl <= 0 {
 			return
 		}
-		next := ttl / 3
-		if next < minHeartbeatInterval {
-			next = minHeartbeatInterval
+		if !registered {
+			logf("grid: registered with coordinator %s as %s (lease %s)", coordinatorURL, info.ID, ttl)
 		}
-		interval = next
+		registered = true
+		failures = 0
+		if adaptive && ttl > 0 {
+			next := ttl / 3
+			if next < minHeartbeatInterval {
+				next = minHeartbeatInterval
+			}
+			interval = next
+		}
 	}
-	adapt(beat())
-	t := time.NewTicker(interval)
-	defer t.Stop()
+	timer := time.NewTimer(0) // first beat immediately
+	defer timer.Stop()
 	for {
 		select {
 		case <-ctx.Done():
 			return
-		case <-t.C:
-			prev := interval
-			adapt(beat())
-			if interval != prev {
-				t.Reset(interval)
-			}
+		case <-timer.C:
+			beat()
+			timer.Reset(heartbeatDelay(interval, failures))
 		}
 	}
 }

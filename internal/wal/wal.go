@@ -1,0 +1,326 @@
+// Package wal is the durable write-ahead journal of the control plane: an
+// append-only, per-record-checksummed, fsync'd log of control-plane events
+// (spec retained, result merged, task dispatched) that the fleet store and
+// the grid coordinator write before acking anything — so a `kill -9` at
+// any instant loses at most the record being appended, never one that was
+// acknowledged.
+//
+// On-disk format: a sequence of frames, each
+//
+//	uint32 LE payload length | uint32 LE CRC32-IEEE(payload) | payload
+//
+// The first frame is a header record pinning the schema and the suite
+// seed; a log written under one seed refuses to open under another (the
+// fingerprints it names would address different bytes). Recovery reads
+// frames until the first bad one — a length that overruns the file, an
+// oversized length, or a checksum mismatch — and truncates there, loudly:
+// a torn tail (the crash landed mid-append) costs exactly the un-acked
+// suffix. Compaction is Reset: once a snapshot has durably absorbed the
+// log's events, the log truncates back to its header.
+package wal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"relperf/internal/faultpoint"
+)
+
+// Schema identifies the header record of a v1 log.
+const Schema = "relperf/wal/v1"
+
+// Record types written by the control plane.
+const (
+	// TypeSpec is a retained declarative study spec (Data: spec JSON).
+	TypeSpec = "spec"
+	// TypeResult is a merged study result (Data: canonical result JSON).
+	TypeResult = "result"
+	// TypeTask is a grid dispatch journal entry (Data: TaskRecord JSON).
+	TypeTask = "task"
+)
+
+// frameOverhead is the per-record framing cost: length + CRC.
+const frameOverhead = 8
+
+// maxPayload bounds one record; a recovered length beyond it is treated
+// as corruption, not as an instruction to allocate gigabytes.
+const maxPayload = 64 << 20
+
+// Record is one logged control-plane event.
+type Record struct {
+	// Type tags the event (TypeSpec, TypeResult, TypeTask).
+	Type string `json:"type"`
+	// Fingerprint is the study the event concerns, when it concerns one.
+	Fingerprint string `json:"fp,omitempty"`
+	// Data is the event payload, verbatim (spec JSON, result JSON, task
+	// record JSON).
+	Data json.RawMessage `json:"data,omitempty"`
+}
+
+// header is the first record of every log.
+type header struct {
+	Schema string `json:"schema"`
+	Seed   uint64 `json:"seed"`
+}
+
+// AppendFrame appends one framed payload to buf and returns the extended
+// slice. Exported for the decoder's tests and fuzzer.
+func AppendFrame(buf, payload []byte) []byte {
+	var hdr [frameOverhead]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// DecodeFrames parses b as a frame sequence. It returns the decoded
+// payloads, the length of the clean prefix, and a non-nil description of
+// the first bad frame (nil when the whole buffer parsed). It never
+// panics, whatever the input — the torn-tail recovery and the fuzzer both
+// lean on that.
+func DecodeFrames(b []byte) (payloads [][]byte, clean int, bad error) {
+	off := 0
+	for off < len(b) {
+		if len(b)-off < frameOverhead {
+			return payloads, off, fmt.Errorf("wal: torn frame header at offset %d (%d trailing bytes)", off, len(b)-off)
+		}
+		n := int(binary.LittleEndian.Uint32(b[off : off+4]))
+		sum := binary.LittleEndian.Uint32(b[off+4 : off+8])
+		if n > maxPayload {
+			return payloads, off, fmt.Errorf("wal: frame at offset %d claims %d bytes (corrupt length)", off, n)
+		}
+		if len(b)-off-frameOverhead < n {
+			return payloads, off, fmt.Errorf("wal: torn frame at offset %d (%d byte payload, %d available)", off, n, len(b)-off-frameOverhead)
+		}
+		payload := b[off+frameOverhead : off+frameOverhead+n]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return payloads, off, fmt.Errorf("wal: checksum mismatch at offset %d", off)
+		}
+		payloads = append(payloads, payload)
+		off += frameOverhead + n
+	}
+	return payloads, off, nil
+}
+
+// Log is an open write-ahead log. Safe for concurrent use.
+type Log struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	size int64 // clean length: end of the last durable frame
+}
+
+// Open opens (or creates) the log at path for the given suite seed,
+// recovering its records. A torn tail is truncated in place and reported
+// through logf; a header written under a different seed is an error. The
+// returned records are the recovered events, oldest first — the caller
+// replays them before attaching the log to live components, so replayed
+// events are not re-journaled.
+func Open(path string, seed uint64, logf func(format string, args ...any)) (*Log, []Record, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: opening %s: %w", path, err)
+	}
+	b, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: reading %s: %w", path, err)
+	}
+	payloads, clean, bad := DecodeFrames(b)
+
+	// Parse the header and records off the clean frames. A clean frame
+	// whose payload does not parse back is corruption the CRC could not
+	// see (it guards the frame, not our encoding); treat it exactly like
+	// a torn tail — keep the prefix, truncate the rest, shout.
+	var recs []Record
+	truncateAt := int64(-1)
+	var hdr header
+	off := 0
+	for i, p := range payloads {
+		if i == 0 {
+			if err := json.Unmarshal(p, &hdr); err != nil || hdr.Schema != Schema {
+				bad = fmt.Errorf("wal: %s has no valid header (treating as empty)", path)
+				truncateAt = 0
+				break
+			}
+			if hdr.Seed != seed {
+				f.Close()
+				return nil, nil, fmt.Errorf("wal: %s was written under seed %d, log opens under seed %d", path, hdr.Seed, seed)
+			}
+			off += frameOverhead + len(p)
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(p, &rec); err != nil {
+			bad = fmt.Errorf("wal: record %d in %s does not parse: %v", i, path, err)
+			truncateAt = int64(off)
+			break
+		}
+		recs = append(recs, rec)
+		off += frameOverhead + len(p)
+	}
+	if truncateAt < 0 {
+		truncateAt = int64(clean)
+	}
+
+	l := &Log{f: f, path: path, size: truncateAt}
+	if bad != nil {
+		logf("wal: RECOVERY %s: %v — truncating to last durable record at byte %d (%d records kept, %d bytes dropped)",
+			path, bad, truncateAt, len(recs), int64(len(b))-truncateAt)
+		if err := f.Truncate(truncateAt); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: truncating torn tail of %s: %w", path, err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: syncing truncated %s: %w", path, err)
+		}
+	}
+	// Truncate does not move the file offset (ReadAll left it at the old
+	// EOF), so position explicitly at the durable end before any write.
+	if _, err := f.Seek(l.size, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: seeking %s: %w", path, err)
+	}
+	if l.size == 0 {
+		// Fresh (or headerless) log: write the header frame.
+		if err := l.writeHeader(seed); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if err := syncDir(path); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		return l, nil, nil
+	}
+	return l, recs, nil
+}
+
+// writeHeader writes the header frame at the current size (0) and syncs.
+// The caller holds no lock yet (Open) or the lock (Reset).
+func (l *Log) writeHeader(seed uint64) error {
+	p, err := json.Marshal(header{Schema: Schema, Seed: seed})
+	if err != nil {
+		return err
+	}
+	frame := AppendFrame(nil, p)
+	if _, err := l.f.Write(frame); err != nil {
+		return fmt.Errorf("wal: writing header of %s: %w", l.path, err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: syncing header of %s: %w", l.path, err)
+	}
+	l.size = int64(len(frame))
+	return nil
+}
+
+// Append journals one record: frame, write, fsync — in that order, and
+// only a completed fsync makes the append succeed. On any failure the
+// file is rolled back to the last durable frame, so a failed append never
+// leaves a half-record for recovery to trip on while the process lives.
+// The wal.append.* faultpoints fire here.
+func (l *Log) Append(rec Record) error {
+	p, err := json.Marshal(&rec)
+	if err != nil {
+		return fmt.Errorf("wal: encoding record: %w", err)
+	}
+	if len(p) > maxPayload {
+		return fmt.Errorf("wal: record of %d bytes exceeds the %d byte bound", len(p), maxPayload)
+	}
+	frame := AppendFrame(nil, p)
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	switch faultpoint.Fire("wal.append.write") {
+	case faultpoint.Error:
+		return fmt.Errorf("%w at wal.append.write", faultpoint.ErrInjected)
+	case faultpoint.Crash:
+		faultpoint.Kill("wal.append.write")
+	case faultpoint.Tear:
+		// The torn-write simulation: half the frame reaches the disk,
+		// then the machine dies. Recovery must truncate exactly here.
+		_, _ = l.f.Write(frame[:len(frame)/2])
+		_ = l.f.Sync()
+		faultpoint.Kill("wal.append.write(tear)")
+	}
+	if _, err := l.f.Write(frame); err != nil {
+		l.rollback()
+		return fmt.Errorf("wal: appending to %s: %w", l.path, err)
+	}
+	if err := faultpoint.Hit("wal.append.sync"); err != nil {
+		l.rollback()
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		l.rollback()
+		return fmt.Errorf("wal: syncing %s: %w", l.path, err)
+	}
+	l.size += int64(len(frame))
+	return nil
+}
+
+// rollback restores the file to the last durable frame after a failed
+// append. Best effort — if even the truncate fails, the next Open's
+// torn-tail recovery handles it.
+func (l *Log) rollback() {
+	_ = l.f.Truncate(l.size)
+	_, _ = l.f.Seek(l.size, io.SeekStart)
+}
+
+// Reset compacts the log back to its header — called after a snapshot has
+// durably absorbed every logged event. A crash between the snapshot's
+// rename and this truncate is safe: the next recovery replays the log's
+// events onto the snapshot, and replay is idempotent.
+func (l *Log) Reset(seed uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("wal: truncating %s: %w", l.path, err)
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: seeking %s: %w", l.path, err)
+	}
+	l.size = 0
+	return l.writeHeader(seed)
+}
+
+// Size returns the clean (durable) length in bytes.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Path returns the log's file path.
+func (l *Log) Path() string { return l.path }
+
+// Close closes the underlying file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f.Close()
+}
+
+// syncDir fsyncs the directory containing path, making a freshly created
+// file's existence itself durable.
+func syncDir(path string) error {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return fmt.Errorf("wal: opening parent of %s: %w", path, err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: syncing parent of %s: %w", path, err)
+	}
+	return nil
+}
