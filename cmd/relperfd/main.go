@@ -172,6 +172,11 @@ func run(o options) error {
 			return fmt.Errorf("opening wal %s: %w", o.walPath, err)
 		}
 		defer walLog.Close()
+		if o.snapshotInterval == 0 {
+			// Recovery streams the log, so an unbounded one is slow, not
+			// fatal — but it is still unbounded disk; say so once.
+			log.Printf("wal: no -snapshot-interval, so %s compacts only at shutdown and grows for as long as the daemon runs; pair -wal with -snapshot-interval to bound it", o.walPath)
+		}
 	}
 	store := fleet.NewStore(o.cacheCap)
 	if o.snapshotPath != "" {
@@ -225,22 +230,31 @@ func run(o options) error {
 	}
 	replicator := &fleet.Replicator{URLs: standbyURLs, Logf: log.Printf}
 
-	// checkpoint compacts the durable state: snapshot written atomically,
-	// then (only on success) the WAL truncated back to its header — the
-	// snapshot now holds everything the log did — then the snapshot pushed
+	// checkpoint compacts the durable state: the snapshot bytes and a WAL
+	// cut point are captured atomically with respect to journaled
+	// mutations (Store.SnapshotCut), the snapshot is written atomically,
+	// and only then is the WAL compacted to the cut — a result acked
+	// between the capture and the compaction sits above the cut and
+	// survives in the log, so compaction can never silently drop an
+	// acknowledged write the snapshot missed. Then the snapshot is pushed
 	// to the standbys. Serialized: overlapping checkpoints would race the
-	// snapshot-write/WAL-reset ordering that makes compaction crash-safe.
+	// snapshot-write/WAL-compact ordering that makes this crash-safe.
 	var checkpointMu sync.Mutex
 	checkpoint := func(reason string) {
 		checkpointMu.Lock()
 		defer checkpointMu.Unlock()
 		if o.snapshotPath != "" {
-			if err := fleet.WriteSnapshotAtomic(store, o.snapshotPath, o.seed); err != nil {
+			data, cut, err := store.SnapshotCut(o.seed)
+			if err != nil {
 				log.Printf("snapshot (%s): %v", reason, err)
-				return // the WAL still holds the tail; never truncate it now
+				return
+			}
+			if err := fleet.WriteSnapshotBytesAtomic(data, o.snapshotPath); err != nil {
+				log.Printf("snapshot (%s): %v", reason, err)
+				return // the WAL still holds the tail; never compact it now
 			}
 			if walLog != nil {
-				if err := walLog.Reset(o.seed); err != nil {
+				if err := walLog.CompactTo(cut, o.seed); err != nil {
 					log.Printf("wal compaction (%s): %v", reason, err)
 				}
 			}

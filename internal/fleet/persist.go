@@ -14,13 +14,26 @@ import (
 )
 
 // WriteSnapshotAtomic persists the store's snapshot at path with full
-// crash safety: the bytes are written to a sibling .tmp file, fsync'd,
-// renamed into place, and the parent directory is fsync'd after the
-// rename — without the directory sync a crash right after os.Rename can
-// still resurface the old snapshot (or none at all) when the directory
-// entry was never made durable. Every failure path removes the .tmp file.
-// The snapshot.* faultpoints fire here.
-func WriteSnapshotAtomic(store *Store, path string, seed uint64) (err error) {
+// crash safety — see WriteSnapshotBytesAtomic for the write protocol.
+func WriteSnapshotAtomic(store *Store, path string, seed uint64) error {
+	data, _, err := store.SnapshotCut(seed)
+	if err != nil {
+		return err
+	}
+	return WriteSnapshotBytesAtomic(data, path)
+}
+
+// WriteSnapshotBytesAtomic persists pre-serialized snapshot bytes at path
+// with full crash safety: the bytes are written to a sibling .tmp file,
+// fsync'd, renamed into place, and the parent directory is fsync'd after
+// the rename — without the directory sync a crash right after os.Rename
+// can still resurface the old snapshot (or none at all) when the
+// directory entry was never made durable. Every failure path removes the
+// .tmp file. The snapshot.* faultpoints fire here. Taking bytes rather
+// than the store lets a checkpoint capture state and a WAL cut point
+// atomically (Store.SnapshotCut) and write the file afterwards, off the
+// store's locks.
+func WriteSnapshotBytesAtomic(data []byte, path string) (err error) {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
@@ -41,7 +54,7 @@ func WriteSnapshotAtomic(store *Store, path string, seed uint64) (err error) {
 	if err = faultpoint.Hit("snapshot.write"); err != nil {
 		return err
 	}
-	if err = store.WriteSnapshot(f, seed); err != nil {
+	if _, err = f.Write(data); err != nil {
 		return err
 	}
 	if err = faultpoint.Hit("snapshot.sync"); err != nil {

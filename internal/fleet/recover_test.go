@@ -12,11 +12,13 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"relperf/internal/faultpoint"
@@ -304,6 +306,172 @@ func TestWriteSnapshotAtomicCleansUpUnderFaults(t *testing.T) {
 	defer f.Close()
 	if n, err := loaded.LoadSnapshot(f, seed); err != nil || n != 2 {
 		t.Fatalf("reload = (%d, %v), want (2, nil)", n, err)
+	}
+}
+
+// TestSnapshotCutCompactionKeepsLateMerges reproduces the checkpoint
+// lost-update window deterministically: a result acked between the
+// snapshot capture and the WAL compaction must survive in the compacted
+// log, and the captured snapshot must hold exactly the pre-capture state.
+func TestSnapshotCutCompactionKeepsLateMerges(t *testing.T) {
+	const seed = 11
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "fleet.wal")
+	snapPath := filepath.Join(dir, "store.snapshot.json")
+	w, _, err := wal.Open(walPath, seed, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := NewStore(0)
+	store.SetWAL(w)
+	if err := store.Merge("aa", []byte(`{"a":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	data, cut, err := store.SnapshotCut(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The late merge: acked after the capture, before the compaction.
+	if err := store.Merge("bb", []byte(`{"b":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSnapshotBytesAtomic(data, snapPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.CompactTo(cut, seed); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery: the snapshot holds the captured state, the compacted log
+	// holds the late merge — together, everything that was ever acked.
+	_, recs, err := wal.Open(walPath, seed, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Fingerprint != "bb" {
+		t.Fatalf("compacted log replays %+v, want exactly the late merge for bb", recs)
+	}
+	recovered := NewStore(0)
+	f, err := os.Open(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if n, err := recovered.LoadSnapshot(f, seed); err != nil || n != 1 {
+		t.Fatalf("snapshot reload = (%d, %v), want (1, nil)", n, err)
+	}
+	if err := recovered.Merge(recs[0].Fingerprint, recs[0].Data); err != nil {
+		t.Fatal(err)
+	}
+	for fp, want := range map[string][]byte{"aa": []byte(`{"a":1}`), "bb": []byte(`{"b":2}`)} {
+		if got, ok := recovered.Get(fp); !ok || !bytes.Equal(got, want) {
+			t.Fatalf("recovered %s = (%s, %v), want %s", fp, got, ok, want)
+		}
+	}
+}
+
+// TestCheckpointRacesMergesLoseNothing hammers the real interleaving: a
+// checkpoint loop (capture → atomic snapshot → WAL compaction) racing
+// merge traffic. Whatever the schedule, snapshot + compacted log must
+// recover every merge that was acknowledged.
+func TestCheckpointRacesMergesLoseNothing(t *testing.T) {
+	const seed = 11
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "fleet.wal")
+	snapPath := filepath.Join(dir, "store.snapshot.json")
+	w, _, err := wal.Open(walPath, seed, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := NewStore(0)
+	store.SetWAL(w)
+
+	stop := make(chan struct{})
+	ckptDone := make(chan error, 1)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				ckptDone <- nil
+				return
+			default:
+			}
+			data, cut, err := store.SnapshotCut(seed)
+			if err == nil {
+				if err = WriteSnapshotBytesAtomic(data, snapPath); err == nil {
+					err = w.CompactTo(cut, seed)
+				}
+			}
+			if err != nil {
+				ckptDone <- err
+				return
+			}
+		}
+	}()
+
+	const mergers, perMerger = 4, 40
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	acked := make(map[string][]byte)
+	for g := 0; g < mergers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perMerger; i++ {
+				fp := fmt.Sprintf("%02x%030x", g, i)
+				blob := []byte(fmt.Sprintf(`{"g":%d,"i":%d}`, g, i))
+				if err := store.Merge(fp, blob); err != nil {
+					t.Errorf("merge %s: %v", fp, err)
+					return
+				}
+				mu.Lock()
+				acked[fp] = blob
+				mu.Unlock()
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	if err := <-ckptDone; err != nil {
+		t.Fatalf("checkpoint loop: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recover from disk alone: last snapshot + compacted WAL.
+	_, recs, err := wal.Open(walPath, seed, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered := NewStore(0)
+	if f, err := os.Open(snapPath); err == nil {
+		if _, err := recovered.LoadSnapshot(f, seed); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	} else if !errors.Is(err, os.ErrNotExist) {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if rec.Type != wal.TypeResult {
+			t.Fatalf("unexpected record type %q in the log", rec.Type)
+		}
+		if err := recovered.Merge(rec.Fingerprint, rec.Data); err != nil {
+			t.Fatalf("replaying %s: %v", rec.Fingerprint, err)
+		}
+	}
+	for fp, want := range acked {
+		got, ok := recovered.Get(fp)
+		if !ok {
+			t.Fatalf("acked merge %s is in neither the snapshot nor the compacted log", fp)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("recovered bytes for %s differ from the acked bytes", fp)
+		}
 	}
 }
 

@@ -35,6 +35,15 @@ const SnapshotSchema = "relperf/fleet-snapshot/v1"
 // persisted in snapshots — they are the recipes a restarted daemon uses to
 // recompute results the LRU evicted. Safe for concurrent use.
 type Store struct {
+	// writeMu serializes mutators (Put, Merge, PutSpec, snapshot capture)
+	// against each other; mu alone guards visibility. The split is what
+	// keeps the hot serving path off the disk: a journaled mutation holds
+	// writeMu across its append→visible window but releases mu around the
+	// WAL fsync, so Get/Contains/Stats/Index never wait behind I/O — and
+	// SnapshotCut, by taking writeMu, captures a snapshot and a WAL cut
+	// point with no acknowledged record falling between them. Lock order:
+	// writeMu before mu, never the reverse.
+	writeMu  sync.Mutex
 	mu       sync.Mutex
 	capacity int
 	ll       *list.List // front = most recently used
@@ -92,6 +101,8 @@ func (s *Store) Contains(fp string) bool {
 // Put stores the encoding under the fingerprint, replacing any previous
 // value, and evicts least-recently-used entries beyond the capacity.
 func (s *Store) Put(fp string, blob []byte) {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if el, ok := s.items[fp]; ok {
@@ -120,6 +131,8 @@ func (s *Store) putLocked(fp string, blob []byte) {
 // the store never acks state the journal does not hold. Attach after
 // recovery replay, so replayed records are not re-journaled.
 func (s *Store) SetWAL(w *wal.Log) {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.journal = w
@@ -138,24 +151,35 @@ var ErrMergeConflict = errors.New("fleet: store merge conflict")
 // serves. One fingerprint must mean one sequence of bytes, whichever node
 // computed it.
 func (s *Store) Merge(fp string, blob []byte) error {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if el, ok := s.items[fp]; ok {
-		if !bytes.Equal(el.Value.(*storeEntry).blob, blob) {
+		eq := bytes.Equal(el.Value.(*storeEntry).blob, blob)
+		if eq {
+			s.ll.MoveToFront(el)
+		}
+		s.mu.Unlock()
+		if !eq {
 			return fmt.Errorf("%w: fingerprint %s already cached with different bytes", ErrMergeConflict, fp)
 		}
-		s.ll.MoveToFront(el)
 		return nil
 	}
+	journal := s.journal
+	s.mu.Unlock()
 	// Journal before inserting: a result the WAL does not hold must not
 	// become servable, or a crash would un-serve bytes a client already
 	// saw. The idempotent path above skips the journal — re-merging known
-	// bytes is already durable.
-	if s.journal != nil {
-		if err := s.journal.Append(wal.Record{Type: wal.TypeResult, Fingerprint: fp, Data: blob}); err != nil {
+	// bytes is already durable. mu is released around the fsync (writeMu
+	// still held, so no other mutator interleaves) to keep readers off the
+	// disk; the entry becomes visible only after the append succeeded.
+	if journal != nil {
+		if err := journal.Append(wal.Record{Type: wal.TypeResult, Fingerprint: fp, Data: blob}); err != nil {
 			return fmt.Errorf("fleet: journaling result %s: %w", fp, err)
 		}
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.putLocked(fp, blob)
 	return nil
 }
@@ -221,16 +245,25 @@ func (s *Store) Index() []IndexEntry {
 // WAL-appended (fsync'd) before it is retained; re-putting identical bytes
 // is a free no-op either way, so resubmitted suites do not grow the log.
 func (s *Store) PutSpec(fp string, spec []byte) error {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if prev, ok := s.specs[fp]; ok && bytes.Equal(prev, spec) {
+		s.mu.Unlock()
 		return nil
 	}
-	if s.journal != nil {
-		if err := s.journal.Append(wal.Record{Type: wal.TypeSpec, Fingerprint: fp, Data: spec}); err != nil {
+	journal := s.journal
+	s.mu.Unlock()
+	// As in Merge: the fsync happens with mu released so readers never
+	// wait on it, and writeMu keeps the check-journal-retain sequence
+	// atomic against other mutators and snapshot capture.
+	if journal != nil {
+		if err := journal.Append(wal.Record{Type: wal.TypeSpec, Fingerprint: fp, Data: spec}); err != nil {
 			return fmt.Errorf("fleet: journaling spec %s: %w", fp, err)
 		}
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.specs[fp] = spec
 	return nil
 }
@@ -282,13 +315,11 @@ type snapshotSpec struct {
 	Spec        json.RawMessage `json:"spec"`
 }
 
-// WriteSnapshot persists every cached result and retained spec together
-// with the suite seed the results were computed under. Result blobs are
-// embedded verbatim (they are canonical compact JSON), so a load-and-serve
-// round trip is byte-identical.
-func (s *Store) WriteSnapshot(w io.Writer, seed uint64) error {
-	s.mu.Lock()
-	snap := snapshot{Schema: SnapshotSchema, Seed: seed}
+// captureLocked builds the snapshot document off the live state. The
+// caller holds mu; the blobs and specs it references are shared immutable
+// slices, so encoding may happen after the lock is released.
+func (s *Store) captureLocked(seed uint64) *snapshot {
+	snap := &snapshot{Schema: SnapshotSchema, Seed: seed}
 	for el := s.ll.Back(); el != nil; el = el.Prev() {
 		e := el.Value.(*storeEntry)
 		snap.Entries = append(snap.Entries, snapshotEntry{Fingerprint: e.fp, Result: e.blob})
@@ -296,17 +327,60 @@ func (s *Store) WriteSnapshot(w io.Writer, seed uint64) error {
 	for fp, spec := range s.specs {
 		snap.Specs = append(snap.Specs, snapshotSpec{Fingerprint: fp, Spec: spec})
 	}
-	s.mu.Unlock()
+	return snap
+}
+
+// encodeSnapshot serializes a captured snapshot (specs sorted, so equal
+// stores write byte-identical snapshots).
+func encodeSnapshot(snap *snapshot) ([]byte, error) {
 	sort.Slice(snap.Specs, func(i, j int) bool {
 		return snap.Specs[i].Fingerprint < snap.Specs[j].Fingerprint
 	})
-	b, err := json.Marshal(&snap)
+	b, err := json.Marshal(snap)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteSnapshot persists every cached result and retained spec together
+// with the suite seed the results were computed under. Result blobs are
+// embedded verbatim (they are canonical compact JSON), so a load-and-serve
+// round trip is byte-identical.
+func (s *Store) WriteSnapshot(w io.Writer, seed uint64) error {
+	s.mu.Lock()
+	snap := s.captureLocked(seed)
+	s.mu.Unlock()
+	b, err := encodeSnapshot(snap)
 	if err != nil {
 		return err
 	}
-	b = append(b, '\n')
 	_, err = w.Write(b)
 	return err
+}
+
+// SnapshotCut serializes the store's snapshot for seed and returns it
+// together with a WAL cut point for compaction. The capture happens under
+// the writer lock, so no journaled mutation can commit between the
+// captured state and the cut: every record below cut is reflected in the
+// returned bytes, and a record acknowledged after the capture sits at or
+// above it. That invariant is what makes snapshot-then-compact crash-safe
+// — wal.Log.CompactTo(cut) discards exactly the records the snapshot
+// absorbed, never one that was acked while the snapshot was being written.
+// With no journal attached the cut is 0.
+func (s *Store) SnapshotCut(seed uint64) ([]byte, int64, error) {
+	s.writeMu.Lock()
+	s.mu.Lock()
+	snap := s.captureLocked(seed)
+	journal := s.journal
+	s.mu.Unlock()
+	var cut int64
+	if journal != nil {
+		cut = journal.Size()
+	}
+	s.writeMu.Unlock()
+	b, err := encodeSnapshot(snap)
+	return b, cut, err
 }
 
 // ErrSeedMismatch is returned by LoadSnapshot and MergeSnapshot when the

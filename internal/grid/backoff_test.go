@@ -120,25 +120,40 @@ func TestDispatchBacksOffBetweenAttempts(t *testing.T) {
 
 func TestHeartbeatDelaySchedule(t *testing.T) {
 	const interval = 200 * time.Millisecond
-	if d := heartbeatDelay(interval, 0); d != interval {
+	key := idHash("w0")
+	if d := heartbeatDelay(interval, 0, key); d != interval {
 		t.Fatalf("healthy delay = %s, want %s", d, interval)
 	}
-	prev := heartbeatDelay(interval, 0)
 	for failures := 1; failures <= 12; failures++ {
-		d := heartbeatDelay(interval, failures)
-		if d < prev {
-			t.Fatalf("delay shrank at %d failures: %s < %s", failures, d, prev)
+		window := interval
+		for i := 0; i < failures && window < heartbeatMaxBackoff; i++ {
+			window *= 2
 		}
-		if d > heartbeatMaxBackoff {
-			t.Fatalf("delay %s above cap at %d failures", d, failures)
+		if window > heartbeatMaxBackoff {
+			window = heartbeatMaxBackoff
 		}
-		prev = d
+		d := heartbeatDelay(interval, failures, key)
+		if d < window/2 || d > window {
+			t.Fatalf("delay at %d failures = %s, outside [%s, %s]", failures, d, window/2, window)
+		}
+		if d2 := heartbeatDelay(interval, failures, key); d2 != d {
+			t.Fatalf("jitter is not deterministic at %d failures: %s vs %s", failures, d, d2)
+		}
 	}
-	if heartbeatDelay(interval, 12) != heartbeatMaxBackoff {
-		t.Fatal("backoff never reaches the cap")
+	// Two workers backing off from the same outage draw different delays —
+	// the anti-thundering-herd property the jitter exists for.
+	other := idHash("w1")
+	same := 0
+	for failures := 1; failures <= 8; failures++ {
+		if heartbeatDelay(interval, failures, other) == heartbeatDelay(interval, failures, key) {
+			same++
+		}
+	}
+	if same == 8 {
+		t.Fatal("worker identity does not key the heartbeat jitter")
 	}
 	// Recovery resets instantly: failures goes back to 0, so does the delay.
-	if d := heartbeatDelay(interval, 0); d != interval {
+	if d := heartbeatDelay(interval, 0, key); d != interval {
 		t.Fatalf("post-recovery delay = %s, want %s", d, interval)
 	}
 }

@@ -198,7 +198,10 @@ type TaskRecord struct {
 // logged, not returned: the task record is observability, and a full disk
 // must not turn a successfully dispatched study into a failed one. (The
 // store's own WAL appends — the correctness-bearing ones — do fail their
-// operations.)
+// operations.) The WAL append happens under mu, accepting the fsync cost
+// on this cold path, so the durable order matches the serving journal's
+// — after a restart RestoreJournal replays WAL order, and GET
+// /v1/grid/tasks must not reorder across the crash.
 func (c *Coordinator) record(task relperf.GridTask, worker string, attempts int, outcome string, err error) {
 	envelope, merr := task.MarshalWire()
 	if merr != nil {
@@ -209,11 +212,11 @@ func (c *Coordinator) record(task relperf.GridTask, worker string, attempts int,
 		rec.Error = err.Error()
 	}
 	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.journal = append([]TaskRecord{rec}, c.journal...)
 	if len(c.journal) > journalCap {
 		c.journal = c.journal[:journalCap]
 	}
-	c.mu.Unlock()
 	if c.cfg.Journal != nil {
 		data, jerr := json.Marshal(&rec)
 		if jerr == nil {

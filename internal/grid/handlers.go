@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"net/http"
 	"time"
+
+	"relperf/internal/xrand"
 )
 
 // Handler returns the coordinator's HTTP surface, mounted by relperfd
@@ -136,18 +138,28 @@ const minHeartbeatInterval = 100 * time.Millisecond
 const heartbeatMaxBackoff = 10 * time.Second
 
 // heartbeatDelay is the wait before the next heartbeat: the healthy
-// cadence while the coordinator answers, doubling per consecutive failure
-// while it does not, capped at heartbeatMaxBackoff. Pure, so the backoff
-// schedule is unit-testable without clocks.
-func heartbeatDelay(interval time.Duration, failures int) time.Duration {
-	d := interval
-	for i := 0; i < failures && d < heartbeatMaxBackoff; i++ {
-		d *= 2
+// cadence while the coordinator answers; while it does not, a window
+// doubling per consecutive failure and capped at heartbeatMaxBackoff,
+// with the actual delay drawn deterministically from [window/2, window]
+// keyed by (worker key, failure count) — the same shape as the dispatch
+// retryDelay jitter, and for the same reason: a fleet backing off from
+// one dead coordinator must re-announce spread across the window, not in
+// lockstep. Pure, so the backoff schedule is unit-testable without
+// clocks.
+func heartbeatDelay(interval time.Duration, failures int, key uint64) time.Duration {
+	if failures <= 0 {
+		return interval
 	}
-	if d > heartbeatMaxBackoff {
-		d = heartbeatMaxBackoff
+	window := interval
+	for i := 0; i < failures && window < heartbeatMaxBackoff; i++ {
+		window *= 2
 	}
-	return d
+	if window > heartbeatMaxBackoff {
+		window = heartbeatMaxBackoff
+	}
+	half := window / 2
+	jitter := xrand.Mix(key, uint64(failures))
+	return half + time.Duration(jitter%uint64(half+1))
 }
 
 // RunHeartbeats announces the worker to the coordinator until ctx is
@@ -171,6 +183,11 @@ func RunHeartbeats(ctx context.Context, client *http.Client, coordinatorURL stri
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
+	// The jitter key is the worker's identity: every worker of a downed
+	// coordinator walks the same capped-doubling windows but draws its own
+	// delay inside each, so the recovered coordinator absorbs the fleet's
+	// re-announcements over a window instead of one synchronized burst.
+	key := idHash(info.ID)
 	failures := 0
 	registered := false
 	beat := func() {
@@ -179,7 +196,7 @@ func RunHeartbeats(ctx context.Context, client *http.Client, coordinatorURL stri
 			failures++
 			registered = false
 			if ctx.Err() == nil {
-				logf("grid: heartbeat to %s: %v (retrying in %s)", coordinatorURL, err, heartbeatDelay(interval, failures))
+				logf("grid: heartbeat to %s: %v (retrying in %s)", coordinatorURL, err, heartbeatDelay(interval, failures, key))
 			}
 			return
 		}
@@ -204,7 +221,7 @@ func RunHeartbeats(ctx context.Context, client *http.Client, coordinatorURL stri
 			return
 		case <-timer.C:
 			beat()
-			timer.Reset(heartbeatDelay(interval, failures))
+			timer.Reset(heartbeatDelay(interval, failures, key))
 		}
 	}
 }

@@ -15,13 +15,16 @@
 // frames until the first bad one — a length that overruns the file, an
 // oversized length, or a checksum mismatch — and truncates there, loudly:
 // a torn tail (the crash landed mid-append) costs exactly the un-acked
-// suffix. Compaction is Reset: once a snapshot has durably absorbed the
-// log's events, the log truncates back to its header.
+// suffix. Compaction is CompactTo: once a snapshot has durably absorbed
+// the log's events up to a cut point, the log is rewritten (atomically,
+// via rename) as a fresh header plus whatever was appended after the cut.
 package wal
 
 import (
+	"bufio"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -122,6 +125,12 @@ type Log struct {
 // returned records are the recovered events, oldest first — the caller
 // replays them before attaching the log to live components, so replayed
 // events are not re-journaled.
+//
+// Recovery streams the file frame by frame rather than slurping it: a
+// daemon without -snapshot-interval compacts only at shutdown, so after a
+// crashy or long-running stretch the log can be far larger than the state
+// it encodes, and startup memory must stay O(one frame + recovered
+// records), not O(file size).
 func Open(path string, seed uint64, logf func(format string, args ...any)) (*Log, []Record, error) {
 	if logf == nil {
 		logf = func(string, ...any) {}
@@ -130,53 +139,81 @@ func Open(path string, seed uint64, logf func(format string, args ...any)) (*Log
 	if err != nil {
 		return nil, nil, fmt.Errorf("wal: opening %s: %w", path, err)
 	}
-	b, err := io.ReadAll(f)
-	if err != nil {
-		f.Close()
-		return nil, nil, fmt.Errorf("wal: reading %s: %w", path, err)
+	total := int64(0)
+	if fi, err := f.Stat(); err == nil {
+		total = fi.Size()
 	}
-	payloads, clean, bad := DecodeFrames(b)
 
-	// Parse the header and records off the clean frames. A clean frame
-	// whose payload does not parse back is corruption the CRC could not
-	// see (it guards the frame, not our encoding); treat it exactly like
-	// a torn tail — keep the prefix, truncate the rest, shout.
+	// One frame per iteration: read the 8-byte frame header, then the
+	// payload, verify the CRC, parse. Any torn or corrupt frame — a header
+	// or payload the file ends inside, an oversized length, a checksum
+	// mismatch, or a clean frame whose payload does not parse back
+	// (corruption the CRC could not see: it guards the frame, not our
+	// encoding) — marks the truncation point; only a real read error fails
+	// the open.
+	br := bufio.NewReaderSize(f, 1<<16)
 	var recs []Record
-	truncateAt := int64(-1)
-	var hdr header
-	off := 0
-	for i, p := range payloads {
-		if i == 0 {
-			if err := json.Unmarshal(p, &hdr); err != nil || hdr.Schema != Schema {
+	var bad error
+	var off int64
+	first := true
+	for bad == nil {
+		var fh [frameOverhead]byte
+		if _, err := io.ReadFull(br, fh[:]); err != nil {
+			if err == io.EOF {
+				break // clean end of log
+			}
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				bad = fmt.Errorf("wal: torn frame header at offset %d (%d trailing bytes)", off, total-off)
+				break
+			}
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: reading %s: %w", path, err)
+		}
+		n := int(binary.LittleEndian.Uint32(fh[0:4]))
+		sum := binary.LittleEndian.Uint32(fh[4:8])
+		if n > maxPayload {
+			bad = fmt.Errorf("wal: frame at offset %d claims %d bytes (corrupt length)", off, n)
+			break
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
+				bad = fmt.Errorf("wal: torn frame at offset %d (%d byte payload, %d available)", off, n, total-off-frameOverhead)
+				break
+			}
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: reading %s: %w", path, err)
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			bad = fmt.Errorf("wal: checksum mismatch at offset %d", off)
+			break
+		}
+		if first {
+			var hdr header
+			if err := json.Unmarshal(payload, &hdr); err != nil || hdr.Schema != Schema {
 				bad = fmt.Errorf("wal: %s has no valid header (treating as empty)", path)
-				truncateAt = 0
 				break
 			}
 			if hdr.Seed != seed {
 				f.Close()
 				return nil, nil, fmt.Errorf("wal: %s was written under seed %d, log opens under seed %d", path, hdr.Seed, seed)
 			}
-			off += frameOverhead + len(p)
-			continue
+			first = false
+		} else {
+			var rec Record
+			if err := json.Unmarshal(payload, &rec); err != nil {
+				bad = fmt.Errorf("wal: record %d in %s does not parse: %v", len(recs)+1, path, err)
+				break
+			}
+			recs = append(recs, rec)
 		}
-		var rec Record
-		if err := json.Unmarshal(p, &rec); err != nil {
-			bad = fmt.Errorf("wal: record %d in %s does not parse: %v", i, path, err)
-			truncateAt = int64(off)
-			break
-		}
-		recs = append(recs, rec)
-		off += frameOverhead + len(p)
+		off += int64(frameOverhead + n)
 	}
-	if truncateAt < 0 {
-		truncateAt = int64(clean)
-	}
-
-	l := &Log{f: f, path: path, size: truncateAt}
+	l := &Log{f: f, path: path, size: off}
 	if bad != nil {
 		logf("wal: RECOVERY %s: %v — truncating to last durable record at byte %d (%d records kept, %d bytes dropped)",
-			path, bad, truncateAt, len(recs), int64(len(b))-truncateAt)
-		if err := f.Truncate(truncateAt); err != nil {
+			path, bad, off, len(recs), total-off)
+		if err := f.Truncate(off); err != nil {
 			f.Close()
 			return nil, nil, fmt.Errorf("wal: truncating torn tail of %s: %w", path, err)
 		}
@@ -185,8 +222,8 @@ func Open(path string, seed uint64, logf func(format string, args ...any)) (*Log
 			return nil, nil, fmt.Errorf("wal: syncing truncated %s: %w", path, err)
 		}
 	}
-	// Truncate does not move the file offset (ReadAll left it at the old
-	// EOF), so position explicitly at the durable end before any write.
+	// Truncate does not move the file offset (the streamed read left it
+	// past the durable end), so position explicitly before any write.
 	if _, err := f.Seek(l.size, io.SeekStart); err != nil {
 		f.Close()
 		return nil, nil, fmt.Errorf("wal: seeking %s: %w", path, err)
@@ -277,10 +314,73 @@ func (l *Log) rollback() {
 	_, _ = l.f.Seek(l.size, io.SeekStart)
 }
 
+// CompactTo compacts the log after a snapshot: every frame below cut —
+// the durable size captured together with the snapshot state
+// (fleet.Store.SnapshotCut) — is dropped, and every record appended after
+// the capture survives, so compaction can never discard an acknowledged
+// event the snapshot missed. The compacted log (a fresh header plus the
+// surviving tail) is built in a sibling file, fsync'd and renamed into
+// place; a crash at any instant leaves either the old complete log or the
+// compacted one, and both replay consistently over the new snapshot
+// because replaying an absorbed record is an idempotent no-op. The
+// wal.compact.rename faultpoint fires before the rename.
+func (l *Log) CompactTo(cut int64, seed uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if cut > l.size {
+		cut = l.size // defensive: never resurrect rolled-back bytes
+	}
+	p, err := json.Marshal(header{Schema: Schema, Seed: seed})
+	if err != nil {
+		return err
+	}
+	buf := AppendFrame(nil, p)
+	if cut < l.size {
+		tail := make([]byte, l.size-cut)
+		if _, err := l.f.ReadAt(tail, cut); err != nil {
+			return fmt.Errorf("wal: reading surviving tail of %s: %w", l.path, err)
+		}
+		buf = append(buf, tail...)
+	}
+	tmp := l.path + ".compact"
+	nf, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("wal: creating %s: %w", tmp, err)
+	}
+	fail := func(err error) error {
+		nf.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if _, err := nf.Write(buf); err != nil {
+		return fail(fmt.Errorf("wal: writing %s: %w", tmp, err))
+	}
+	if err := nf.Sync(); err != nil {
+		return fail(fmt.Errorf("wal: syncing %s: %w", tmp, err))
+	}
+	if err := faultpoint.Hit("wal.compact.rename"); err != nil {
+		return fail(err)
+	}
+	if err := os.Rename(tmp, l.path); err != nil {
+		return fail(fmt.Errorf("wal: renaming %s: %w", tmp, err))
+	}
+	if err := syncDir(l.path); err != nil {
+		// The rename happened; the open fd already points at the new
+		// inode, so adopt it — worst case a crash resurfaces the old log,
+		// which replays consistently.
+		l.f.Close()
+		l.f, l.size = nf, int64(len(buf))
+		return err
+	}
+	l.f.Close()
+	l.f, l.size = nf, int64(len(buf))
+	return nil
+}
+
 // Reset compacts the log back to its header — called after a snapshot has
-// durably absorbed every logged event. A crash between the snapshot's
-// rename and this truncate is safe: the next recovery replays the log's
-// events onto the snapshot, and replay is idempotent.
+// durably absorbed every logged event and no concurrent appender exists
+// (tests, single-threaded shutdown). Live checkpoints use CompactTo,
+// which keeps records appended after the snapshot capture.
 func (l *Log) Reset(seed uint64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()

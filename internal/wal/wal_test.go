@@ -113,6 +113,115 @@ func TestResetCompacts(t *testing.T) {
 	}
 }
 
+// TestCompactToKeepsPostCutRecords is the lost-update regression: records
+// appended after the snapshot's cut point was captured must survive
+// compaction — CompactTo drops exactly the absorbed prefix, never an
+// acknowledged tail.
+func TestCompactToKeepsPostCutRecords(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, _, err := Open(path, 7, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := l.Append(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cut := l.Size()
+	// These land between "snapshot captured" and "log compacted" — the
+	// window the checkpoint race lived in.
+	late := []Record{testRecord(100), testRecord(101)}
+	for _, rec := range late {
+		if err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	grown := l.Size()
+	if err := l.CompactTo(cut, 7); err != nil {
+		t.Fatal(err)
+	}
+	if l.Size() >= grown {
+		t.Fatalf("CompactTo did not shrink the log: %d -> %d", grown, l.Size())
+	}
+	// Post-compaction appends land on the rewritten file.
+	extra := testRecord(102)
+	if err := l.Append(extra); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	_, recs, err := Open(path, 7, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append(late, extra)
+	if !reflect.DeepEqual(recs, want) {
+		t.Fatalf("after compaction, replay =\n %+v\nwant\n %+v", recs, want)
+	}
+}
+
+// TestCompactToEmptyTail: compacting at the current size leaves a
+// header-only log, the Reset equivalent.
+func TestCompactToEmptyTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, _, err := Open(path, 7, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := l.Append(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.CompactTo(l.Size(), 7); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	_, recs, err := Open(path, 7, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("full compaction left %d records", len(recs))
+	}
+}
+
+// TestCompactToRenameFaultLeavesLogIntact: a compaction that fails before
+// its rename leaves the old log whole (every record still recoverable),
+// no .compact litter, and the log still appendable.
+func TestCompactToRenameFaultLeavesLogIntact(t *testing.T) {
+	t.Cleanup(faultpoint.Reset)
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, _, err := Open(path, 7, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := l.Append(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cut := l.Size()
+	faultpoint.Arm("wal.compact.rename", faultpoint.Error, 1)
+	if err := l.CompactTo(cut, 7); !errors.Is(err, faultpoint.ErrInjected) {
+		t.Fatalf("compaction under injected rename fault = %v, want injected error", err)
+	}
+	if _, err := os.Stat(path + ".compact"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("failed compaction left a .compact file behind")
+	}
+	if err := l.Append(testRecord(3)); err != nil {
+		t.Fatalf("append after failed compaction: %v", err)
+	}
+	l.Close()
+	_, recs, err := Open(path, 7, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("failed compaction lost records: replayed %d, want 4", len(recs))
+	}
+}
+
 func TestAppendSyncFaultRollsBack(t *testing.T) {
 	t.Cleanup(faultpoint.Reset)
 	path := filepath.Join(t.TempDir(), "wal.log")
