@@ -38,6 +38,11 @@ type engineBenchReport struct {
 	// bootstrap WinRate ns/op over the index-space kernel's, at N=500 —
 	// single-threaded by construction, so the floor holds on any runner.
 	SpeedupBootstrap float64 `json:"speedup_bootstrap"`
+	// ServeNsPerOp is the cached GET /v1/studies/{fp} latency through the
+	// full handler stack (BenchmarkServerGetStudy); `make bench-check`
+	// holds it under a committed ceiling so the serving path — including
+	// the obs middleware — cannot silently regress.
+	ServeNsPerOp float64 `json:"serve_ns_per_op"`
 }
 
 // benchStudy is the Table-I-sized engine workload shared by
@@ -82,6 +87,7 @@ func TestEmitEngineBenchJSON(t *testing.T) {
 	parallel := testing.Benchmark(benchStudy(0, false))
 	matrix := testing.Benchmark(benchStudy(0, true))
 	cmpBench := testing.Benchmark(BenchmarkBootstrapCompareAllocs)
+	serve := testing.Benchmark(BenchmarkServerGetStudy)
 
 	report := engineBenchReport{
 		GoMaxProcs: runtime.GOMAXPROCS(0),
@@ -91,9 +97,11 @@ func TestEmitEngineBenchJSON(t *testing.T) {
 			record("EngineStudy/parallel", parallel),
 			record("EngineStudy/parallel-matrix", matrix),
 			record("BootstrapCompare", cmpBench),
+			record("ServerGetStudy", serve),
 		},
 		SpeedupParallel: float64(serial.NsPerOp()) / float64(parallel.NsPerOp()),
 		SpeedupMatrix:   float64(serial.NsPerOp()) / float64(matrix.NsPerOp()),
+		ServeNsPerOp:    float64(serve.NsPerOp()),
 	}
 	if cmpBench.AllocsPerOp() != 0 {
 		t.Errorf("Bootstrap.Compare allocates %d/op after warm-up, want 0", cmpBench.AllocsPerOp())

@@ -4,7 +4,7 @@
 // matrix pre-pass or the index-space bootstrap kernel turns the job red
 // instead of silently shipping.
 //
-//	benchcheck [-matrix-floor 2.5] [-bootstrap-floor 1.5] [BENCH_engine.json]
+//	benchcheck [-matrix-floor 2.5] [-bootstrap-floor 1.5] [-serve-ceiling 1000000] [BENCH_engine.json]
 //
 // The default floors are the committed thresholds: the matrix path must
 // keep ≥ 2.5x over the serial study even single-core, and the index-space
@@ -12,7 +12,12 @@
 // N=500 (measured single-threaded, so the floor holds on any runner; the
 // observed ratio is an order of magnitude above it — the floor is a
 // tripwire, not a target). The parallel-study speedup is reported but not
-// gated: it is ≈1 by construction on single-core runners.
+// gated: it is ≈1 by construction on single-core runners. The serving
+// path is gated the other way round — a ceiling: a cached
+// GET /v1/studies/{fp} through the full handler stack (serve_ns_per_op)
+// must stay under 1ms, some 300x above the observed latency, so only a
+// pathological regression (an allocation storm in the obs middleware, a
+// lock convoy in the store) trips it.
 package main
 
 import (
@@ -27,6 +32,7 @@ import (
 const (
 	defaultMatrixFloor    = 2.5
 	defaultBootstrapFloor = 1.5
+	defaultServeCeiling   = 1_000_000 // ns: cached study GET through the handler stack
 )
 
 // benchReport mirrors the fields of BENCH_engine.json this gate reads.
@@ -35,6 +41,7 @@ type benchReport struct {
 	SpeedupParallel  float64 `json:"speedup_parallel"`
 	SpeedupMatrix    float64 `json:"speedup_matrix"`
 	SpeedupBootstrap float64 `json:"speedup_bootstrap"`
+	ServeNsPerOp     float64 `json:"serve_ns_per_op"`
 }
 
 func main() {
@@ -42,19 +49,21 @@ func main() {
 		"minimum serial/parallel-matrix study speedup")
 	bootstrapFloor := flag.Float64("bootstrap-floor", defaultBootstrapFloor,
 		"minimum old/new bootstrap WinRate speedup at N=500")
+	serveCeiling := flag.Float64("serve-ceiling", defaultServeCeiling,
+		"maximum cached-study GET latency in ns/op")
 	flag.Parse()
 
 	path := "BENCH_engine.json"
 	if flag.NArg() > 0 {
 		path = flag.Arg(0)
 	}
-	if err := check(path, *matrixFloor, *bootstrapFloor); err != nil {
+	if err := check(path, *matrixFloor, *bootstrapFloor, *serveCeiling); err != nil {
 		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func check(path string, matrixFloor, bootstrapFloor float64) error {
+func check(path string, matrixFloor, bootstrapFloor, serveCeiling float64) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -66,13 +75,19 @@ func check(path string, matrixFloor, bootstrapFloor float64) error {
 	if r.SpeedupMatrix == 0 || r.SpeedupBootstrap == 0 {
 		return fmt.Errorf("%s lacks speedup_matrix/speedup_bootstrap — regenerate it with `make bench`", path)
 	}
-	fmt.Printf("benchcheck %s: matrix %.2fx (floor %.2fx), bootstrap %.2fx (floor %.2fx), parallel %.2fx (ungated), gomaxprocs=%d\n",
-		path, r.SpeedupMatrix, matrixFloor, r.SpeedupBootstrap, bootstrapFloor, r.SpeedupParallel, r.GoMaxProcs)
+	if r.ServeNsPerOp == 0 {
+		return fmt.Errorf("%s lacks serve_ns_per_op — regenerate it with `make bench`", path)
+	}
+	fmt.Printf("benchcheck %s: matrix %.2fx (floor %.2fx), bootstrap %.2fx (floor %.2fx), serve %.0fns (ceiling %.0fns), parallel %.2fx (ungated), gomaxprocs=%d\n",
+		path, r.SpeedupMatrix, matrixFloor, r.SpeedupBootstrap, bootstrapFloor, r.ServeNsPerOp, serveCeiling, r.SpeedupParallel, r.GoMaxProcs)
 	if r.SpeedupMatrix < matrixFloor {
 		return fmt.Errorf("matrix speedup %.2fx below the %.2fx floor", r.SpeedupMatrix, matrixFloor)
 	}
 	if r.SpeedupBootstrap < bootstrapFloor {
 		return fmt.Errorf("bootstrap speedup %.2fx below the %.2fx floor", r.SpeedupBootstrap, bootstrapFloor)
+	}
+	if r.ServeNsPerOp > serveCeiling {
+		return fmt.Errorf("cached-study GET %.0fns/op above the %.0fns ceiling", r.ServeNsPerOp, serveCeiling)
 	}
 	return nil
 }

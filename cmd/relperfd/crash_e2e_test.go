@@ -117,6 +117,11 @@ func TestCrashRecoveryE2E(t *testing.T) {
 	if _, _, specs := d2.health(t); specs != 2 {
 		t.Fatalf("restart recovered %d specs, want 2 (both were acked before the crash)\nlogs:\n%s", specs, d2.logText())
 	}
+	// The restarted daemon's exposition reports the replay: at least the two
+	// journaled spec records came back off the WAL.
+	if m := d2.scrapeMetrics(t); m["wal_replayed_records_total"] < 2 {
+		t.Fatalf("wal_replayed_records_total = %v after recovery, want >= 2", m["wal_replayed_records_total"])
+	}
 	for _, fp := range fps {
 		code, body := d2.get(t, "/v1/studies/"+fp)
 		if code != 200 {
@@ -164,9 +169,12 @@ func TestCrashRecoveryTornWriteE2E(t *testing.T) {
 		}
 	}
 	// The truncation must have been loud — silent data dropping is the one
-	// unforgivable recovery behavior.
+	// unforgivable recovery behavior — and counted in the exposition.
 	if !strings.Contains(d2.logText(), "RECOVERY") {
 		t.Fatalf("torn tail was truncated silently; logs:\n%s", d2.logText())
+	}
+	if m := d2.scrapeMetrics(t); m["wal_truncations_total"] < 1 {
+		t.Fatalf("wal_truncations_total = %v after a torn-tail recovery, want >= 1", m["wal_truncations_total"])
 	}
 	d2.stop(t)
 }

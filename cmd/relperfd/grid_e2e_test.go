@@ -134,5 +134,20 @@ func TestGridE2EKillWorkerMidSuite(t *testing.T) {
 	if _, entries, _ := coord.health(t); entries != len(want) {
 		t.Fatalf("coordinator store holds %d results, want %d", entries, len(want))
 	}
+
+	// The coordinator's exposition carries the grid series, consistent with
+	// the dispatch counters the /v1/grid/workers endpoint just reported.
+	m := coord.scrapeMetrics(t)
+	if got := m["grid_remote_total"]; got != float64(remote) {
+		t.Fatalf("grid_remote_total = %v, want %d", got, remote)
+	}
+	if got := m["grid_heartbeats_total"]; got < 2 {
+		t.Fatalf("grid_heartbeats_total = %v, want >= 2 (two workers joined)", got)
+	}
+	for _, series := range []string{"grid_workers_live", "grid_attempt_seconds_count", "grid_worker_drops_total", "grid_retries_total", "grid_fallbacks_total"} {
+		if _, ok := m[series]; !ok {
+			t.Fatalf("metrics series %s missing from the coordinator exposition", series)
+		}
+	}
 	coord.stop(t)
 }

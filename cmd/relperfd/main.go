@@ -53,12 +53,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"sync"
 	"syscall"
@@ -67,6 +68,7 @@ import (
 	"relperf/internal/faultpoint"
 	"relperf/internal/fleet"
 	"relperf/internal/grid"
+	"relperf/internal/obs"
 	"relperf/internal/wal"
 )
 
@@ -87,6 +89,9 @@ type options struct {
 	walPath          string
 	snapshotInterval time.Duration
 	standbys         string
+	logFormat        string
+	mutexFraction    int
+	blockRate        int
 }
 
 func main() {
@@ -106,6 +111,9 @@ func main() {
 	flag.StringVar(&o.walPath, "wal", "", "write-ahead log file: control-plane events are fsync'd here before being acked, and replayed over the snapshot at startup")
 	flag.DurationVar(&o.snapshotInterval, "snapshot-interval", 0, "compact periodically: write the snapshot and truncate the WAL every interval (0 = legacy rewrite-per-study without -wal, compact only at shutdown with it)")
 	flag.StringVar(&o.standbys, "standby", "", "comma-separated standby base URLs; each compacted snapshot is pushed to their POST /v1/replica/snapshot")
+	flag.StringVar(&o.logFormat, "log-format", "text", "structured log format: text or json")
+	flag.IntVar(&o.mutexFraction, "mutex-profile-fraction", 0, "with -pprof: runtime.SetMutexProfileFraction rate — sample 1/n mutex contention events (0 = off)")
+	flag.IntVar(&o.blockRate, "block-profile-rate", 0, "with -pprof: runtime.SetBlockProfileRate threshold in ns — sample goroutine blocking events (0 = off)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -114,12 +122,39 @@ func main() {
 	}
 }
 
+// newLogger builds the daemon's structured logger. The default text
+// handler keeps log lines greppable (the e2e harness and ops scripts
+// scrape "serving on" and the WAL's RECOVERY marker); json emits one
+// object per line for log pipelines.
+func newLogger(format string) (*slog.Logger, error) {
+	var h slog.Handler
+	switch format {
+	case "text":
+		h = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		h = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		return nil, fmt.Errorf("-log-format %q: want text or json", format)
+	}
+	return slog.New(h), nil
+}
+
+// logfFor adapts logger to the printf-style diagnostic callbacks the
+// library layers take (wal.Open, grid.Config.Logf, fleet.Replicator):
+// the formatted line becomes the message of an Info record, so library
+// diagnostics land in the same structured stream as the daemon's own.
+func logfFor(logger *slog.Logger) func(format string, args ...any) {
+	return func(format string, args ...any) {
+		logger.Info(fmt.Sprintf(format, args...))
+	}
+}
+
 // servePprof exposes the runtime profiling handlers on their own listener,
 // never on the serving address: profiles stay reachable when the main
 // server saturates, and operators can firewall the two ports separately.
 // Like the main server, the actual bound address is logged so scripted
 // callers can scrape it even with ":0"-style addrs.
-func servePprof(addr string) (io.Closer, error) {
+func servePprof(addr string, logger *slog.Logger) (io.Closer, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -133,10 +168,10 @@ func servePprof(addr string) (io.Closer, error) {
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
 	go func() {
 		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Printf("pprof server: %v", err)
+			logger.Error("pprof server failed", "err", err)
 		}
 	}()
-	log.Printf("pprof serving on http://%s/debug/pprof/", ln.Addr())
+	logger.Info(fmt.Sprintf("pprof serving on http://%s/debug/pprof/", ln.Addr()))
 	return srv, nil
 }
 
@@ -144,18 +179,43 @@ func run(o options) error {
 	if o.coordinator && o.joinURL != "" {
 		return errors.New("-coordinator and -join are mutually exclusive (a node is either the coordinator or a worker)")
 	}
-	// Fault injection is armed first: a point named in the environment must
-	// already be live when the WAL below takes its first write.
-	if err := faultpoint.ArmFromEnv(os.Getenv(faultpoint.EnvVar), log.Printf); err != nil {
+	logger, err := newLogger(o.logFormat)
+	if err != nil {
 		return err
 	}
+	slog.SetDefault(logger)
+	logf := logfFor(logger)
+	// Fault injection is armed first: a point named in the environment must
+	// already be live when the WAL below takes its first write.
+	if err := faultpoint.ArmFromEnv(os.Getenv(faultpoint.EnvVar), logf); err != nil {
+		return err
+	}
+	// Mutex/block profiling rates are global runtime knobs; setting them
+	// without the pprof listener would pay the sampling cost with no way
+	// to read the profile, so they require -pprof.
+	if (o.mutexFraction > 0 || o.blockRate > 0) && o.pprofAddr == "" {
+		return errors.New("-mutex-profile-fraction and -block-profile-rate need -pprof to serve the profiles they enable")
+	}
 	if o.pprofAddr != "" {
-		srv, err := servePprof(o.pprofAddr)
+		if o.mutexFraction > 0 {
+			runtime.SetMutexProfileFraction(o.mutexFraction)
+			logger.Info("mutex profiling enabled", "fraction", o.mutexFraction)
+		}
+		if o.blockRate > 0 {
+			runtime.SetBlockProfileRate(o.blockRate)
+			logger.Info("block profiling enabled", "rate_ns", o.blockRate)
+		}
+		srv, err := servePprof(o.pprofAddr, logger)
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
 	}
+
+	// One Obs shared by every layer — scheduler, store, WAL, grid — so
+	// GET /v1/metrics serves a single unified exposition and
+	// GET /v1/trace/{fp} sees a study's whole lifecycle across layers.
+	obsv := obs.New()
 
 	// Durable state is recovered in layers: the snapshot is the compacted
 	// base, the WAL is the fsync'd tail on top of it. The WAL opens first
@@ -167,7 +227,7 @@ func run(o options) error {
 	var walRecs []wal.Record
 	if o.walPath != "" {
 		var err error
-		walLog, walRecs, err = wal.Open(o.walPath, o.seed, log.Printf)
+		walLog, walRecs, err = wal.Open(o.walPath, o.seed, logf)
 		if err != nil {
 			return fmt.Errorf("opening wal %s: %w", o.walPath, err)
 		}
@@ -175,7 +235,7 @@ func run(o options) error {
 		if o.snapshotInterval == 0 {
 			// Recovery streams the log, so an unbounded one is slow, not
 			// fatal — but it is still unbounded disk; say so once.
-			log.Printf("wal: no -snapshot-interval, so %s compacts only at shutdown and grows for as long as the daemon runs; pair -wal with -snapshot-interval to bound it", o.walPath)
+			logger.Warn(fmt.Sprintf("wal: no -snapshot-interval, so %s compacts only at shutdown and grows for as long as the daemon runs; pair -wal with -snapshot-interval to bound it", o.walPath))
 		}
 	}
 	store := fleet.NewStore(o.cacheCap)
@@ -186,7 +246,7 @@ func run(o options) error {
 			if err != nil {
 				return fmt.Errorf("loading snapshot %s: %w", o.snapshotPath, err)
 			}
-			log.Printf("restored %d cached studies from %s", n, o.snapshotPath)
+			logger.Info("restored snapshot", "studies", n, "path", o.snapshotPath)
 		} else if !errors.Is(err, os.ErrNotExist) {
 			return err
 		}
@@ -199,24 +259,29 @@ func run(o options) error {
 		}
 		taskRecs = tasks
 		if counts.Specs+counts.Results+counts.Tasks > 0 {
-			log.Printf("replayed wal %s: %d specs, %d results, %d task records", o.walPath, counts.Specs, counts.Results, counts.Tasks)
+			logger.Info("replayed wal", "path", o.walPath, "specs", counts.Specs, "results", counts.Results, "tasks", counts.Tasks)
 		}
 	}
 
 	// Coordinator mode: studies are offered to the grid dispatcher before
 	// local execution, and the /v1/grid/* endpoints join the mux below.
 	var coord *grid.Coordinator
-	opts := fleet.Options{Workers: o.workers, Seed: o.seed, Store: store}
+	opts := fleet.Options{Workers: o.workers, Seed: o.seed, Store: store, Obs: obsv}
 	if o.coordinator {
-		coord = grid.New(grid.Config{Seed: o.seed, TTL: o.gridTTL, Logf: log.Printf, Journal: walLog})
+		coord = grid.New(grid.Config{Seed: o.seed, TTL: o.gridTTL, Logf: logf, Journal: walLog, Obs: obsv})
 		if n := coord.RestoreJournal(taskRecs); n > 0 {
-			log.Printf("restored %d dispatch journal entries from the wal", n)
+			logger.Info("restored dispatch journal from wal", "entries", n)
 		}
 		opts.Dispatch = coord.Dispatch
 	}
-	// Only now does the store start journaling: attached after replay, so
-	// recovered records are never appended back into the log they came from.
+	// Only now does the store start journaling (and the WAL its metrics):
+	// attached after replay, so recovered records are never appended back
+	// into the log they came from, and replay work is counted as recovery
+	// rather than as live appends.
 	store.SetWAL(walLog)
+	if walLog != nil {
+		walLog.SetMetrics(wal.NewMetrics(obsv.Registry))
+	}
 	sched := fleet.New(opts)
 	defer sched.Close()
 
@@ -228,7 +293,7 @@ func run(o options) error {
 			}
 		}
 	}
-	replicator := &fleet.Replicator{URLs: standbyURLs, Logf: log.Printf}
+	replicator := &fleet.Replicator{URLs: standbyURLs, Logf: logf}
 
 	// checkpoint compacts the durable state: the snapshot bytes and a WAL
 	// cut point are captured atomically with respect to journaled
@@ -246,21 +311,21 @@ func run(o options) error {
 		if o.snapshotPath != "" {
 			data, cut, err := store.SnapshotCut(o.seed)
 			if err != nil {
-				log.Printf("snapshot (%s): %v", reason, err)
+				logger.Error("snapshot failed", "reason", reason, "err", err)
 				return
 			}
 			if err := fleet.WriteSnapshotBytesAtomic(data, o.snapshotPath); err != nil {
-				log.Printf("snapshot (%s): %v", reason, err)
+				logger.Error("snapshot failed", "reason", reason, "err", err)
 				return // the WAL still holds the tail; never compact it now
 			}
 			if walLog != nil {
 				if err := walLog.CompactTo(cut, o.seed); err != nil {
-					log.Printf("wal compaction (%s): %v", reason, err)
+					logger.Error("wal compaction failed", "reason", reason, "err", err)
 				}
 			}
 		}
 		if err := replicator.Push(context.Background(), store, o.seed); err != nil {
-			log.Printf("replication (%s): %v", reason, err)
+			logger.Error("replication failed", "reason", reason, "err", err)
 		}
 	}
 
@@ -274,21 +339,29 @@ func run(o options) error {
 		// 256, not 64: every study costs two buffer slots (computing + done
 		// phase events), and a dropped done event here would mean a
 		// completion that never gets logged or snapshotted.
-		events, cancel := sched.Subscribe(256)
-		defer cancel()
+		events, _ := sched.Subscribe(256)
 		go func() {
-			for ev := range events {
-				if ev.Phase != fleet.PhaseDone {
-					continue
+			for {
+				for ev := range events {
+					if ev.Phase != fleet.PhaseDone {
+						continue
+					}
+					if ev.Err != nil {
+						logger.Warn("study failed", "fp", ev.Fingerprint, "err", ev.Err)
+						continue
+					}
+					logger.Info("study completed", "fp", ev.Fingerprint)
+					if perStudyPersist {
+						checkpoint("study completed")
+					}
 				}
-				if ev.Err != nil {
-					log.Printf("study %s failed: %v", ev.Fingerprint, ev.Err)
-					continue
-				}
-				log.Printf("study %s completed", ev.Fingerprint)
-				if perStudyPersist {
-					checkpoint("study completed")
-				}
+				// The scheduler drops subscribers that fall behind (closing
+				// their channel). For this one — the persistence trigger —
+				// a silent death would stop per-study snapshots, so come
+				// back loudly. Durability is unaffected either way: WAL
+				// appends happen on the compute path, not here.
+				logger.Warn("persistence subscriber fell behind and was dropped; resubscribing")
+				events, _ = sched.Subscribe(256)
 			}
 		}()
 	}
@@ -309,9 +382,9 @@ func run(o options) error {
 		if err != nil {
 			return err
 		}
-		log.Printf("submitted startup suite %s: %d studies", o.suitePath, len(fps))
+		logger.Info("submitted startup suite", "path", o.suitePath, "studies", len(fps))
 		for _, fp := range fps {
-			log.Printf("  /v1/studies/%s", fp)
+			logger.Info("study submitted", "url", "/v1/studies/"+fp)
 		}
 	}
 
@@ -365,7 +438,9 @@ func run(o options) error {
 	} else if o.joinURL != "" {
 		mode = "worker"
 	}
-	log.Printf("relperfd serving on %s (seed=%d workers=%d cache=%d mode=%s)", ln.Addr(), o.seed, o.workers, o.cacheCap, mode)
+	// One message, not split attrs: tooling (and the e2e harness) scrapes
+	// "serving on <addr>" out of the log line to find the bound port.
+	logger.Info(fmt.Sprintf("relperfd serving on %s (seed=%d workers=%d cache=%d mode=%s)", ln.Addr(), o.seed, o.workers, o.cacheCap, mode))
 
 	// Worker mode: announce this daemon to the coordinator and keep the
 	// lease fresh until shutdown.
@@ -384,7 +459,7 @@ func run(o options) error {
 			advertise = "http://" + ln.Addr().String()
 		}
 		info := grid.WorkerInfo{ID: advertise, URL: advertise, Capacity: sched.Workers(), Seed: o.seed}
-		go grid.RunHeartbeats(ctx, nil, o.joinURL, info, 0, log.Printf)
+		go grid.RunHeartbeats(ctx, nil, o.joinURL, info, 0, logf)
 	}
 
 	select {
@@ -392,7 +467,7 @@ func run(o options) error {
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("shutting down")
+	logger.Info("shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	_ = httpSrv.Shutdown(shutdownCtx)

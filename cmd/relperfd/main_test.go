@@ -17,6 +17,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -145,6 +146,47 @@ func (d *daemon) get(t *testing.T, path string) (int, []byte) {
 	return resp.StatusCode, b
 }
 
+// scrapeMetrics GETs /v1/metrics, asserts the Prometheus exposition
+// content type and that every sample line parses, and returns the samples
+// keyed by series string (metric name plus rendered labels, exactly as on
+// the wire).
+func (d *daemon) scrapeMetrics(t *testing.T) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get("http://" + d.addr + "/v1/metrics")
+	if err != nil {
+		t.Fatalf("GET /v1/metrics: %v\nlogs:\n%s", err, d.logText())
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET /v1/metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("metrics Content-Type = %q, want the 0.0.4 text exposition", ct)
+	}
+	samples := map[string]float64{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("unparseable metrics line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("unparseable value in metrics line %q: %v", line, err)
+		}
+		samples[line[:i]] = v
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return samples
+}
+
 func (d *daemon) health(t *testing.T) (computes uint64, storeEntries, storeSpecs int) {
 	t.Helper()
 	code, b := d.get(t, "/v1/healthz")
@@ -196,6 +238,75 @@ func TestDaemonSpecSnapshotRestartEvictRecompute(t *testing.T) {
 		}
 		want[fp] = body
 	}
+
+	// Observability surfaces, scraped through the real process: the
+	// Prometheus exposition carries live engine, fleet, store and HTTP
+	// series; /v1/statz mirrors it as JSON; /v1/trace shows each study's
+	// full lifecycle.
+	m := d1.scrapeMetrics(t)
+	for series, min := range map[string]float64{
+		"fleet_computes_total":                                                    2,
+		`engine_stage_seconds_count{stage="measure"}`:                             2,
+		`engine_stage_seconds_count{stage="cluster"}`:                             2,
+		"store_merges_total":                                                      2,
+		"store_hits_total":                                                        1,
+		`http_request_seconds_count{route="GET /v1/studies/{fingerprint}"}`:       2,
+		`http_responses_total{class="2xx",route="GET /v1/studies/{fingerprint}"}`: 2,
+	} {
+		if got, ok := m[series]; !ok || got < min {
+			t.Fatalf("metrics series %s = %v (present=%v), want >= %v", series, got, ok, min)
+		}
+	}
+	code, b := d1.get(t, "/v1/statz")
+	var statz struct {
+		Metrics []json.RawMessage `json:"metrics"`
+		Tracer  struct {
+			Studies int `json:"studies"`
+		} `json:"tracer"`
+	}
+	if err := json.Unmarshal(b, &statz); err != nil || code != 200 {
+		t.Fatalf("GET /v1/statz: %d %v %s", code, err, b)
+	}
+	if len(statz.Metrics) == 0 || statz.Tracer.Studies < 2 {
+		t.Fatalf("statz: %d metrics, %d traced studies, want >0 and >=2", len(statz.Metrics), statz.Tracer.Studies)
+	}
+	// The trace's tail spans (stages, done) land just after the result is
+	// served, so poll briefly for the complete lifecycle.
+	wantSpans := []string{"queued", "computing", "stage:measure", "stage:cluster", "stage:finalize", "done"}
+	traceDeadline := time.Now().Add(10 * time.Second)
+	for {
+		code, b = d1.get(t, "/v1/trace/"+sr.Fingerprints[0])
+		if code != 200 {
+			t.Fatalf("GET /v1/trace: %d %s", code, b)
+		}
+		var tr struct {
+			Spans []struct {
+				Name string `json:"name"`
+			} `json:"spans"`
+		}
+		if err := json.Unmarshal(b, &tr); err != nil {
+			t.Fatal(err)
+		}
+		have := map[string]bool{}
+		for _, s := range tr.Spans {
+			have[s.Name] = true
+		}
+		missing := ""
+		for _, name := range wantSpans {
+			if !have[name] {
+				missing = name
+				break
+			}
+		}
+		if missing == "" {
+			break
+		}
+		if time.Now().After(traceDeadline) {
+			t.Fatalf("trace never completed: span %q missing in %s", missing, b)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
 	d1.stop(t)
 	if _, err := os.Stat(snapPath); err != nil {
 		t.Fatalf("no snapshot written: %v", err)

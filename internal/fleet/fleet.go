@@ -7,8 +7,10 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"relperf"
+	"relperf/internal/obs"
 )
 
 // ErrUnknownStudy is returned by Result for a fingerprint no suite ever
@@ -41,6 +43,12 @@ type Options struct {
 	// config-level Submit path) cannot travel the wire and always run
 	// locally.
 	Dispatch func(ctx context.Context, task relperf.GridTask) ([]byte, error)
+	// Obs receives the scheduler's metrics and study traces; nil means a
+	// private obs.New(), so the /v1/metrics, /v1/statz and /v1/trace
+	// endpoints work on every scheduler. Share one Obs across the
+	// scheduler, WAL and grid coordinator to serve a single unified
+	// exposition.
+	Obs *obs.Obs
 }
 
 // Phase tags the stage of a StudyEvent.
@@ -97,6 +105,17 @@ type Scheduler struct {
 
 	computes atomic.Uint64
 
+	// Metric instruments, registered once in New (see metrics.go). All
+	// nil-safe, so a test constructing a Scheduler literal records into
+	// no-ops instead of panicking.
+	obs          *obs.Obs
+	coalesced    *obs.Counter
+	studyErrors  *obs.Counter
+	subsDropped  *obs.Counter
+	queueWait    *obs.Histogram
+	studySeconds *obs.Histogram
+	stageHists   map[string]*obs.Histogram
+
 	subMu   sync.Mutex
 	subs    map[int]chan StudyEvent
 	nextSub int
@@ -104,10 +123,11 @@ type Scheduler struct {
 
 // flight is one in-progress computation; waiters block on done.
 type flight struct {
-	done chan struct{}
-	blob []byte
-	res  *relperf.Result
-	err  error
+	done    chan struct{}
+	created time.Time // when the flight entered the in-flight set
+	blob    []byte
+	res     *relperf.Result
+	err     error
 }
 
 // New returns a running scheduler.
@@ -115,18 +135,27 @@ func New(opts Options) *Scheduler {
 	if opts.Store == nil {
 		opts.Store = NewStore(0)
 	}
+	if opts.Obs == nil {
+		opts.Obs = obs.New()
+	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Scheduler{
+	s := &Scheduler{
 		opts:     opts,
 		budget:   relperf.NewBudget(opts.Workers),
 		store:    opts.Store,
+		obs:      opts.Obs,
 		ctx:      ctx,
 		cancel:   cancel,
 		inflight: make(map[string]*flight),
 		studies:  make(map[string]*relperf.Study),
 		subs:     make(map[int]chan StudyEvent),
 	}
+	s.registerMetrics()
+	return s
 }
+
+// Obs returns the scheduler's observability surfaces.
+func (s *Scheduler) Obs() *obs.Obs { return s.obs }
 
 // Seed returns the scheduler's suite seed.
 func (s *Scheduler) Seed() uint64 { return s.opts.Seed }
@@ -293,6 +322,7 @@ func (s *Scheduler) Result(ctx context.Context, fp string) ([]byte, error) {
 		f, ok := s.inflight[fp]
 		if ok {
 			s.mu.Unlock()
+			s.coalesced.Inc()
 			return s.wait(ctx, f)
 		}
 		// The flight may have landed between the cache miss and the lock;
@@ -380,6 +410,7 @@ func (s *Scheduler) ensure(fp string, study *relperf.Study) (*flight, error) {
 	}
 	s.studies[fp] = study
 	if f, ok := s.inflight[fp]; ok {
+		s.coalesced.Inc()
 		return f, nil
 	}
 	// Contains, not Get: an existence probe must not inflate the hit
@@ -387,7 +418,7 @@ func (s *Scheduler) ensure(fp string, study *relperf.Study) (*flight, error) {
 	if s.store.Contains(fp) {
 		return nil, nil
 	}
-	f := &flight{done: make(chan struct{})}
+	f := &flight{done: make(chan struct{}), created: time.Now()}
 	s.inflight[fp] = f
 	s.wg.Add(1)
 	go s.compute(f, fp, study)
@@ -402,6 +433,10 @@ func (s *Scheduler) ensure(fp string, study *relperf.Study) (*flight, error) {
 func (s *Scheduler) compute(f *flight, fp string, study *relperf.Study) {
 	defer s.wg.Done()
 	s.computes.Add(1)
+	tr := s.obs.Trace()
+	start := time.Now()
+	s.queueWait.Observe(start.Sub(f.created).Seconds())
+	tr.Add(fp, obs.Span{Name: "queued", Start: f.created, End: start})
 	s.publish(StudyEvent{Fingerprint: fp, Phase: PhaseComputing})
 	f.blob, f.res, f.err = s.run(fp, study)
 	if f.err == nil {
@@ -414,6 +449,22 @@ func (s *Scheduler) compute(f *flight, fp string, study *relperf.Study) {
 	delete(s.inflight, fp)
 	s.mu.Unlock()
 	close(f.done)
+	end := time.Now()
+	s.studySeconds.Observe(end.Sub(start).Seconds())
+	if f.res != nil {
+		// Engine stage timings: one histogram observation and one trace
+		// span per stage, recorded after the run — never inside it.
+		for _, st := range f.res.Stages {
+			s.stageHists[st.Name].Observe(st.Seconds)
+			tr.Add(fp, obs.Span{Name: "stage:" + st.Name, Start: st.Start, Seconds: st.Seconds})
+		}
+	}
+	doneSpan := obs.Span{Name: "done", Start: end}
+	if f.err != nil {
+		s.studyErrors.Inc()
+		doneSpan.Error = f.err.Error()
+	}
+	tr.Add(fp, doneSpan)
 	s.publish(StudyEvent{Fingerprint: fp, Phase: PhaseDone, Result: f.res, Err: f.err})
 }
 
@@ -424,22 +475,39 @@ func (s *Scheduler) compute(f *flight, fp string, study *relperf.Study) {
 // back to local execution, which the determinism contract guarantees
 // produces the identical bytes.
 func (s *Scheduler) run(fp string, study *relperf.Study) ([]byte, *relperf.Result, error) {
+	tr := s.obs.Trace()
 	if s.opts.Dispatch != nil {
 		if spec, ok := s.store.Spec(fp); ok {
 			if seed, err := relperf.StudySeed(s.opts.Seed, fp); err == nil {
 				task := relperf.GridTask{Fingerprint: fp, Seed: seed, Spec: spec}
-				if blob, err := s.opts.Dispatch(s.ctx, task); err == nil {
-					if res, err := relperf.VerifyGridResult(task, blob); err == nil {
+				span := obs.Span{Name: "dispatched", Start: time.Now()}
+				blob, err := s.opts.Dispatch(s.ctx, task)
+				if err == nil {
+					var res *relperf.Result
+					if res, err = relperf.VerifyGridResult(task, blob); err == nil {
+						span.End = time.Now()
+						tr.Add(fp, span)
 						return blob, res, nil
 					}
 				}
+				// The coordinator records per-attempt spans; this umbrella
+				// span records why the grid path as a whole was abandoned.
+				span.End = time.Now()
+				span.Error = err.Error()
+				span.Detail = "falling back to local execution"
+				tr.Add(fp, span)
 			}
 		}
 	}
+	span := obs.Span{Name: "computing", Start: time.Now()}
 	res, err := study.RunOn(s.ctx, s.budget)
+	span.End = time.Now()
 	if err != nil {
+		span.Error = err.Error()
+		tr.Add(fp, span)
 		return nil, nil, err
 	}
+	tr.Add(fp, span)
 	blob, err := res.MarshalWire()
 	if err != nil {
 		return nil, nil, err
@@ -448,9 +516,12 @@ func (s *Scheduler) run(fp string, study *relperf.Study) ([]byte, *relperf.Resul
 }
 
 // Subscribe returns a channel streaming every study's phase events
-// (computing, then done) and a cancel function. A subscriber that falls
-// more than buffer events behind misses the overflow (sends never block
-// the engine); buffer <= 0 means 16.
+// (computing, then done) and a cancel function. Sends never block the
+// engine: a subscriber whose buffer is full when an event arrives is
+// disconnected — its channel is closed and removed — rather than
+// silently skipped, so a consumer always knows its view is either
+// complete or over. buffer <= 0 means 16. cancel is idempotent and safe
+// after a disconnect.
 func (s *Scheduler) Subscribe(buffer int) (<-chan StudyEvent, func()) {
 	if buffer <= 0 {
 		buffer = 16
@@ -472,13 +543,25 @@ func (s *Scheduler) Subscribe(buffer int) (<-chan StudyEvent, func()) {
 	return ch, cancel
 }
 
+// publish fans an event out to every subscriber without ever blocking
+// the engine. A subscriber whose buffer is full is dropped: deleted
+// from the set and its channel closed, which the consumer observes as
+// end-of-stream. Closing here is safe because every send to a
+// subscriber channel happens in this function, under subMu — there is
+// no racing sender to panic. A silent per-event drop (the old
+// behaviour) is worse than a disconnect: a consumer that missed a
+// "done" event would wait on a phase that already happened, with no
+// way to know its view had gaps.
 func (s *Scheduler) publish(ev StudyEvent) {
 	s.subMu.Lock()
 	defer s.subMu.Unlock()
-	for _, ch := range s.subs {
+	for id, ch := range s.subs {
 		select {
 		case ch <- ev:
-		default: // slow subscriber: drop rather than stall the engine
+		default: // slow subscriber: disconnect rather than stall the engine
+			delete(s.subs, id)
+			close(ch)
+			s.subsDropped.Inc()
 		}
 	}
 }

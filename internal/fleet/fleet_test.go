@@ -222,3 +222,50 @@ func TestSchedulerClose(t *testing.T) {
 		t.Fatalf("study after close: %v", err)
 	}
 }
+
+// TestPublishDropsSlowSubscriber: a subscriber whose buffer is full when an
+// event arrives is disconnected (channel closed, drop counted) instead of
+// stalling publish or silently losing the event; other subscribers are
+// unaffected. This is the regression test for the SSE slow-consumer
+// contract — publish must never block on a subscriber.
+func TestPublishDropsSlowSubscriber(t *testing.T) {
+	s := New(Options{Workers: 1, Seed: 1})
+	defer s.Close()
+	slow, slowCancel := s.Subscribe(1)
+	defer slowCancel()
+	fast, fastCancel := s.Subscribe(4)
+	defer fastCancel()
+
+	// Nobody drains slow: the first publish fills its one-slot buffer, the
+	// second finds it full and must disconnect it — immediately, not ever
+	// blocking.
+	s.publish(StudyEvent{Fingerprint: "fp", Phase: PhaseComputing})
+	s.publish(StudyEvent{Fingerprint: "fp", Phase: PhaseDone})
+
+	if ev := <-slow; ev.Phase != PhaseComputing {
+		t.Fatalf("slow subscriber's buffered event = %+v, want computing", ev)
+	}
+	if _, ok := <-slow; ok {
+		t.Fatal("slow subscriber channel still open after overflow; want disconnect")
+	}
+	for _, want := range []Phase{PhaseComputing, PhaseDone} {
+		if ev := <-fast; ev.Phase != want {
+			t.Fatalf("fast subscriber event = %+v, want %s", ev, want)
+		}
+	}
+	if got := s.subsDropped.Value(); got != 1 {
+		t.Fatalf("subsDropped = %d, want 1", got)
+	}
+
+	// The dropped subscriber is gone from the set; a publish after the
+	// disconnect reaches only the survivors and a late cancel of the
+	// dropped subscription is a harmless no-op.
+	s.publish(StudyEvent{Fingerprint: "fp2", Phase: PhaseComputing})
+	if ev := <-fast; ev.Fingerprint != "fp2" {
+		t.Fatalf("post-drop event = %+v", ev)
+	}
+	slowCancel()
+	if got := s.subsDropped.Value(); got != 1 {
+		t.Fatalf("subsDropped after cancel = %d, want still 1", got)
+	}
+}

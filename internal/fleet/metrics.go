@@ -1,0 +1,65 @@
+package fleet
+
+import (
+	"relperf"
+	"relperf/internal/obs"
+)
+
+// registerMetrics wires the scheduler's (and its store's) series into
+// the shared registry. Called once from New. Counters a component
+// already keeps for its own API (computes, store stats) are exported as
+// scrape-time funcs instead of doubled on the hot path; only genuinely
+// new signals (coalesces, queue wait, stage latencies, subscriber
+// drops) get dedicated instruments.
+//
+// Metric names are pinned by the golden exposition test and documented
+// in the README's Observability table — change all three together.
+func (s *Scheduler) registerMetrics() {
+	reg := s.obs.Reg()
+
+	reg.CounterFunc("fleet_computes_total", "Study computations started.",
+		func() float64 { return float64(s.computes.Load()) })
+	reg.GaugeFunc("fleet_inflight_studies", "Studies currently computing.",
+		func() float64 { return float64(s.Inflight()) })
+	reg.GaugeFunc("fleet_subscribers", "Active study-event subscribers.",
+		func() float64 {
+			s.subMu.Lock()
+			defer s.subMu.Unlock()
+			return float64(len(s.subs))
+		})
+	s.coalesced = reg.Counter("fleet_coalesced_total",
+		"Requests that joined an already in-flight computation (single-flight).")
+	s.studyErrors = reg.Counter("fleet_study_errors_total",
+		"Studies that completed with an error.")
+	s.subsDropped = reg.Counter("fleet_subscribers_dropped_total",
+		"Subscribers disconnected for falling behind the bounded event buffer.")
+	s.queueWait = reg.Histogram("fleet_queue_wait_seconds",
+		"Delay between a study entering the in-flight set and its computation starting.", nil)
+	s.studySeconds = reg.Histogram("fleet_study_seconds",
+		"End-to-end study computation time, including dispatch and store merge.", nil)
+
+	// One engine_stage_seconds series per stable stage name; an unknown
+	// stage name misses the map, yielding a nil (no-op) histogram rather
+	// than an unbounded label set.
+	s.stageHists = make(map[string]*obs.Histogram, 3)
+	for _, stage := range []string{relperf.StageMeasure, relperf.StageCluster, relperf.StageFinalize} {
+		s.stageHists[stage] = reg.Histogram("engine_stage_seconds",
+			"Engine pipeline stage wall-clock time.", nil, obs.L("stage", stage))
+	}
+
+	st := s.store
+	reg.GaugeFunc("store_entries", "Cached results currently held.",
+		func() float64 { return float64(st.Stats().Entries) })
+	reg.GaugeFunc("store_specs", "Declarative study specs retained for recompute.",
+		func() float64 { return float64(st.Stats().Specs) })
+	reg.CounterFunc("store_hits_total", "Result cache hits.",
+		func() float64 { return float64(st.Stats().Hits) })
+	reg.CounterFunc("store_misses_total", "Result cache misses.",
+		func() float64 { return float64(st.Stats().Misses) })
+	reg.CounterFunc("store_evictions_total", "Results evicted by the LRU capacity bound.",
+		func() float64 { return float64(st.Stats().Evictions) })
+	reg.CounterFunc("store_merges_total", "Successful result merges (including idempotent re-merges).",
+		func() float64 { return float64(st.Stats().Merges) })
+	reg.CounterFunc("store_merge_conflicts_total", "Merges refused because the fingerprint was cached with different bytes.",
+		func() float64 { return float64(st.Stats().Conflicts) })
+}

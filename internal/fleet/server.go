@@ -5,8 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime/debug"
 	"sort"
 	"strconv"
+	"sync"
+	"time"
+
+	"relperf/internal/obs"
 )
 
 // Server is the HTTP face of a Scheduler:
@@ -28,6 +33,8 @@ type Server struct {
 	sched        *Scheduler
 	mux          *http.ServeMux
 	maxStudyCost int64
+	streamBuf    int
+	start        time.Time
 }
 
 // ServerOption configures a Server.
@@ -42,18 +49,39 @@ func WithMaxStudyCost(max int64) ServerOption {
 	return func(s *Server) { s.maxStudyCost = max }
 }
 
-// NewServer wires the routes.
+// WithStreamBuffer sets the per-subscriber event buffer each SSE stream
+// holds (default 64). A stream that falls this many events behind is
+// disconnected by the scheduler rather than back-pressuring publication;
+// the stream reports the gap with a "lagged" event and still delivers
+// the authoritative result. <= 0 keeps the default.
+func WithStreamBuffer(n int) ServerOption {
+	return func(s *Server) { s.streamBuf = n }
+}
+
+// NewServer wires the routes. Every route is wrapped in the obs HTTP
+// middleware, labeled with its registration pattern (passed explicitly —
+// go.mod targets Go 1.22, which predates http.Request.Pattern), so
+// /v1/metrics carries per-route latency histograms and status-class
+// counters for the whole API surface, including itself.
 func NewServer(sched *Scheduler, opts ...ServerOption) *Server {
-	s := &Server{sched: sched, mux: http.NewServeMux()}
+	s := &Server{sched: sched, mux: http.NewServeMux(), start: time.Now()}
 	for _, opt := range opts {
 		opt(s)
 	}
-	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
-	s.mux.HandleFunc("POST /v1/suites", s.handleSuites)
-	s.mux.HandleFunc("GET /v1/studies", s.handleStudyIndex)
-	s.mux.HandleFunc("GET /v1/studies/{fingerprint}", s.handleStudy)
-	s.mux.HandleFunc("POST /v1/replica/snapshot", s.handleReplicaSnapshot)
+	s.handle("GET /v1/healthz", s.handleHealthz)
+	s.handle("POST /v1/suites", s.handleSuites)
+	s.handle("GET /v1/studies", s.handleStudyIndex)
+	s.handle("GET /v1/studies/{fingerprint}", s.handleStudy)
+	s.handle("POST /v1/replica/snapshot", s.handleReplicaSnapshot)
+	s.handle("GET /v1/metrics", s.handleMetrics)
+	s.handle("GET /v1/statz", s.handleStatz)
+	s.handle("GET /v1/trace/{fingerprint}", s.handleTrace)
 	return s
+}
+
+// handle registers an instrumented route.
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	s.mux.Handle(pattern, obs.Instrument(s.sched.Obs().Reg(), pattern, h))
 }
 
 // ServeHTTP implements http.Handler.
@@ -72,25 +100,110 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// buildInfo identifies the running binary: Go toolchain version and,
+// when the binary was built from a VCS checkout, the revision it was
+// built at — the first thing to pin down when two nodes disagree.
+type buildInfo struct {
+	GoVersion   string `json:"go_version"`
+	VCSRevision string `json:"vcs_revision,omitempty"`
+	VCSTime     string `json:"vcs_time,omitempty"`
+	VCSModified bool   `json:"vcs_modified,omitempty"`
+}
+
+var (
+	buildInfoOnce   sync.Once
+	buildInfoCached buildInfo
+)
+
+// readBuildInfo extracts the binary's build identity once; `go test`
+// binaries and non-VCS builds simply lack the vcs.* fields.
+func readBuildInfo() buildInfo {
+	buildInfoOnce.Do(func() {
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		buildInfoCached.GoVersion = bi.GoVersion
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				buildInfoCached.VCSRevision = s.Value
+			case "vcs.time":
+				buildInfoCached.VCSTime = s.Value
+			case "vcs.modified":
+				buildInfoCached.VCSModified = s.Value == "true"
+			}
+		}
+	})
+	return buildInfoCached
+}
+
 // healthResponse is the GET /v1/healthz body.
 type healthResponse struct {
-	Status   string `json:"status"`
-	Seed     uint64 `json:"seed"`
-	Workers  int    `json:"workers"`
-	Computes uint64 `json:"computes"`
-	Inflight int    `json:"inflight"`
-	Store    Stats  `json:"store"`
+	Status        string    `json:"status"`
+	Seed          uint64    `json:"seed"`
+	Workers       int       `json:"workers"`
+	Computes      uint64    `json:"computes"`
+	Inflight      int       `json:"inflight"`
+	UptimeSeconds float64   `json:"uptime_seconds"`
+	Build         buildInfo `json:"build"`
+	Store         Stats     `json:"store"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, healthResponse{
-		Status:   "ok",
-		Seed:     s.sched.Seed(),
-		Workers:  s.sched.Workers(),
-		Computes: s.sched.Computes(),
-		Inflight: s.sched.Inflight(),
-		Store:    s.sched.Store().Stats(),
+		Status:        "ok",
+		Seed:          s.sched.Seed(),
+		Workers:       s.sched.Workers(),
+		Computes:      s.sched.Computes(),
+		Inflight:      s.sched.Inflight(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Build:         readBuildInfo(),
+		Store:         s.sched.Store().Stats(),
 	})
+}
+
+// handleMetrics serves GET /v1/metrics: the shared registry in
+// Prometheus text exposition format 0.0.4, hand-rolled (go.mod stays
+// dependency-free). When the daemon shares one Obs across scheduler,
+// store, WAL and grid coordinator, this is the single unified scrape.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.sched.Obs().Reg().WritePrometheus(w)
+}
+
+// statzResponse is the GET /v1/statz body: the same instruments as
+// /v1/metrics, as structured JSON for humans and scripts, plus tracer
+// occupancy.
+type statzResponse struct {
+	Metrics []obs.MetricSnapshot `json:"metrics"`
+	Tracer  obs.TracerStats      `json:"tracer"`
+}
+
+func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
+	snap := s.sched.Obs().Reg().Snapshot()
+	if snap == nil {
+		snap = []obs.MetricSnapshot{}
+	}
+	writeJSON(w, http.StatusOK, statzResponse{Metrics: snap, Tracer: s.sched.Obs().Trace().Stats()})
+}
+
+// traceResponse is the GET /v1/trace/{fingerprint} body: the study's
+// lifecycle spans in arrival order (queued → dispatched → computing →
+// stage:* → done), with durations and attempt/worker annotations.
+type traceResponse struct {
+	Fingerprint string     `json:"fingerprint"`
+	Spans       []obs.Span `json:"spans"`
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	fp := r.PathValue("fingerprint")
+	spans, ok := s.sched.Obs().Trace().Timeline(fp)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("fleet: no trace for fingerprint %s (never computed here, or evicted from the bounded trace ring)", fp)})
+		return
+	}
+	writeJSON(w, http.StatusOK, traceResponse{Fingerprint: fp, Spans: spans})
 }
 
 // suiteResponse is the POST /v1/suites body: one fingerprint per submitted
@@ -221,7 +334,11 @@ func writeSSE(w http.ResponseWriter, event string, data []byte) {
 // blocking Result call (not the lossy subscriber channel) is the
 // authoritative completion signal.
 func (s *Server) handleStudyStream(w http.ResponseWriter, r *http.Request, fp string) {
-	events, cancel := s.sched.Subscribe(64)
+	buf := s.streamBuf
+	if buf <= 0 {
+		buf = 64
+	}
+	events, cancel := s.sched.Subscribe(buf)
 	defer cancel()
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
@@ -251,11 +368,41 @@ func (s *Server) handleStudyStream(w http.ResponseWriter, r *http.Request, fp st
 	}
 	for {
 		select {
-		case ev := <-events:
+		case ev, ok := <-events:
+			if !ok {
+				// The scheduler disconnected us for falling behind (see
+				// Scheduler.publish). Status events are best-effort; the
+				// authoritative Result call below still completes, so tell
+				// the client its phase view lagged and keep waiting for the
+				// result instead of killing the stream.
+				writeSSE(w, "lagged", []byte("{}"))
+				events = nil // a nil channel blocks: select on done/ctx only
+				continue
+			}
 			if ev.Fingerprint == fp && ev.Phase == PhaseComputing {
 				writeSSE(w, "computing", []byte("{}"))
 			}
 		case out := <-done:
+			// The phase feed is best-effort, but ordering isn't: drain
+			// whatever it already holds — buffered status events and, after
+			// a slow-consumer disconnect, the channel closure — before the
+			// terminal event. Otherwise this select could race a
+			// just-closed channel against a just-completed result and
+			// swallow the "lagged" notice the client is owed.
+			for events != nil {
+				select {
+				case ev, ok := <-events:
+					if !ok {
+						writeSSE(w, "lagged", []byte("{}"))
+						events = nil
+					} else if ev.Fingerprint == fp && ev.Phase == PhaseComputing {
+						writeSSE(w, "computing", []byte("{}"))
+					}
+					continue
+				default:
+				}
+				break
+			}
 			if out.err != nil {
 				b, _ := json.Marshal(errorResponse{Error: out.err.Error()})
 				writeSSE(w, "error", b)

@@ -2,12 +2,15 @@ package fleet
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"relperf"
 )
@@ -200,5 +203,90 @@ func TestStudySpecConfigDefaults(t *testing.T) {
 	}
 	if _, err := relperf.Fingerprint(cfg); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestStudyStreamLaggedConsumer drives the SSE stream through a
+// slow-consumer disconnect: the stream's one-slot subscription (via
+// WithStreamBuffer) is overflowed while the study is parked inside a gated
+// dispatch hook, so the scheduler drops the stream's subscriber. The
+// stream must report the gap with a "lagged" event and still deliver the
+// authoritative result once the study completes — a dropped phase feed
+// degrades the view, never the outcome.
+func TestStudyStreamLaggedConsumer(t *testing.T) {
+	gate := make(chan struct{})
+	sched := New(Options{
+		Workers: 1,
+		Seed:    7,
+		// The dispatch hook runs on the compute path before local
+		// execution; parking it keeps the study in flight for exactly as
+		// long as the test needs, with no timing assumptions.
+		Dispatch: func(ctx context.Context, task relperf.GridTask) ([]byte, error) {
+			<-gate
+			return nil, errors.New("test grid declines; run locally")
+		},
+	})
+	defer sched.Close()
+	srv := NewServer(sched, WithStreamBuffer(1))
+
+	fps, err := sched.SubmitSpecs([]StudySpec{{Workload: "tableI", LoopN: 2, Measurements: 6, Reps: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := fps[0]
+	waitUntil(t, "study computing", func() bool { return sched.Computing(fp) })
+
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "/v1/studies/"+fp+"?wait=stream", nil)
+	streamDone := make(chan struct{})
+	go func() {
+		defer close(streamDone)
+		srv.handleStudyStream(rec, req, fp)
+	}()
+
+	subCount := func() int {
+		sched.subMu.Lock()
+		defer sched.subMu.Unlock()
+		return len(sched.subs)
+	}
+	waitUntil(t, "stream subscribed", func() bool { return subCount() == 1 })
+
+	// Publish unrelated events faster than the stream can drain them until
+	// the scheduler disconnects it. Each iteration either buffers (at most
+	// one slot) or drops the subscriber, so this terminates.
+	for i := 0; subCount() > 0; i++ {
+		if i > 1_000_000 {
+			t.Fatal("stream subscriber was never dropped")
+		}
+		sched.publish(StudyEvent{Fingerprint: "other", Phase: PhaseComputing})
+	}
+	if sched.subsDropped.Value() == 0 {
+		t.Fatal("drop counter not incremented")
+	}
+
+	close(gate) // dispatch declines, the study runs locally and completes
+	<-streamDone
+
+	body := rec.Body.String()
+	computing := strings.Index(body, "event: computing")
+	lagged := strings.Index(body, "event: lagged")
+	result := strings.Index(body, "event: result")
+	if computing < 0 || lagged < 0 || result < 0 {
+		t.Fatalf("stream missing events (computing=%d lagged=%d result=%d):\n%s", computing, lagged, result, body)
+	}
+	if !(computing < lagged && lagged < result) {
+		t.Fatalf("stream events out of order (computing=%d lagged=%d result=%d):\n%s", computing, lagged, result, body)
+	}
+}
+
+// waitUntil polls cond until it holds or the deadline passes.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
 	}
 }

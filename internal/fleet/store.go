@@ -55,6 +55,7 @@ type Store struct {
 	journal *wal.Log
 
 	hits, misses, evictions uint64
+	merges, conflicts       uint64
 }
 
 type storeEntry struct {
@@ -158,6 +159,9 @@ func (s *Store) Merge(fp string, blob []byte) error {
 		eq := bytes.Equal(el.Value.(*storeEntry).blob, blob)
 		if eq {
 			s.ll.MoveToFront(el)
+			s.merges++
+		} else {
+			s.conflicts++
 		}
 		s.mu.Unlock()
 		if !eq {
@@ -181,6 +185,7 @@ func (s *Store) Merge(fp string, blob []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.putLocked(fp, blob)
+	s.merges++
 	return nil
 }
 
@@ -284,13 +289,19 @@ type Stats struct {
 	Hits      uint64 `json:"hits"`
 	Misses    uint64 `json:"misses"`
 	Evictions uint64 `json:"evictions"`
+	Merges    uint64 `json:"merges"`
+	Conflicts uint64 `json:"conflicts"`
 }
 
 // Stats returns a snapshot of the counters.
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return Stats{Entries: s.ll.Len(), Specs: len(s.specs), Hits: s.hits, Misses: s.misses, Evictions: s.evictions}
+	return Stats{
+		Entries: s.ll.Len(), Specs: len(s.specs),
+		Hits: s.hits, Misses: s.misses, Evictions: s.evictions,
+		Merges: s.merges, Conflicts: s.conflicts,
+	}
 }
 
 // snapshot is the persisted form: entries from least to most recently used

@@ -37,6 +37,7 @@ import (
 
 	"relperf"
 	"relperf/internal/fleet"
+	"relperf/internal/obs"
 	"relperf/internal/wal"
 	"relperf/internal/xrand"
 )
@@ -97,6 +98,11 @@ type Config struct {
 	Journal *wal.Log
 	// Logf receives dispatch diagnostics; nil discards them.
 	Logf func(format string, args ...any)
+	// Obs receives the coordinator's metrics (dispatch outcomes, worker
+	// liveness, heartbeats) and per-attempt dispatch spans. Share the
+	// fleet scheduler's Obs so /v1/metrics serves one unified exposition;
+	// nil disables grid observability.
+	Obs *obs.Obs
 }
 
 // Coordinator shards studies across registered workers. Its Dispatch
@@ -113,6 +119,9 @@ type Coordinator struct {
 	remote    atomic.Uint64 // studies completed on a worker
 	retries   atomic.Uint64 // failed attempts that were reassigned
 	fallbacks atomic.Uint64 // studies handed back for local execution
+
+	heartbeats     *obs.Counter   // accepted worker heartbeats
+	attemptSeconds *obs.Histogram // one remote attempt, success or not
 
 	mu      sync.Mutex
 	journal []TaskRecord // newest first, bounded by journalCap
@@ -136,7 +145,32 @@ func New(cfg Config) *Coordinator {
 	if client == nil {
 		client = &http.Client{}
 	}
-	return &Coordinator{cfg: cfg, reg: NewRegistry(cfg.TTL), client: client, sleep: sleepCtx}
+	c := &Coordinator{cfg: cfg, reg: NewRegistry(cfg.TTL), client: client, sleep: sleepCtx}
+	c.registerMetrics()
+	return c
+}
+
+// registerMetrics exports the coordinator's counters (kept as atomics
+// for the /v1/grid/workers JSON) as scrape-time funcs, plus the worker
+// registry's liveness series. Nil cfg.Obs registers nothing and every
+// instrument stays a no-op.
+func (c *Coordinator) registerMetrics() {
+	reg := c.cfg.Obs.Reg()
+	reg.CounterFunc("grid_remote_total", "Studies completed on a remote worker.",
+		func() float64 { return float64(c.remote.Load()) })
+	reg.CounterFunc("grid_retries_total", "Failed remote attempts that were reassigned.",
+		func() float64 { return float64(c.retries.Load()) })
+	reg.CounterFunc("grid_fallbacks_total", "Studies handed back for local execution.",
+		func() float64 { return float64(c.fallbacks.Load()) })
+	reg.GaugeFunc("grid_workers_live", "Workers with an unexpired heartbeat lease.",
+		func() float64 { return float64(c.reg.Stats().Workers) })
+	reg.CounterFunc("grid_worker_expiries_total", "Workers expired by a missed heartbeat lease.",
+		func() float64 { return float64(c.reg.Stats().Expiries) })
+	reg.CounterFunc("grid_worker_drops_total", "Workers dropped after a failed dispatch.",
+		func() float64 { return float64(c.reg.Stats().Drops) })
+	c.heartbeats = reg.Counter("grid_heartbeats_total", "Worker heartbeats accepted.")
+	c.attemptSeconds = reg.Histogram("grid_attempt_seconds",
+		"One remote dispatch attempt: submit, stream, verify.", nil)
 }
 
 // sleepCtx waits d or until ctx is done, whichever is first.
@@ -304,12 +338,18 @@ func (c *Coordinator) Dispatch(ctx context.Context, task relperf.GridTask) ([]by
 			break
 		}
 		attempts++
+		span := obs.Span{Name: "dispatch-attempt", Start: time.Now(), Attempt: attempts, Worker: w.ID}
 		blob, err := c.runOn(ctx, w, task)
+		span.End = time.Now()
+		c.attemptSeconds.Observe(span.End.Sub(span.Start).Seconds())
 		if err == nil {
+			c.cfg.Obs.Trace().Add(task.Fingerprint, span)
 			c.remote.Add(1)
 			c.record(task, w.ID, attempts, "remote", nil)
 			return blob, nil
 		}
+		span.Error = err.Error()
+		c.cfg.Obs.Trace().Add(task.Fingerprint, span)
 		lastErr = err
 		if ctx.Err() != nil {
 			// Not a worker failure and not a fallback: the caller gave up.

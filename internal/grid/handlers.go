@@ -66,6 +66,7 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
+	c.heartbeats.Inc()
 	writeJSON(w, http.StatusOK, heartbeatResponse{Status: "ok", TTLMs: c.reg.TTL().Milliseconds()})
 }
 

@@ -1,0 +1,91 @@
+package grid
+
+// The metric exposition is an API: dashboards and the CI scrape assert on
+// series names, label sets and HELP/TYPE metadata, so an accidental rename
+// is a breaking change even though no Go signature moved. This golden test
+// pins the full /v1/metrics wire bytes for a deterministic world — every
+// layer registered on one obs.Obs (engine/fleet/store via the scheduler
+// and server, WAL, grid), a seeded store driven through a fixed op
+// sequence, and no study executions (wall-clock durations would leak into
+// histogram sums). Regenerate with:
+//
+//	go test ./internal/grid -run TestMetricsExpositionGolden -update
+//
+// and review the diff like any other API change.
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"relperf/internal/fleet"
+	"relperf/internal/obs"
+	"relperf/internal/wal"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden metrics exposition")
+
+func TestMetricsExpositionGolden(t *testing.T) {
+	o := obs.New()
+
+	// Capacity 1 so the fixed op sequence below exercises eviction too.
+	store := fleet.NewStore(1)
+	sched := fleet.New(fleet.Options{Workers: 2, Seed: 42, Store: store, Obs: o})
+	defer sched.Close()
+	fleet.NewServer(sched) // registers the per-route HTTP series eagerly
+
+	walLog, _, err := wal.Open(filepath.Join(t.TempDir(), "wal.log"), 42, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer walLog.Close()
+	walLog.SetMetrics(wal.NewMetrics(o.Registry))
+
+	New(Config{Seed: 42, TTL: time.Minute, Obs: o})
+
+	// Deterministic store traffic: two merges of the same bytes (insert,
+	// then the idempotent-duplicate path), one conflicting merge, a second
+	// fingerprint that evicts the first (capacity 1), one hit, one miss.
+	if err := store.Merge("fp-a", []byte(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Merge("fp-a", []byte(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Merge("fp-a", []byte(`{"v":2}`)); err == nil {
+		t.Fatal("conflicting merge accepted")
+	}
+	if err := store.Merge("fp-b", []byte(`{"v":3}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := store.Get("fp-b"); !ok {
+		t.Fatal("fp-b missing")
+	}
+	if _, ok := store.Get("fp-a"); ok {
+		t.Fatal("fp-a survived a capacity-1 store")
+	}
+
+	var buf bytes.Buffer
+	if err := o.Registry.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "metrics_golden.prom")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with: go test ./internal/grid -run TestMetricsExpositionGolden -update)", err)
+	}
+	if !bytes.Equal(want, buf.Bytes()) {
+		t.Fatalf("metrics exposition drifted from the golden bytes — a renamed or retyped series breaks scrapers; if intentional, regenerate with -update and review the diff.\n--- want ---\n%s\n--- got ---\n%s", want, buf.Bytes())
+	}
+}

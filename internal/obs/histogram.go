@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"math"
+	"strconv"
+	"sync/atomic"
+)
+
+// DefBuckets are the default latency buckets, in seconds. They span
+// 10µs (a cached store hit) to 60s (a worst-case grid study) with
+// roughly half-decade steps — wide enough that one set serves HTTP
+// handlers, WAL fsyncs, queue waits, and engine stages, which keeps the
+// exposition small and the cross-series comparisons honest.
+var DefBuckets = []float64{
+	1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1, 5, 10, 60,
+}
+
+// Histogram is a fixed-bucket histogram with zero-alloc recording:
+// Observe is a linear scan over a small bounds slice plus three atomic
+// ops. Buckets are cumulative only at render time; internally each slot
+// counts its own interval so concurrent Observes never contend beyond
+// the atomic adds.
+//
+// The sum is kept as float64 bits in a uint64 CAS loop — last-writer
+// arithmetic would lose observations under contention, and a mutex
+// would put a lock on the hot path.
+//
+// A nil *Histogram is a no-op.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds; +Inf implicit
+	counts  []atomic.Uint64
+	total   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value. Values land in the first bucket whose
+// upper bound is >= v (Prometheus `le` semantics); anything beyond the
+// last bound lands in +Inf.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	for {
+		old := h.sumBits.Load()
+		s := float64frombits(old) + v
+		if h.sumBits.CompareAndSwap(old, float64bits(s)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 for nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.total.Load()
+}
+
+// Sum returns the sum of observed values (0 for nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return float64frombits(h.sumBits.Load())
+}
+
+// BucketCount is one cumulative bucket in a histogram snapshot.
+type BucketCount struct {
+	UpperBound float64 `json:"le"` // +Inf rendered by the caller
+	Count      uint64  `json:"count"`
+}
+
+// MarshalJSON renders the upper bound as a string because encoding/json
+// refuses the +Inf bucket's float.
+func (b BucketCount) MarshalJSON() ([]byte, error) {
+	le := "+Inf"
+	if !math.IsInf(b.UpperBound, +1) {
+		le = trimFloat(b.UpperBound)
+	}
+	return []byte(`{"le":"` + le + `","count":` + strconv.FormatUint(b.Count, 10) + `}`), nil
+}
+
+// snapshotBuckets returns cumulative bucket counts, one per bound plus
+// the +Inf bucket, consistent enough for scraping (individual atomic
+// loads; a scrape racing an Observe may be off by one, which Prometheus
+// tolerates by design).
+func (h *Histogram) snapshotBuckets() []BucketCount {
+	out := make([]BucketCount, len(h.bounds)+1)
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		ub := inf
+		if i < len(h.bounds) {
+			ub = h.bounds[i]
+		}
+		out[i] = BucketCount{UpperBound: ub, Count: cum}
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"net/http"
+	"time"
+)
+
+// httpClasses are the status classes http_responses_total is labeled
+// with. Pre-created at wrap time so the per-request path is a map-free
+// array index.
+var httpClasses = [6]string{"", "1xx", "2xx", "3xx", "4xx", "5xx"}
+
+// Instrument wraps h with per-route latency and status metrics:
+//
+//	http_request_seconds{route=...}        latency histogram
+//	http_responses_total{route=...,class=...}  responses by status class
+//
+// route is the registration-time pattern (e.g. "GET /v1/studies/{fp}"),
+// passed explicitly because go.mod targets Go 1.22, which predates
+// http.Request.Pattern. All five class counters are registered eagerly
+// so the exposition shows zeroes instead of springing series into
+// existence mid-scrape. A nil registry returns h unwrapped.
+func Instrument(reg *Registry, route string, h http.Handler) http.Handler {
+	if reg == nil {
+		return h
+	}
+	hist := reg.Histogram("http_request_seconds", "HTTP request latency by route.", nil, L("route", route))
+	var classes [6]*Counter
+	for i := 1; i < len(httpClasses); i++ {
+		classes[i] = reg.Counter("http_responses_total", "HTTP responses by route and status class.", L("route", route), L("class", httpClasses[i]))
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		h.ServeHTTP(sw, r)
+		hist.Observe(time.Since(start).Seconds())
+		if c := sw.code / 100; c >= 1 && c <= 5 {
+			classes[c].Inc()
+		}
+	})
+}
+
+// statusWriter records the status code. It forwards Flush so SSE
+// handlers behind the middleware keep streaming.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (s *statusWriter) WriteHeader(code int) {
+	if !s.wrote {
+		s.code = code
+		s.wrote = true
+	}
+	s.ResponseWriter.WriteHeader(code)
+}
+
+func (s *statusWriter) Write(b []byte) (int, error) {
+	s.wrote = true
+	return s.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the underlying writer when it supports it, so
+// streaming responses (SSE) are not silently buffered by the wrapper.
+func (s *statusWriter) Flush() {
+	if f, ok := s.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

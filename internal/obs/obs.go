@@ -1,0 +1,288 @@
+// Package obs is the repo's dependency-free observability core: atomic
+// counters, gauges, and fixed-bucket latency histograms behind a
+// Registry that renders Prometheus text exposition, plus a bounded
+// per-study span Tracer capturing the queued → dispatched → computing →
+// done lifecycle.
+//
+// Two properties shape every API here:
+//
+//   - Nil safety. Every instrument method is safe on a nil receiver, and
+//     a nil *Registry hands out nil instruments. Components therefore
+//     instrument themselves unconditionally — a caller that does not
+//     care about metrics simply passes nil and pays a nil-check per
+//     record, never a branch-per-callsite in the component.
+//
+//   - Zero-alloc recording. Counter.Inc, Gauge.Set, and
+//     Histogram.Observe are a handful of atomic ops on pre-allocated
+//     slots; nothing on a record path allocates, locks, or formats. All
+//     allocation happens at registration or scrape time. This is what
+//     lets instrumentation sit near the engine's hot paths without
+//     disturbing the 0 allocs/op contract the benchmarks assert.
+//
+// Metric names are an API: the golden exposition test pins the rendered
+// bytes, so renaming a series is a breaking change and must update the
+// golden file and the README reference table together.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter. The zero value is
+// ready to use; a nil *Counter is a no-op.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable instantaneous value. The zero value is ready to
+// use; a nil *Gauge is a no-op.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adds delta (may be negative).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value (0 for nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Label is one name="value" pair attached to an instrument.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// instrument kinds, in Prometheus TYPE vocabulary.
+const (
+	kindCounter   = "counter"
+	kindGauge     = "gauge"
+	kindHistogram = "histogram"
+)
+
+// sample is one labeled instance of a family: exactly one of the value
+// sources is set.
+type sample struct {
+	labels  []Label // sorted by key
+	key     string  // rendered label key, "" for unlabeled
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	fn      func() float64 // CounterFunc / GaugeFunc
+}
+
+func (s *sample) scalar() float64 {
+	switch {
+	case s.counter != nil:
+		return float64(s.counter.Value())
+	case s.gauge != nil:
+		return float64(s.gauge.Value())
+	case s.fn != nil:
+		return s.fn()
+	}
+	return 0
+}
+
+// family is every sample sharing one metric name.
+type family struct {
+	name    string
+	help    string
+	kind    string
+	samples map[string]*sample
+}
+
+// Registry owns a set of metric families and renders them. A nil
+// *Registry hands out nil (no-op) instruments, so components can be
+// built without observability wired up. Registration is idempotent:
+// asking for the same (name, labels) twice returns the same instrument,
+// which lets several components share one registry without coordinating.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// register finds or creates the (name, labels) sample; mk populates a
+// fresh sample's value source. Mismatched kind or help on an existing
+// family panics: that is a programming error, caught at wiring time.
+func (r *Registry) register(name, help, kind string, labels []Label, mk func(*sample)) *sample {
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	key := renderLabels(ls)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam, ok := r.families[name]
+	if !ok {
+		fam = &family{name: name, help: help, kind: kind, samples: make(map[string]*sample)}
+		r.families[name] = fam
+	} else if fam.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, kind, fam.kind))
+	}
+	if s, ok := fam.samples[key]; ok {
+		return s
+	}
+	s := &sample{labels: ls, key: key}
+	mk(s)
+	fam.samples[key] = s
+	return s
+}
+
+// Counter registers (or finds) a counter.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	s := r.register(name, help, kindCounter, labels, func(s *sample) { s.counter = &Counter{} })
+	return s.counter
+}
+
+// CounterFunc registers a counter whose value is read by fn at scrape
+// time. Use it to expose counters a component already keeps (store
+// hits, dispatch retries) without double bookkeeping on the hot path.
+// fn must be monotonically non-decreasing and safe for concurrent use.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.register(name, help, kindCounter, labels, func(s *sample) { s.fn = fn })
+}
+
+// Gauge registers (or finds) a gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	s := r.register(name, help, kindGauge, labels, func(s *sample) { s.gauge = &Gauge{} })
+	return s.gauge
+}
+
+// GaugeFunc registers a gauge read by fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.register(name, help, kindGauge, labels, func(s *sample) { s.fn = fn })
+}
+
+// Histogram registers (or finds) a fixed-bucket histogram. buckets are
+// ascending upper bounds in the observed unit (seconds for latencies);
+// nil means DefBuckets. The +Inf bucket is implicit.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	s := r.register(name, help, kindHistogram, labels, func(s *sample) { s.hist = newHistogram(buckets) })
+	return s.hist
+}
+
+// renderLabels renders sorted labels as `{a="b",c="d"}` ("" when empty)
+// with Prometheus escaping for values.
+func renderLabels(ls []Label) string {
+	if len(ls) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// formatValue renders a float the way Prometheus clients do: shortest
+// round-trip representation, +Inf/-Inf/NaN spelled out.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return trimFloat(v)
+}

@@ -1,0 +1,299 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeNilSafety(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter must read 0")
+	}
+	var g *Gauge
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge must read 0")
+	}
+	var h *Histogram
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram must read 0")
+	}
+	var r *Registry
+	if r.Counter("x", "") != nil || r.Gauge("x", "") != nil || r.Histogram("x", "", nil) != nil {
+		t.Fatal("nil registry must hand out nil instruments")
+	}
+	r.CounterFunc("x", "", func() float64 { return 1 })
+	r.GaugeFunc("x", "", func() float64 { return 1 })
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	var tr *Tracer
+	tr.Add("fp", Span{Name: "x"})
+	tr.Event("fp", "x", "")
+	if _, ok := tr.Timeline("fp"); ok {
+		t.Fatal("nil tracer must know nothing")
+	}
+}
+
+// TestHistogramBucketBoundaries pins `le` semantics: a value exactly on
+// a bound lands in that bound's bucket, one ulp above spills to the
+// next, and values past the last bound land in +Inf.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := newHistogram([]float64{0.1, 1, 10})
+	cases := []struct {
+		v    float64
+		want int // bucket index
+	}{
+		{0, 0},
+		{0.1, 0},                              // exactly on the bound → that bucket
+		{math.Nextafter(0.1, math.Inf(1)), 1}, // one ulp above → next bucket
+		{1, 1},
+		{5, 2},
+		{10, 2},
+		{10.0001, 3}, // past the last bound → +Inf
+		{1e9, 3},
+	}
+	for _, c := range cases {
+		before := make([]uint64, len(h.counts))
+		for i := range h.counts {
+			before[i] = h.counts[i].Load()
+		}
+		h.Observe(c.v)
+		for i := range h.counts {
+			got := h.counts[i].Load() - before[i]
+			want := uint64(0)
+			if i == c.want {
+				want = 1
+			}
+			if got != want {
+				t.Fatalf("Observe(%v): bucket %d delta = %d, want %d", c.v, i, got, want)
+			}
+		}
+	}
+	if h.Count() != uint64(len(cases)) {
+		t.Fatalf("count = %d, want %d", h.Count(), len(cases))
+	}
+	// Cumulative snapshot must be monotone and end at the total count.
+	buckets := h.snapshotBuckets()
+	if len(buckets) != 4 {
+		t.Fatalf("got %d buckets, want 4", len(buckets))
+	}
+	var prev uint64
+	for _, b := range buckets {
+		if b.Count < prev {
+			t.Fatalf("cumulative counts must be monotone: %+v", buckets)
+		}
+		prev = b.Count
+	}
+	if buckets[3].Count != h.Count() || !math.IsInf(buckets[3].UpperBound, +1) {
+		t.Fatalf("last bucket must be +Inf with the full count: %+v", buckets[3])
+	}
+}
+
+func TestHistogramSumAccumulates(t *testing.T) {
+	h := newHistogram(DefBuckets)
+	for _, v := range []float64{0.25, 0.25, 0.5} {
+		h.Observe(v)
+	}
+	if got := h.Sum(); math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("sum = %v, want 1.0", got)
+	}
+}
+
+func TestRegistryIdempotentAndKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("hits_total", "h")
+	b := r.Counter("hits_total", "h")
+	if a != b {
+		t.Fatal("same (name, labels) must return the same counter")
+	}
+	l1 := r.Counter("req_total", "h", L("route", "a"))
+	l2 := r.Counter("req_total", "h", L("route", "b"))
+	if l1 == l2 {
+		t.Fatal("different labels must be distinct samples")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge must panic")
+		}
+	}()
+	r.Gauge("hits_total", "h")
+}
+
+// TestWritePrometheusDeterministic pins the rendered form: sorted
+// families, sorted samples, histogram bucket/sum/count lines, escaped
+// label values, and stable float formatting.
+func TestWritePrometheusDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zeta_total", "Last family.").Add(3)
+	r.Gauge("alpha_entries", "First family.").Set(12)
+	r.CounterFunc("mid_total", "Func-backed.", func() float64 { return 7 }, L("kind", `we"ird`))
+	h := r.Histogram("lat_seconds", "Latency.", []float64{0.5, 2}, L("route", "GET /x"))
+	h.Observe(0.4)
+	h.Observe(3)
+
+	var b1, b2 strings.Builder
+	if err := r.WritePrometheus(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Fatal("exposition must be byte-identical across scrapes of unchanged state")
+	}
+	want := `# HELP alpha_entries First family.
+# TYPE alpha_entries gauge
+alpha_entries 12
+# HELP lat_seconds Latency.
+# TYPE lat_seconds histogram
+lat_seconds_bucket{route="GET /x",le="0.5"} 1
+lat_seconds_bucket{route="GET /x",le="2"} 1
+lat_seconds_bucket{route="GET /x",le="+Inf"} 2
+lat_seconds_sum{route="GET /x"} 3.4
+lat_seconds_count{route="GET /x"} 2
+# HELP mid_total Func-backed.
+# TYPE mid_total counter
+mid_total{kind="we\"ird"} 7
+# HELP zeta_total Last family.
+# TYPE zeta_total counter
+zeta_total 3
+`
+	if got := b1.String(); got != want {
+		t.Fatalf("exposition mismatch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestSnapshotJSONRoundTrips(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "c").Inc()
+	r.Histogram("h_seconds", "h", []float64{1}).Observe(0.5)
+	blob, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatalf("statz snapshot must marshal (even with +Inf buckets): %v", err)
+	}
+	if !strings.Contains(string(blob), `"le":"+Inf"`) {
+		t.Fatalf("missing +Inf bucket in %s", blob)
+	}
+}
+
+func TestTracerBoundsAndEviction(t *testing.T) {
+	tr := NewTracer(2, 3)
+	for i, fp := range []string{"a", "b", "c"} {
+		tr.Add(fp, Span{Name: "queued", Start: time.Unix(int64(i), 0)})
+	}
+	if _, ok := tr.Timeline("a"); ok {
+		t.Fatal("oldest study must be evicted at capacity")
+	}
+	if _, ok := tr.Timeline("c"); !ok {
+		t.Fatal("newest study must survive")
+	}
+	for i := 0; i < 10; i++ {
+		tr.Add("c", Span{Name: "stage"})
+	}
+	spans, _ := tr.Timeline("c")
+	if len(spans) != 3 {
+		t.Fatalf("per-study spans must cap at 3, got %d", len(spans))
+	}
+	st := tr.Stats()
+	if st.Studies != 2 || st.Evicted != 1 || st.Truncated == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestTracerDerivesSeconds(t *testing.T) {
+	tr := NewTracer(0, 0)
+	start := time.Unix(100, 0)
+	tr.Add("fp", Span{Name: "computing", Start: start, End: start.Add(250 * time.Millisecond)})
+	spans, _ := tr.Timeline("fp")
+	if got := spans[0].Seconds; math.Abs(got-0.25) > 1e-9 {
+		t.Fatalf("seconds = %v, want 0.25", got)
+	}
+}
+
+func TestInstrumentRecordsAndFlushes(t *testing.T) {
+	r := NewRegistry()
+	flushed := false
+	h := Instrument(r, "GET /x", http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+			flushed = true
+		}
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/x", nil))
+	if rec.Code != http.StatusTeapot {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if !flushed {
+		t.Fatal("middleware must pass Flusher through (SSE depends on it)")
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `http_responses_total{class="4xx",route="GET /x"} 1`) {
+		t.Fatalf("missing 4xx counter:\n%s", out)
+	}
+	if !strings.Contains(out, `http_request_seconds_count{route="GET /x"} 1`) {
+		t.Fatalf("missing latency count:\n%s", out)
+	}
+}
+
+// TestConcurrentRecording hammers every instrument type from many
+// goroutines; run under -race this is the data-race gate for the
+// zero-alloc recording paths.
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "c")
+	g := r.Gauge("g", "g")
+	h := r.Histogram("h_seconds", "h", nil)
+	tr := NewTracer(16, 8)
+	const workers, iters = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Set(int64(i))
+				h.Observe(float64(i%100) / 1000)
+				tr.Add("fp", Span{Name: "stage"})
+				if i%50 == 0 {
+					var b strings.Builder
+					_ = r.WritePrometheus(&b)
+					_, _ = tr.Timeline("fp")
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != workers*iters {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*iters)
+	}
+	if h.Count() != workers*iters {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*iters)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := newHistogram(DefBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.003)
+	}
+}

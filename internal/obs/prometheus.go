@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+var inf = math.Inf(+1)
+
+func float64bits(f float64) uint64     { return math.Float64bits(f) }
+func float64frombits(b uint64) float64 { return math.Float64frombits(b) }
+
+// trimFloat renders v with the shortest representation that round-trips.
+func trimFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every family in text exposition format 0.0.4.
+// Output is deterministic: families sort by name, samples by rendered
+// labels — that determinism is what lets a golden test pin the bytes
+// for a seeded store. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	for _, f := range fams {
+		bw.WriteString("# HELP ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.help)
+		bw.WriteByte('\n')
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind)
+		bw.WriteByte('\n')
+
+		keys := make([]string, 0, len(f.samples))
+		for k := range f.samples {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := f.samples[k]
+			if s.hist != nil {
+				writeHistogram(bw, f.name, s)
+				continue
+			}
+			bw.WriteString(f.name)
+			bw.WriteString(s.key)
+			bw.WriteByte(' ')
+			bw.WriteString(formatValue(s.scalar()))
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram renders one histogram sample: cumulative _bucket lines
+// with an `le` label merged into the sample's own labels, then _sum and
+// _count.
+func writeHistogram(bw *bufio.Writer, name string, s *sample) {
+	buckets := s.hist.snapshotBuckets()
+	for _, b := range buckets {
+		le := "+Inf"
+		if !math.IsInf(b.UpperBound, +1) {
+			le = trimFloat(b.UpperBound)
+		}
+		bw.WriteString(name)
+		bw.WriteString("_bucket")
+		bw.WriteString(mergeLE(s.labels, le))
+		bw.WriteByte(' ')
+		bw.WriteString(strconv.FormatUint(b.Count, 10))
+		bw.WriteByte('\n')
+	}
+	bw.WriteString(name)
+	bw.WriteString("_sum")
+	bw.WriteString(s.key)
+	bw.WriteByte(' ')
+	bw.WriteString(formatValue(s.hist.Sum()))
+	bw.WriteByte('\n')
+	bw.WriteString(name)
+	bw.WriteString("_count")
+	bw.WriteString(s.key)
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatUint(s.hist.Count(), 10))
+	bw.WriteByte('\n')
+}
+
+// mergeLE renders the sample's labels with `le` appended last, matching
+// the common client rendering.
+func mergeLE(ls []Label, le string) string {
+	merged := make([]Label, 0, len(ls)+1)
+	merged = append(merged, ls...)
+	merged = append(merged, Label{Key: "le", Value: le})
+	return renderLabels(merged)
+}
+
+// MetricSnapshot is one instrument in /v1/statz form. Scalars carry
+// Value; histograms carry Count, Sum, and cumulative Buckets instead.
+type MetricSnapshot struct {
+	Name    string            `json:"name"`
+	Type    string            `json:"type"`
+	Labels  map[string]string `json:"labels,omitempty"`
+	Value   *float64          `json:"value,omitempty"`
+	Count   *uint64           `json:"count,omitempty"`
+	Sum     *float64          `json:"sum,omitempty"`
+	Buckets []BucketCount     `json:"buckets,omitempty"`
+}
+
+// Snapshot returns every instrument's current value in the same
+// deterministic order the exposition uses. Nil registry → nil.
+func (r *Registry) Snapshot() []MetricSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var out []MetricSnapshot
+	for _, f := range fams {
+		keys := make([]string, 0, len(f.samples))
+		for k := range f.samples {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := f.samples[k]
+			m := MetricSnapshot{Name: f.name, Type: f.kind}
+			if len(s.labels) > 0 {
+				m.Labels = make(map[string]string, len(s.labels))
+				for _, l := range s.labels {
+					m.Labels[l.Key] = l.Value
+				}
+			}
+			if s.hist != nil {
+				c, sum := s.hist.Count(), s.hist.Sum()
+				m.Count, m.Sum = &c, &sum
+				m.Buckets = s.hist.snapshotBuckets()
+			} else {
+				v := s.scalar()
+				m.Value = &v
+			}
+			out = append(out, m)
+		}
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"container/list"
+	"sync"
+	"time"
+)
+
+// Span is one step of a study's lifecycle: either an instant event
+// (End zero) or a timed interval. Attempt/Worker annotate grid
+// dispatches; Error records why a step failed.
+type Span struct {
+	Name    string    `json:"name"`
+	Start   time.Time `json:"start"`
+	End     time.Time `json:"end"` // zero for instant events
+	Seconds float64   `json:"seconds"`
+	Attempt int       `json:"attempt,omitempty"`
+	Worker  string    `json:"worker,omitempty"`
+	Detail  string    `json:"detail,omitempty"`
+	Error   string    `json:"error,omitempty"`
+}
+
+// Tracer keeps a bounded ring of per-study span timelines: at most
+// maxStudies studies (least-recently-touched evicted first) of at most
+// maxSpans spans each (later spans dropped, counted). Bounded both
+// ways because the daemon is long-lived and studies keep arriving — an
+// unbounded trace store would be a slow memory leak wearing an
+// observability hat.
+//
+// A nil *Tracer is a no-op.
+type Tracer struct {
+	mu        sync.Mutex
+	maxStudy  int
+	maxSpans  int
+	order     *list.List // *studyTrace, most recently touched at back
+	byFp      map[string]*list.Element
+	evicted   uint64 // studies dropped to stay under maxStudy
+	truncated uint64 // spans dropped by per-study cap
+}
+
+type studyTrace struct {
+	fp    string
+	spans []Span
+}
+
+// Defaults when NewTracer gets non-positive bounds.
+const (
+	defaultTraceStudies = 256
+	defaultTraceSpans   = 64
+)
+
+// NewTracer returns a tracer bounded to maxStudies timelines of
+// maxSpans spans each (defaults applied for values <= 0).
+func NewTracer(maxStudies, maxSpans int) *Tracer {
+	if maxStudies <= 0 {
+		maxStudies = defaultTraceStudies
+	}
+	if maxSpans <= 0 {
+		maxSpans = defaultTraceSpans
+	}
+	return &Tracer{
+		maxStudy: maxStudies,
+		maxSpans: maxSpans,
+		order:    list.New(),
+		byFp:     make(map[string]*list.Element),
+	}
+}
+
+// Add appends a span to fp's timeline, creating (and possibly evicting)
+// as needed. Seconds is derived from Start/End when unset.
+func (t *Tracer) Add(fp string, s Span) {
+	if t == nil || fp == "" {
+		return
+	}
+	if s.Seconds == 0 && !s.End.IsZero() && s.End.After(s.Start) {
+		s.Seconds = s.End.Sub(s.Start).Seconds()
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	el, ok := t.byFp[fp]
+	if !ok {
+		for t.order.Len() >= t.maxStudy {
+			oldest := t.order.Front()
+			delete(t.byFp, oldest.Value.(*studyTrace).fp)
+			t.order.Remove(oldest)
+			t.evicted++
+		}
+		el = t.order.PushBack(&studyTrace{fp: fp})
+		t.byFp[fp] = el
+	} else {
+		t.order.MoveToBack(el)
+	}
+	st := el.Value.(*studyTrace)
+	if len(st.spans) >= t.maxSpans {
+		t.truncated++
+		return
+	}
+	st.spans = append(st.spans, s)
+}
+
+// Event records an instant (zero-duration) span at now.
+func (t *Tracer) Event(fp, name, detail string) {
+	if t == nil {
+		return
+	}
+	t.Add(fp, Span{Name: name, Start: time.Now(), Detail: detail})
+}
+
+// Timeline returns a copy of fp's spans in arrival order, reporting
+// whether the study is known. Reading does not refresh recency — a
+// dashboard polling one study must not pin it against eviction.
+func (t *Tracer) Timeline(fp string) ([]Span, bool) {
+	if t == nil {
+		return nil, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	el, ok := t.byFp[fp]
+	if !ok {
+		return nil, false
+	}
+	st := el.Value.(*studyTrace)
+	return append([]Span(nil), st.spans...), true
+}
+
+// Stats reports tracer occupancy and loss counters.
+type TracerStats struct {
+	Studies   int    `json:"studies"`
+	Evicted   uint64 `json:"evicted"`
+	Truncated uint64 `json:"truncated"`
+}
+
+// Stats returns current occupancy (zero value for nil).
+func (t *Tracer) Stats() TracerStats {
+	if t == nil {
+		return TracerStats{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return TracerStats{Studies: t.order.Len(), Evicted: t.evicted, Truncated: t.truncated}
+}
+
+// Obs bundles the two observability surfaces a component needs: a
+// metrics registry and a study tracer. A nil *Obs (or nil fields)
+// degrades to no-ops everywhere.
+type Obs struct {
+	Registry *Registry
+	Tracer   *Tracer
+}
+
+// New returns an Obs with a fresh registry and a default-bounded tracer.
+func New() *Obs {
+	return &Obs{Registry: NewRegistry(), Tracer: NewTracer(0, 0)}
+}
+
+// Reg returns the registry (nil-safe).
+func (o *Obs) Reg() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.Registry
+}
+
+// Trace returns the tracer (nil-safe).
+func (o *Obs) Trace() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.Tracer
+}

@@ -31,6 +31,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"relperf/internal/faultpoint"
 )
@@ -117,6 +119,15 @@ type Log struct {
 	f    *os.File
 	path string
 	size int64 // clean length: end of the last durable frame
+
+	// Open-time recovery outcome, folded into the counters when
+	// SetMetrics attaches (metrics usually wire up after recovery).
+	recoveredTruncation bool
+	recoveredRecords    int
+
+	// metrics is an atomic pointer so Append can read it without
+	// widening the lock window; nil means uninstrumented.
+	metrics atomic.Pointer[Metrics]
 }
 
 // Open opens (or creates) the log at path for the given suite seed,
@@ -210,6 +221,8 @@ func Open(path string, seed uint64, logf func(format string, args ...any)) (*Log
 		off += int64(frameOverhead + n)
 	}
 	l := &Log{f: f, path: path, size: off}
+	l.recoveredTruncation = bad != nil
+	l.recoveredRecords = len(recs)
 	if bad != nil {
 		logf("wal: RECOVERY %s: %v — truncating to last durable record at byte %d (%d records kept, %d bytes dropped)",
 			path, bad, off, len(recs), total-off)
@@ -266,7 +279,10 @@ func (l *Log) writeHeader(seed uint64) error {
 // file is rolled back to the last durable frame, so a failed append never
 // leaves a half-record for recovery to trip on while the process lives.
 // The wal.append.* faultpoints fire here.
-func (l *Log) Append(rec Record) error {
+func (l *Log) Append(rec Record) (err error) {
+	m := l.metrics.Load()
+	start := time.Now()
+	defer func() { m.recordAppend(time.Since(start), err) }()
 	p, err := json.Marshal(&rec)
 	if err != nil {
 		return fmt.Errorf("wal: encoding record: %w", err)
@@ -298,10 +314,12 @@ func (l *Log) Append(rec Record) error {
 		l.rollback()
 		return err
 	}
+	syncStart := time.Now()
 	if err := l.f.Sync(); err != nil {
 		l.rollback()
 		return fmt.Errorf("wal: syncing %s: %w", l.path, err)
 	}
+	m.recordFsync(time.Since(syncStart))
 	l.size += int64(len(frame))
 	return nil
 }

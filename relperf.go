@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"relperf/internal/compare"
 	"relperf/internal/core"
@@ -165,11 +166,35 @@ type Result struct {
 	// Profiles feed the decision models of §IV.
 	Profiles []decision.AlgorithmProfile
 
+	// Stages are the wall-clock timings of the run's pipeline stages
+	// (measure → cluster → finalize), recorded once per stage by RunOn —
+	// never inside the per-resample loops, so the 0 allocs/op hot paths
+	// are untouched. They are runtime telemetry, not results: the
+	// canonical wire format (report.ResultJSON) excludes them, so equal
+	// seeds still produce bit-identical result bytes at any worker count.
+	Stages []StageTiming
+
 	// profileIdx maps profile names to indices, built on first use; Results
 	// served under traffic answer many ProfileByName queries per study.
 	profileOnce sync.Once
 	profileIdx  map[string]int
 }
+
+// StageTiming is one pipeline stage's wall-clock interval. Stage names
+// are stable ("measure", "cluster", "finalize") — the fleet scheduler
+// exports them as engine_stage_seconds{stage=...} histogram series.
+type StageTiming struct {
+	Name    string
+	Start   time.Time
+	Seconds float64
+}
+
+// Stage names recorded by RunOn.
+const (
+	StageMeasure  = "measure"
+	StageCluster  = "cluster"
+	StageFinalize = "finalize"
+)
 
 // aggregate accumulates the per-placement energy/utilization profile over
 // the measured (post-warmup) runs only.
@@ -272,6 +297,12 @@ func (s *Study) RunOn(ctx context.Context, budget *Budget) (*Result, error) {
 		res.Samples.Samples[i], aggs[i], err = s.measurePlacement(i)
 		return err
 	}
+	// Stage timings bracket whole pipeline stages — one time.Now pair per
+	// stage, outside every per-placement and per-resample loop.
+	mark := func(name string, start time.Time) {
+		res.Stages = append(res.Stages, StageTiming{Name: name, Start: start, Seconds: time.Since(start).Seconds()})
+	}
+	stageStart := time.Now()
 	var err error
 	if shared != nil {
 		err = shared.ForEach(ctx, p, measureOne)
@@ -284,6 +315,7 @@ func (s *Study) RunOn(ctx context.Context, budget *Budget) (*Result, error) {
 	for i := range s.placements {
 		res.Names = append(res.Names, res.Samples.Samples[i].Name)
 	}
+	mark(StageMeasure, stageStart)
 
 	cmp := s.cfg.Comparator
 	if cmp == nil {
@@ -293,6 +325,7 @@ func (s *Study) RunOn(ctx context.Context, budget *Budget) (*Result, error) {
 		cmp = compare.NewBootstrap(0)
 	}
 	data := res.Samples.Data()
+	stageStart = time.Now()
 	res.Clusters, err = clusterData(res.Samples, cmp, clusterConfig{
 		Reps:         s.cfg.Reps,
 		Seed:         studyClusterSeed(s.cfg.Seed),
@@ -305,6 +338,8 @@ func (s *Study) RunOn(ctx context.Context, budget *Budget) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	mark(StageCluster, stageStart)
+	stageStart = time.Now()
 	res.Final, err = res.Clusters.Finalize()
 	if err != nil {
 		return nil, err
@@ -323,6 +358,7 @@ func (s *Study) RunOn(ctx context.Context, budget *Budget) (*Result, error) {
 			AccelSeconds: aggs[i].accelBusy,
 		})
 	}
+	mark(StageFinalize, stageStart)
 	return res, nil
 }
 
