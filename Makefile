@@ -32,14 +32,15 @@ vet:
 	$(GO) vet ./...
 
 # Runs each wire-format fuzzer for FUZZTIME on top of the committed seed
-# corpus: spec parsing, result decoding, suite-request decoding and WAL
-# frame decoding must never panic and must stay canonical. `go test -fuzz`
-# takes one target per invocation, hence one line per fuzzer.
+# corpus: spec parsing, result decoding, suite-request decoding, WAL frame
+# decoding and sketch decoding must never panic and must stay canonical.
+# `go test -fuzz` takes one target per invocation, hence one line per fuzzer.
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseStudySpec$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzUnmarshalResultWire$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeSuiteRequest$$' -fuzztime $(FUZZTIME) ./internal/fleet
 	$(GO) test -run '^$$' -fuzz '^FuzzWALDecode$$' -fuzztime $(FUZZTIME) ./internal/wal
+	$(GO) test -run '^$$' -fuzz '^FuzzSketchDecode$$' -fuzztime $(FUZZTIME) ./internal/stats
 
 # Runs the engine benchmarks with allocation reporting and emits the
 # machine-readable BENCH_engine.json snapshot. The WinRate old/new sweep

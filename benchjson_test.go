@@ -12,6 +12,8 @@ import (
 	"testing"
 
 	"relperf"
+	"relperf/internal/stats"
+	"relperf/internal/xrand"
 )
 
 // benchRecord is one benchmark's result in BENCH_engine.json.
@@ -43,6 +45,14 @@ type engineBenchReport struct {
 	// holds it under a committed ceiling so the serving path — including
 	// the obs middleware — cannot silently regress.
 	ServeNsPerOp float64 `json:"serve_ns_per_op"`
+	// SketchBytesPerMeasurement is a sketch-mode result's wire size divided
+	// by the campaign's total measurement count (N=2000 per placement,
+	// k=256); ExactBytesPerMeasurement is the same study's exact-mode
+	// counterpart. `make bench-check` holds the sketch figure under a
+	// committed ceiling and strictly below the exact one — the O(k·log N)
+	// vs O(N) capacity claim, enforced as numbers.
+	SketchBytesPerMeasurement float64 `json:"sketch_bytes_per_measurement"`
+	ExactBytesPerMeasurement  float64 `json:"exact_bytes_per_measurement"`
 }
 
 // benchStudy is the Table-I-sized engine workload shared by
@@ -69,6 +79,85 @@ func benchStudy(workers int, matrix bool) func(b *testing.B) {
 	}
 }
 
+// benchStudyAt parameterizes the engine benchmark over campaign size and
+// mode: sketchK = 0 is the exact path, > 0 the sketch path at that capacity.
+func benchStudyAt(n, reps, sketchK int) func(b *testing.B) {
+	return func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			study, err := relperf.NewStudy(relperf.StudyConfig{
+				Program: relperf.TableIProgram(10),
+				N:       n,
+				Reps:    reps,
+				Seed:    1,
+				SketchK: sketchK,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := study.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkSketchAdd measures the sketch's streaming ingest hot path at
+// steady state: a k=256 sketch far past compaction onset, fed pre-drawn
+// log-normal "execution times".
+func BenchmarkSketchAdd(b *testing.B) {
+	vals := make([]float64, 8192)
+	r := xrand.New(1)
+	for i := range vals {
+		vals[i] = r.LogNormal(-3, 0.5)
+	}
+	sk, err := stats.NewSketch(256, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, v := range vals {
+		sk.Add(v)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sk.Add(vals[i&(len(vals)-1)])
+	}
+}
+
+// BenchmarkSketchVsExactStudy runs the same mid-size Table-I study both
+// ways, so `go test -bench SketchVsExact` prints the mode trade-off
+// directly.
+func BenchmarkSketchVsExactStudy(b *testing.B) {
+	b.Run("exact", benchStudyAt(1000, 10, 0))
+	b.Run("sketch", benchStudyAt(1000, 10, 256))
+}
+
+// wireBytesPerMeasurement runs one N=2000 Table-I study in the given mode
+// and divides its wire-document size by the campaign's total measurement
+// count (8 placements × N).
+func wireBytesPerMeasurement(t *testing.T, sketchK int) float64 {
+	t.Helper()
+	study, err := relperf.NewStudy(relperf.StudyConfig{
+		Program: relperf.TableIProgram(10),
+		N:       2000,
+		Reps:    10,
+		Seed:    1,
+		SketchK: sketchK,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := study.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := res.MarshalWire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return float64(len(wire)) / float64(8*2000)
+}
+
 func TestEmitEngineBenchJSON(t *testing.T) {
 	if os.Getenv("RELPERF_EMIT_BENCH") == "" {
 		t.Skip("set RELPERF_EMIT_BENCH=1 (or run `make bench`) to emit BENCH_engine.json")
@@ -88,6 +177,8 @@ func TestEmitEngineBenchJSON(t *testing.T) {
 	matrix := testing.Benchmark(benchStudy(0, true))
 	cmpBench := testing.Benchmark(BenchmarkBootstrapCompareAllocs)
 	serve := testing.Benchmark(BenchmarkServerGetStudy)
+	sketchAdd := testing.Benchmark(BenchmarkSketchAdd)
+	sketchStudy := testing.Benchmark(benchStudyAt(1000, 10, 256))
 
 	report := engineBenchReport{
 		GoMaxProcs: runtime.GOMAXPROCS(0),
@@ -96,12 +187,19 @@ func TestEmitEngineBenchJSON(t *testing.T) {
 			record("EngineStudy/serial", serial),
 			record("EngineStudy/parallel", parallel),
 			record("EngineStudy/parallel-matrix", matrix),
+			record("EngineStudy/sketch", sketchStudy),
 			record("BootstrapCompare", cmpBench),
 			record("ServerGetStudy", serve),
+			record("SketchAdd", sketchAdd),
 		},
-		SpeedupParallel: float64(serial.NsPerOp()) / float64(parallel.NsPerOp()),
-		SpeedupMatrix:   float64(serial.NsPerOp()) / float64(matrix.NsPerOp()),
-		ServeNsPerOp:    float64(serve.NsPerOp()),
+		SpeedupParallel:           float64(serial.NsPerOp()) / float64(parallel.NsPerOp()),
+		SpeedupMatrix:             float64(serial.NsPerOp()) / float64(matrix.NsPerOp()),
+		ServeNsPerOp:              float64(serve.NsPerOp()),
+		SketchBytesPerMeasurement: wireBytesPerMeasurement(t, 256),
+		ExactBytesPerMeasurement:  wireBytesPerMeasurement(t, 0),
+	}
+	if sketchAdd.AllocsPerOp() > 0 {
+		t.Errorf("Sketch.Add allocates %d/op at steady state, want 0", sketchAdd.AllocsPerOp())
 	}
 	if cmpBench.AllocsPerOp() != 0 {
 		t.Errorf("Bootstrap.Compare allocates %d/op after warm-up, want 0", cmpBench.AllocsPerOp())
@@ -136,6 +234,7 @@ func TestEmitEngineBenchJSON(t *testing.T) {
 	if err := enc.Encode(report); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("BENCH_engine.json: parallel speedup %.2fx, matrix speedup %.2fx, bootstrap speedup %.2fx (GOMAXPROCS=%d)",
-		report.SpeedupParallel, report.SpeedupMatrix, report.SpeedupBootstrap, report.GoMaxProcs)
+	t.Logf("BENCH_engine.json: parallel speedup %.2fx, matrix speedup %.2fx, bootstrap speedup %.2fx, sketch %.2f B/meas vs exact %.2f B/meas (GOMAXPROCS=%d)",
+		report.SpeedupParallel, report.SpeedupMatrix, report.SpeedupBootstrap,
+		report.SketchBytesPerMeasurement, report.ExactBytesPerMeasurement, report.GoMaxProcs)
 }

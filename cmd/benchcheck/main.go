@@ -33,15 +33,23 @@ const (
 	defaultMatrixFloor    = 2.5
 	defaultBootstrapFloor = 1.5
 	defaultServeCeiling   = 1_000_000 // ns: cached study GET through the handler stack
+	// defaultSketchCeiling bounds a sketch-mode result's wire bytes per
+	// measurement (N=2000 per placement, k=256). The sketch summarizes in
+	// O(k·log N) while the exact document grows O(N): observed ≈ 2–3
+	// bytes/measurement vs ≈ 18 for exact, so 16 is a tripwire that also
+	// enforces sketch < exact outright.
+	defaultSketchCeiling = 16.0
 )
 
 // benchReport mirrors the fields of BENCH_engine.json this gate reads.
 type benchReport struct {
-	GoMaxProcs       int     `json:"gomaxprocs"`
-	SpeedupParallel  float64 `json:"speedup_parallel"`
-	SpeedupMatrix    float64 `json:"speedup_matrix"`
-	SpeedupBootstrap float64 `json:"speedup_bootstrap"`
-	ServeNsPerOp     float64 `json:"serve_ns_per_op"`
+	GoMaxProcs                int     `json:"gomaxprocs"`
+	SpeedupParallel           float64 `json:"speedup_parallel"`
+	SpeedupMatrix             float64 `json:"speedup_matrix"`
+	SpeedupBootstrap          float64 `json:"speedup_bootstrap"`
+	ServeNsPerOp              float64 `json:"serve_ns_per_op"`
+	SketchBytesPerMeasurement float64 `json:"sketch_bytes_per_measurement"`
+	ExactBytesPerMeasurement  float64 `json:"exact_bytes_per_measurement"`
 }
 
 func main() {
@@ -51,19 +59,21 @@ func main() {
 		"minimum old/new bootstrap WinRate speedup at N=500")
 	serveCeiling := flag.Float64("serve-ceiling", defaultServeCeiling,
 		"maximum cached-study GET latency in ns/op")
+	sketchCeiling := flag.Float64("sketch-bytes-ceiling", defaultSketchCeiling,
+		"maximum sketch-mode wire bytes per measurement")
 	flag.Parse()
 
 	path := "BENCH_engine.json"
 	if flag.NArg() > 0 {
 		path = flag.Arg(0)
 	}
-	if err := check(path, *matrixFloor, *bootstrapFloor, *serveCeiling); err != nil {
+	if err := check(path, *matrixFloor, *bootstrapFloor, *serveCeiling, *sketchCeiling); err != nil {
 		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func check(path string, matrixFloor, bootstrapFloor, serveCeiling float64) error {
+func check(path string, matrixFloor, bootstrapFloor, serveCeiling, sketchCeiling float64) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -78,8 +88,13 @@ func check(path string, matrixFloor, bootstrapFloor, serveCeiling float64) error
 	if r.ServeNsPerOp == 0 {
 		return fmt.Errorf("%s lacks serve_ns_per_op — regenerate it with `make bench`", path)
 	}
-	fmt.Printf("benchcheck %s: matrix %.2fx (floor %.2fx), bootstrap %.2fx (floor %.2fx), serve %.0fns (ceiling %.0fns), parallel %.2fx (ungated), gomaxprocs=%d\n",
-		path, r.SpeedupMatrix, matrixFloor, r.SpeedupBootstrap, bootstrapFloor, r.ServeNsPerOp, serveCeiling, r.SpeedupParallel, r.GoMaxProcs)
+	if r.SketchBytesPerMeasurement == 0 || r.ExactBytesPerMeasurement == 0 {
+		return fmt.Errorf("%s lacks sketch/exact bytes per measurement — regenerate it with `make bench`", path)
+	}
+	fmt.Printf("benchcheck %s: matrix %.2fx (floor %.2fx), bootstrap %.2fx (floor %.2fx), serve %.0fns (ceiling %.0fns), sketch %.2fB/meas (ceiling %.2f, exact %.2f), parallel %.2fx (ungated), gomaxprocs=%d\n",
+		path, r.SpeedupMatrix, matrixFloor, r.SpeedupBootstrap, bootstrapFloor,
+		r.ServeNsPerOp, serveCeiling, r.SketchBytesPerMeasurement, sketchCeiling,
+		r.ExactBytesPerMeasurement, r.SpeedupParallel, r.GoMaxProcs)
 	if r.SpeedupMatrix < matrixFloor {
 		return fmt.Errorf("matrix speedup %.2fx below the %.2fx floor", r.SpeedupMatrix, matrixFloor)
 	}
@@ -88,6 +103,13 @@ func check(path string, matrixFloor, bootstrapFloor, serveCeiling float64) error
 	}
 	if r.ServeNsPerOp > serveCeiling {
 		return fmt.Errorf("cached-study GET %.0fns/op above the %.0fns ceiling", r.ServeNsPerOp, serveCeiling)
+	}
+	if r.SketchBytesPerMeasurement > sketchCeiling {
+		return fmt.Errorf("sketch result %.2f bytes/measurement above the %.2f ceiling", r.SketchBytesPerMeasurement, sketchCeiling)
+	}
+	if r.SketchBytesPerMeasurement >= r.ExactBytesPerMeasurement {
+		return fmt.Errorf("sketch result %.2f bytes/measurement not below the exact %.2f — the fixed-size summary premise failed",
+			r.SketchBytesPerMeasurement, r.ExactBytesPerMeasurement)
 	}
 	return nil
 }

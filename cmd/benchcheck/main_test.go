@@ -16,30 +16,33 @@ func write(t *testing.T, body string) string {
 }
 
 func TestCheckPassesAboveFloors(t *testing.T) {
-	p := write(t, `{"gomaxprocs":1,"speedup_parallel":1.0,"speedup_matrix":3.1,"speedup_bootstrap":12.4,"serve_ns_per_op":3500}`)
-	if err := check(p, defaultMatrixFloor, defaultBootstrapFloor, defaultServeCeiling); err != nil {
+	p := write(t, `{"gomaxprocs":1,"speedup_parallel":1.0,"speedup_matrix":3.1,"speedup_bootstrap":12.4,"serve_ns_per_op":3500,"sketch_bytes_per_measurement":2.4,"exact_bytes_per_measurement":18.1}`)
+	if err := check(p, defaultMatrixFloor, defaultBootstrapFloor, defaultServeCeiling, defaultSketchCeiling); err != nil {
 		t.Fatalf("healthy report rejected: %v", err)
 	}
 }
 
 func TestCheckFailsBelowFloors(t *testing.T) {
 	cases := map[string]string{
-		"matrix regression":    `{"speedup_matrix":1.2,"speedup_bootstrap":9.9,"serve_ns_per_op":3500}`,
-		"bootstrap regression": `{"speedup_matrix":3.0,"speedup_bootstrap":1.1,"serve_ns_per_op":3500}`,
-		"serving regression":   `{"speedup_matrix":3.0,"speedup_bootstrap":9.9,"serve_ns_per_op":2500000}`,
+		"matrix regression":    `{"speedup_matrix":1.2,"speedup_bootstrap":9.9,"serve_ns_per_op":3500,"sketch_bytes_per_measurement":2.4,"exact_bytes_per_measurement":18.1}`,
+		"bootstrap regression": `{"speedup_matrix":3.0,"speedup_bootstrap":1.1,"serve_ns_per_op":3500,"sketch_bytes_per_measurement":2.4,"exact_bytes_per_measurement":18.1}`,
+		"serving regression":   `{"speedup_matrix":3.0,"speedup_bootstrap":9.9,"serve_ns_per_op":2500000,"sketch_bytes_per_measurement":2.4,"exact_bytes_per_measurement":18.1}`,
+		"sketch regression":    `{"speedup_matrix":3.0,"speedup_bootstrap":9.9,"serve_ns_per_op":3500,"sketch_bytes_per_measurement":17.2,"exact_bytes_per_measurement":18.1}`,
+		"sketch above exact":   `{"speedup_matrix":3.0,"speedup_bootstrap":9.9,"serve_ns_per_op":3500,"sketch_bytes_per_measurement":3.0,"exact_bytes_per_measurement":2.9}`,
 		"stale report":         `{"speedup_parallel":1.0}`,
 		"pre-serving report":   `{"speedup_matrix":3.0,"speedup_bootstrap":9.9}`,
+		"pre-sketch report":    `{"speedup_matrix":3.0,"speedup_bootstrap":9.9,"serve_ns_per_op":3500}`,
 		"garbage":              `{not json`,
 	}
 	for name, body := range cases {
-		if err := check(write(t, body), defaultMatrixFloor, defaultBootstrapFloor, defaultServeCeiling); err == nil {
+		if err := check(write(t, body), defaultMatrixFloor, defaultBootstrapFloor, defaultServeCeiling, defaultSketchCeiling); err == nil {
 			t.Errorf("%s: accepted", name)
 		}
 	}
 }
 
 func TestCheckMissingFile(t *testing.T) {
-	if err := check(filepath.Join(t.TempDir(), "absent.json"), 1, 1, 1); err == nil {
+	if err := check(filepath.Join(t.TempDir(), "absent.json"), 1, 1, 1, 1); err == nil {
 		t.Fatal("missing file accepted")
 	}
 }
@@ -48,7 +51,7 @@ func TestCheckMissingFile(t *testing.T) {
 // BENCH_engine.json to the same floors CI enforces on fresh numbers, so the
 // committed snapshot can never drift below the gate.
 func TestCommittedReportSatisfiesFloors(t *testing.T) {
-	if err := check(filepath.Join("..", "..", "BENCH_engine.json"), defaultMatrixFloor, defaultBootstrapFloor, defaultServeCeiling); err != nil {
+	if err := check(filepath.Join("..", "..", "BENCH_engine.json"), defaultMatrixFloor, defaultBootstrapFloor, defaultServeCeiling, defaultSketchCeiling); err != nil {
 		t.Fatalf("committed BENCH_engine.json fails the gate: %v", err)
 	}
 }

@@ -36,7 +36,7 @@ func submitSuite(t *testing.T, d *daemon) []string {
 	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
 		t.Fatal(err)
 	}
-	if resp.StatusCode != http.StatusAccepted || len(sr.Fingerprints) != 2 {
+	if resp.StatusCode != http.StatusAccepted || len(sr.Fingerprints) != 3 {
 		t.Fatalf("POST /v1/suites: %d %v", resp.StatusCode, sr)
 	}
 	return sr.Fingerprints
@@ -93,14 +93,14 @@ func TestCrashRecoveryE2E(t *testing.T) {
 	bin := buildDaemon(t, dir)
 	fps, want := goldenRun(t, bin)
 
-	// Crash generation: wal.append.sync fires on its 3rd hit — after both
-	// spec appends (hits 1 and 2, journaled during the POST), at the first
+	// Crash generation: wal.append.sync fires on its 4th hit — after all
+	// three spec appends (hits 1–3, journaled during the POST), at the first
 	// result merge. The suite is acknowledged, the results are mid-flight.
 	crashDir := t.TempDir()
 	walPath := filepath.Join(crashDir, "relperfd.wal")
 	snapPath := filepath.Join(crashDir, "relperfd.snapshot.json")
 	d1 := startDaemonEnv(t, bin,
-		[]string{faultpoint.EnvVar + "=wal.append.sync=crash:3"},
+		[]string{faultpoint.EnvVar + "=wal.append.sync=crash:4"},
 		"-seed", "7", "-workers", "2", "-wal", walPath, "-snapshot", snapPath)
 	crashFps := submitSuite(t, d1)
 	for i, fp := range crashFps {
@@ -114,13 +114,13 @@ func TestCrashRecoveryE2E(t *testing.T) {
 	// (and whichever results the crash let through), then every GET must
 	// reproduce the golden bytes exactly.
 	d2 := startDaemon(t, bin, "-seed", "7", "-workers", "2", "-wal", walPath, "-snapshot", snapPath)
-	if _, _, specs := d2.health(t); specs != 2 {
-		t.Fatalf("restart recovered %d specs, want 2 (both were acked before the crash)\nlogs:\n%s", specs, d2.logText())
+	if _, _, specs := d2.health(t); specs != 3 {
+		t.Fatalf("restart recovered %d specs, want 3 (all were acked before the crash)\nlogs:\n%s", specs, d2.logText())
 	}
-	// The restarted daemon's exposition reports the replay: at least the two
-	// journaled spec records came back off the WAL.
-	if m := d2.scrapeMetrics(t); m["wal_replayed_records_total"] < 2 {
-		t.Fatalf("wal_replayed_records_total = %v after recovery, want >= 2", m["wal_replayed_records_total"])
+	// The restarted daemon's exposition reports the replay: at least the
+	// three journaled spec records came back off the WAL.
+	if m := d2.scrapeMetrics(t); m["wal_replayed_records_total"] < 3 {
+		t.Fatalf("wal_replayed_records_total = %v after recovery, want >= 3", m["wal_replayed_records_total"])
 	}
 	for _, fp := range fps {
 		code, body := d2.get(t, "/v1/studies/"+fp)
@@ -147,17 +147,17 @@ func TestCrashRecoveryTornWriteE2E(t *testing.T) {
 
 	crashDir := t.TempDir()
 	walPath := filepath.Join(crashDir, "relperfd.wal")
-	// wal.append.write fires on its 3rd append: both specs land whole, the
-	// first result merge tears — half its frame on disk, then SIGKILL.
+	// wal.append.write fires on its 4th append: all three specs land whole,
+	// the first result merge tears — half its frame on disk, then SIGKILL.
 	d1 := startDaemonEnv(t, bin,
-		[]string{faultpoint.EnvVar + "=wal.append.write=tear:3"},
+		[]string{faultpoint.EnvVar + "=wal.append.write=tear:4"},
 		"-seed", "7", "-workers", "2", "-wal", walPath)
 	submitSuite(t, d1)
 	waitSIGKILL(t, d1)
 
 	d2 := startDaemon(t, bin, "-seed", "7", "-workers", "2", "-wal", walPath)
-	if _, _, specs := d2.health(t); specs != 2 {
-		t.Fatalf("restart recovered %d specs, want 2\nlogs:\n%s", specs, d2.logText())
+	if _, _, specs := d2.health(t); specs != 3 {
+		t.Fatalf("restart recovered %d specs, want 3\nlogs:\n%s", specs, d2.logText())
 	}
 	for _, fp := range fps {
 		code, body := d2.get(t, "/v1/studies/"+fp)
@@ -208,7 +208,7 @@ func TestStandbyFailoverE2E(t *testing.T) {
 		want[fp] = body
 	}
 
-	// Wait for a compaction cycle to replicate both results and both specs
+	// Wait for a compaction cycle to replicate all three results and specs
 	// to the standby — without the standby computing a thing.
 	deadline := time.Now().Add(30 * time.Second)
 	for {
@@ -216,7 +216,7 @@ func TestStandbyFailoverE2E(t *testing.T) {
 		if computes != 0 {
 			t.Fatalf("standby computed %d studies; replication must not recompute", computes)
 		}
-		if entries == 2 && specs == 2 {
+		if entries == 3 && specs == 3 {
 			break
 		}
 		if time.Now().After(deadline) {

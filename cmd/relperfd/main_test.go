@@ -25,7 +25,14 @@ import (
 	"time"
 )
 
+// daemonSuite mixes the two result modes: the first study summarizes a
+// larger campaign into fixed-size sketches ("mode":"sketch" on the wire),
+// the other two are exact. The sketch study deliberately sits first so the
+// capacity-1 restart below evicts it and must recompute it from its spec.
 const daemonSuite = `{"studies":[
+	{"program":{"name":"d0","tasks":[
+		{"name":"S1","kernel":"raw","flops":5e8,"launches":10,"host_in_bytes":1e6,"host_out_bytes":1e6,"transfers":3,"accel_eff":0.01}]},
+	 "measurements":400,"reps":10,"comparator":"sketch","sketch":{"k":64}},
 	{"program":{"name":"d1","tasks":[
 		{"name":"L1","kernel":"raw","flops":5e8,"launches":10,"host_in_bytes":1e6,"host_out_bytes":1e6,"transfers":3,"accel_eff":0.01}]},
 	 "measurements":6,"reps":10},
@@ -227,7 +234,7 @@ func TestDaemonSpecSnapshotRestartEvictRecompute(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusAccepted || len(sr.Fingerprints) != 2 {
+	if resp.StatusCode != http.StatusAccepted || len(sr.Fingerprints) != 3 {
 		t.Fatalf("POST /v1/suites: %d %v", resp.StatusCode, sr)
 	}
 	want := map[string][]byte{}
@@ -238,6 +245,14 @@ func TestDaemonSpecSnapshotRestartEvictRecompute(t *testing.T) {
 		}
 		want[fp] = body
 	}
+	// The sketch study serves a sketch-mode result document, the exact ones
+	// the pre-sketch schema with no mode marker at all.
+	if b := want[sr.Fingerprints[0]]; !bytes.Contains(b, []byte(`"mode":"sketch"`)) || !bytes.Contains(b, []byte(`"error_bound"`)) {
+		t.Fatalf("sketch study result lacks mode/error_bound: %s", b)
+	}
+	if b := want[sr.Fingerprints[1]]; bytes.Contains(b, []byte(`"mode"`)) {
+		t.Fatalf("exact study result unexpectedly carries a mode field: %s", b)
+	}
 
 	// Observability surfaces, scraped through the real process: the
 	// Prometheus exposition carries live engine, fleet, store and HTTP
@@ -245,13 +260,13 @@ func TestDaemonSpecSnapshotRestartEvictRecompute(t *testing.T) {
 	// full lifecycle.
 	m := d1.scrapeMetrics(t)
 	for series, min := range map[string]float64{
-		"fleet_computes_total":                                                    2,
-		`engine_stage_seconds_count{stage="measure"}`:                             2,
-		`engine_stage_seconds_count{stage="cluster"}`:                             2,
-		"store_merges_total":                                                      2,
+		"fleet_computes_total":                                                    3,
+		`engine_stage_seconds_count{stage="measure"}`:                             3,
+		`engine_stage_seconds_count{stage="cluster"}`:                             3,
+		"store_merges_total":                                                      3,
 		"store_hits_total":                                                        1,
-		`http_request_seconds_count{route="GET /v1/studies/{fingerprint}"}`:       2,
-		`http_responses_total{class="2xx",route="GET /v1/studies/{fingerprint}"}`: 2,
+		`http_request_seconds_count{route="GET /v1/studies/{fingerprint}"}`:       3,
+		`http_responses_total{class="2xx",route="GET /v1/studies/{fingerprint}"}`: 3,
 	} {
 		if got, ok := m[series]; !ok || got < min {
 			t.Fatalf("metrics series %s = %v (present=%v), want >= %v", series, got, ok, min)
@@ -267,8 +282,8 @@ func TestDaemonSpecSnapshotRestartEvictRecompute(t *testing.T) {
 	if err := json.Unmarshal(b, &statz); err != nil || code != 200 {
 		t.Fatalf("GET /v1/statz: %d %v %s", code, err, b)
 	}
-	if len(statz.Metrics) == 0 || statz.Tracer.Studies < 2 {
-		t.Fatalf("statz: %d metrics, %d traced studies, want >0 and >=2", len(statz.Metrics), statz.Tracer.Studies)
+	if len(statz.Metrics) == 0 || statz.Tracer.Studies < 3 {
+		t.Fatalf("statz: %d metrics, %d traced studies, want >0 and >=3", len(statz.Metrics), statz.Tracer.Studies)
 	}
 	// The trace's tail spans (stages, done) land just after the result is
 	// served, so poll briefly for the complete lifecycle.
@@ -313,16 +328,17 @@ func TestDaemonSpecSnapshotRestartEvictRecompute(t *testing.T) {
 	}
 
 	// Generation 2: restart into a capacity-1 cache. The snapshot load
-	// evicts one result but keeps both specs, so the evicted study must be
-	// recomputed transparently — byte-identical — on the next GET.
+	// evicts two results but keeps all three specs, so the evicted studies
+	// — the sketch one among them — must be recomputed transparently,
+	// byte-identical, on their next GET.
 	d2 := startDaemon(t, bin, "-seed", "7", "-workers", "2", "-snapshot", snapPath, "-cache", "1")
-	if computes, entries, specs := d2.health(t); computes != 0 || entries != 1 || specs != 2 {
-		t.Fatalf("after restart: computes=%d entries=%d specs=%d, want 0/1/2", computes, entries, specs)
+	if computes, entries, specs := d2.health(t); computes != 0 || entries != 1 || specs != 3 {
+		t.Fatalf("after restart: computes=%d entries=%d specs=%d, want 0/1/3", computes, entries, specs)
 	}
 	// The capacity-1 load kept only the snapshot's MRU entry — the study
 	// fetched last in generation 1. GET it first (a pure cache hit), then
-	// the evicted one (recomputed from its snapshot spec).
-	kept, evicted := sr.Fingerprints[1], sr.Fingerprints[0]
+	// the evicted ones (recomputed from their snapshot specs).
+	kept := sr.Fingerprints[2]
 	code, body := d2.get(t, "/v1/studies/"+kept)
 	if code != 200 || !bytes.Equal(body, want[kept]) {
 		t.Fatalf("warm study %s differs after restart (code %d)\nlogs:\n%s", kept, code, d2.logText())
@@ -330,15 +346,17 @@ func TestDaemonSpecSnapshotRestartEvictRecompute(t *testing.T) {
 	if computes, _, _ := d2.health(t); computes != 0 {
 		t.Fatalf("computes = %d after a warm GET, want 0", computes)
 	}
-	code, body = d2.get(t, "/v1/studies/"+evicted)
-	if code != 200 {
-		t.Fatalf("GET evicted %s: %d %s\nlogs:\n%s", evicted, code, body, d2.logText())
+	for _, evicted := range sr.Fingerprints[:2] {
+		code, body = d2.get(t, "/v1/studies/"+evicted)
+		if code != 200 {
+			t.Fatalf("GET evicted %s: %d %s\nlogs:\n%s", evicted, code, body, d2.logText())
+		}
+		if !bytes.Equal(body, want[evicted]) {
+			t.Fatalf("study %s served different bytes after restart+eviction", evicted)
+		}
 	}
-	if !bytes.Equal(body, want[evicted]) {
-		t.Fatalf("study %s served different bytes after restart+eviction", evicted)
-	}
-	if computes, _, _ := d2.health(t); computes != 1 {
-		t.Fatalf("computes = %d after recomputing one evicted study, want exactly 1", computes)
+	if computes, _, _ := d2.health(t); computes != 2 {
+		t.Fatalf("computes = %d after recomputing two evicted studies, want exactly 2", computes)
 	}
 	d2.stop(t)
 }

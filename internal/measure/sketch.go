@@ -1,0 +1,134 @@
+// Sketch-backed measurement collection: the opt-in alternative to Sample /
+// SampleSet for campaigns whose N is too large to materialize. Instead of
+// retaining every measurement, CollectSketch streams them into a fixed-size
+// stats.Sketch, so a placement can be measured 10^6–10^8 times in O(k) memory
+// with an explicit rank-error bound (stats.SketchEpsilon) instead of the
+// exact path's bit-identity contract.
+
+package measure
+
+import (
+	"errors"
+	"fmt"
+
+	"relperf/internal/stats"
+)
+
+// SketchSample is one algorithm's measurement campaign summarized into a
+// quantile sketch. The JSON form embeds the sketch's canonical binary
+// encoding (base64), so equal sketches always serialize identically.
+type SketchSample struct {
+	// Name identifies the algorithm ("algDDA").
+	Name string `json:"name"`
+	// Sketch summarizes the execution-time distribution (seconds).
+	Sketch *stats.Sketch `json:"sketch"`
+}
+
+// N returns the exact number of summarized measurements.
+func (s *SketchSample) N() uint64 {
+	if s.Sketch == nil {
+		return 0
+	}
+	return s.Sketch.N()
+}
+
+// Validate rejects unusable sketch samples.
+func (s *SketchSample) Validate() error {
+	if s.Name == "" {
+		return errors.New("measure: sketch sample without name")
+	}
+	if s.Sketch == nil {
+		return fmt.Errorf("measure: sketch sample %q has no sketch", s.Name)
+	}
+	if s.Sketch.N() == 0 {
+		return fmt.Errorf("measure: sketch sample %q is empty", s.Name)
+	}
+	if !(s.Sketch.MinValue() > 0) {
+		return fmt.Errorf("measure: sketch sample %q has a non-positive measurement (min %v)",
+			s.Name, s.Sketch.MinValue())
+	}
+	return nil
+}
+
+// SketchSet is the sketch-mode counterpart of SampleSet: one SketchSample
+// per algorithm, index-aligned with the clustering layer.
+type SketchSet struct {
+	// Workload names the program measured.
+	Workload string `json:"workload"`
+	// Sketches holds one summarized campaign per algorithm.
+	Sketches []SketchSample `json:"sketches"`
+}
+
+// Names returns the algorithm names in index order.
+func (ss *SketchSet) Names() []string {
+	out := make([]string, len(ss.Sketches))
+	for i := range ss.Sketches {
+		out[i] = ss.Sketches[i].Name
+	}
+	return out
+}
+
+// K returns the shared sketch capacity of the set (0 for an empty set).
+func (ss *SketchSet) K() int {
+	if len(ss.Sketches) == 0 || ss.Sketches[0].Sketch == nil {
+		return 0
+	}
+	return ss.Sketches[0].Sketch.K()
+}
+
+// Validate checks the set: every sample valid, names unique, and one shared
+// sketch capacity across the set (mixed-k sketches cannot be compared under
+// one error bound).
+func (ss *SketchSet) Validate() error {
+	if len(ss.Sketches) == 0 {
+		return errors.New("measure: empty sketch set")
+	}
+	seen := map[string]bool{}
+	k := 0
+	for i := range ss.Sketches {
+		if err := ss.Sketches[i].Validate(); err != nil {
+			return err
+		}
+		if seen[ss.Sketches[i].Name] {
+			return fmt.Errorf("measure: duplicate sketch sample name %q", ss.Sketches[i].Name)
+		}
+		seen[ss.Sketches[i].Name] = true
+		if i == 0 {
+			k = ss.Sketches[i].Sketch.K()
+		} else if ss.Sketches[i].Sketch.K() != k {
+			return fmt.Errorf("measure: sketch sample %q has k=%d, set uses k=%d",
+				ss.Sketches[i].Name, ss.Sketches[i].Sketch.K(), k)
+		}
+	}
+	return nil
+}
+
+// CollectSketch gathers opts.N measurements (after opts.Warmup discarded
+// ones) from run into sk, which must be freshly constructed for this
+// campaign (its seed keys the campaign's compaction stream). The sketch
+// ingests each measurement as it is produced — nothing is buffered, so the
+// campaign's memory footprint is O(k) regardless of N.
+func CollectSketch(name string, sk *stats.Sketch, run Runner, opts Options) (SketchSample, error) {
+	if opts.N <= 0 {
+		return SketchSample{}, fmt.Errorf("measure: N must be positive, got %d", opts.N)
+	}
+	if sk == nil {
+		return SketchSample{}, errors.New("measure: nil sketch")
+	}
+	if run == nil {
+		return SketchSample{}, errors.New("measure: nil runner")
+	}
+	for i := 0; i < opts.Warmup; i++ {
+		if _, err := run(); err != nil {
+			return SketchSample{}, fmt.Errorf("measure: warmup %d of %s: %w", i, name, err)
+		}
+	}
+	for i := 0; i < opts.N; i++ {
+		v, err := run()
+		if err != nil {
+			return SketchSample{}, fmt.Errorf("measure: measurement %d of %s: %w", i, name, err)
+		}
+		sk.Add(v)
+	}
+	return SketchSample{Name: name, Sketch: sk}, nil
+}

@@ -1,0 +1,162 @@
+package measure
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"relperf/internal/stats"
+	"relperf/internal/xrand"
+)
+
+func sketchOf(t *testing.T, k int, seed uint64, vals ...float64) *stats.Sketch {
+	t.Helper()
+	sk, err := stats.NewSketch(k, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vals {
+		sk.Add(v)
+	}
+	return sk
+}
+
+func TestCollectSketchStreams(t *testing.T) {
+	rng := xrand.New(1)
+	var calls int
+	run := func() (float64, error) {
+		calls++
+		return rng.LogNormal(-3, 0.2), nil
+	}
+	sk, _ := stats.NewSketch(64, 7)
+	s, err := CollectSketch("algA", sk, run, Options{N: 500, Warmup: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 503 {
+		t.Fatalf("runner called %d times, want 503", calls)
+	}
+	if s.Name != "algA" || s.N() != 500 {
+		t.Fatalf("sample = %q n=%d", s.Name, s.N())
+	}
+	if s.Sketch != sk {
+		t.Fatal("CollectSketch must fill the caller's sketch")
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectSketchErrors(t *testing.T) {
+	ok := func() (float64, error) { return 1, nil }
+	boom := errors.New("boom")
+	fail := func() (float64, error) { return 0, boom }
+	sk, _ := stats.NewSketch(16, 0)
+
+	if _, err := CollectSketch("a", sk, ok, Options{N: 0}); err == nil {
+		t.Error("N=0 accepted")
+	}
+	if _, err := CollectSketch("a", nil, ok, Options{N: 1}); err == nil {
+		t.Error("nil sketch accepted")
+	}
+	if _, err := CollectSketch("a", sk, nil, Options{N: 1}); err == nil {
+		t.Error("nil runner accepted")
+	}
+	if _, err := CollectSketch("a", sk, fail, Options{N: 1, Warmup: 1}); !errors.Is(err, boom) {
+		t.Errorf("warmup error not propagated: %v", err)
+	}
+	if _, err := CollectSketch("a", sk, fail, Options{N: 1}); !errors.Is(err, boom) {
+		t.Errorf("measurement error not propagated: %v", err)
+	}
+}
+
+func TestSketchSampleValidate(t *testing.T) {
+	good := SketchSample{Name: "a", Sketch: sketchOf(t, 16, 0, 0.5, 1.5)}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []SketchSample{
+		{Sketch: sketchOf(t, 16, 0, 1)},                // no name
+		{Name: "a"},                                    // no sketch
+		{Name: "a", Sketch: sketchOf(t, 16, 0)},        // empty sketch
+		{Name: "a", Sketch: sketchOf(t, 16, 0, 0)},     // zero measurement
+		{Name: "a", Sketch: sketchOf(t, 16, 0, 1, -2)}, // negative measurement
+	}
+	for i, b := range bad {
+		if b.Validate() == nil {
+			t.Errorf("bad sketch sample %d accepted", i)
+		}
+	}
+}
+
+func TestSketchSetValidate(t *testing.T) {
+	good := &SketchSet{
+		Workload: "w",
+		Sketches: []SketchSample{
+			{Name: "algA", Sketch: sketchOf(t, 16, 1, 0.1, 0.2)},
+			{Name: "algB", Sketch: sketchOf(t, 16, 2, 0.3)},
+		},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if names := good.Names(); len(names) != 2 || names[0] != "algA" || names[1] != "algB" {
+		t.Fatalf("Names = %v", names)
+	}
+	if good.K() != 16 {
+		t.Fatalf("K = %d", good.K())
+	}
+
+	empty := &SketchSet{Workload: "w"}
+	if empty.Validate() == nil {
+		t.Error("empty set accepted")
+	}
+	if empty.K() != 0 {
+		t.Error("empty set K != 0")
+	}
+	dup := &SketchSet{Sketches: []SketchSample{
+		{Name: "a", Sketch: sketchOf(t, 16, 1, 1)},
+		{Name: "a", Sketch: sketchOf(t, 16, 2, 1)},
+	}}
+	if dup.Validate() == nil {
+		t.Error("duplicate names accepted")
+	}
+	mixed := &SketchSet{Sketches: []SketchSample{
+		{Name: "a", Sketch: sketchOf(t, 16, 1, 1)},
+		{Name: "b", Sketch: sketchOf(t, 32, 2, 1)},
+	}}
+	if mixed.Validate() == nil {
+		t.Error("mixed k accepted")
+	}
+}
+
+func TestSketchSetJSONRoundTrip(t *testing.T) {
+	set := &SketchSet{
+		Workload: "w",
+		Sketches: []SketchSample{
+			{Name: "algA", Sketch: sketchOf(t, 16, 1, 0.1, 0.2, 0.3)},
+			{Name: "algB", Sketch: sketchOf(t, 16, 2, 0.4)},
+		},
+	}
+	b, err := json.Marshal(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SketchSet
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != string(b2) {
+		t.Fatal("sketch set JSON is not a round-trip fixed point")
+	}
+	if got, want := back.Sketches[0].Sketch.Quantile(0.5), set.Sketches[0].Sketch.Quantile(0.5); got != want {
+		t.Fatalf("median drifted across JSON: %v != %v", got, want)
+	}
+}

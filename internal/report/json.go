@@ -10,6 +10,7 @@ import (
 	"relperf/internal/core"
 	"relperf/internal/decision"
 	"relperf/internal/measure"
+	"relperf/internal/stats"
 )
 
 // ResultSchema identifies the machine-readable study-result wire format.
@@ -17,19 +18,34 @@ import (
 // snapshots; bump the version when the shape changes incompatibly.
 const ResultSchema = "relperf/result/v1"
 
+// ResultModeSketch marks a sketch-mode document; the empty mode is the
+// exact path. The two modes are mutually exclusive on the wire: an exact
+// document carries samples and no error bound, a sketch document carries
+// sketches and the mode's documented rank-error bound.
+const ResultModeSketch = "sketch"
+
 // ResultJSON is the wire form of a complete study result: the measured
-// distributions, the repeated-clustering outcome, the final assignment and
-// the decision profiles. Encoding is canonical — struct field order, no
-// maps, shortest-round-trip floats — so equal results always produce
-// byte-identical documents, the property the fleet cache and the
-// determinism contract rely on.
+// distributions (exact samples or quantile sketches, depending on Mode),
+// the repeated-clustering outcome, the final assignment and the decision
+// profiles. Encoding is canonical — struct field order, no maps,
+// shortest-round-trip floats, and the sketches' canonical binary encoding —
+// so equal results always produce byte-identical documents, the property
+// the fleet cache and the determinism contract rely on. Exact-mode
+// documents are byte-identical to the pre-sketch schema: all sketch fields
+// are empty and elided.
 type ResultJSON struct {
-	Schema   string                      `json:"schema"`
-	Names    []string                    `json:"names"`
-	Samples  *measure.SampleSet          `json:"samples"`
-	Clusters *core.ClusterResult         `json:"clusters"`
-	Final    *core.FinalAssignment       `json:"final"`
-	Profiles []decision.AlgorithmProfile `json:"profiles"`
+	Schema string `json:"schema"`
+	// Mode is "" (exact) or ResultModeSketch.
+	Mode     string             `json:"mode,omitempty"`
+	Names    []string           `json:"names"`
+	Samples  *measure.SampleSet `json:"samples,omitempty"`
+	Sketches *measure.SketchSet `json:"sketches,omitempty"`
+	// ErrorBound is the sketch mode's rank-error bound,
+	// stats.SketchEpsilon of the set's shared k; 0 (absent) in exact mode.
+	ErrorBound float64                     `json:"error_bound,omitempty"`
+	Clusters   *core.ClusterResult         `json:"clusters"`
+	Final      *core.FinalAssignment       `json:"final"`
+	Profiles   []decision.AlgorithmProfile `json:"profiles"`
 }
 
 // Validate rejects incomplete documents.
@@ -37,14 +53,47 @@ func (r *ResultJSON) Validate() error {
 	if r.Schema != ResultSchema {
 		return fmt.Errorf("report: result schema %q, want %q", r.Schema, ResultSchema)
 	}
-	if r.Samples == nil || r.Clusters == nil || r.Final == nil {
-		return errors.New("report: result JSON missing samples, clusters or final assignment")
+	if r.Clusters == nil || r.Final == nil {
+		return errors.New("report: result JSON missing clusters or final assignment")
 	}
-	if err := r.Samples.Validate(); err != nil {
-		return err
-	}
-	if len(r.Names) != len(r.Samples.Samples) {
-		return fmt.Errorf("report: %d names for %d samples", len(r.Names), len(r.Samples.Samples))
+	switch r.Mode {
+	case "":
+		if r.Sketches != nil || r.ErrorBound != 0 {
+			return errors.New("report: exact-mode result carries sketch fields")
+		}
+		if r.Samples == nil {
+			return errors.New("report: result JSON missing samples")
+		}
+		if err := r.Samples.Validate(); err != nil {
+			return err
+		}
+		if len(r.Names) != len(r.Samples.Samples) {
+			return fmt.Errorf("report: %d names for %d samples", len(r.Names), len(r.Samples.Samples))
+		}
+	case ResultModeSketch:
+		if r.Samples != nil {
+			return errors.New("report: sketch-mode result carries exact samples")
+		}
+		if r.Sketches == nil {
+			return errors.New("report: sketch-mode result missing sketches")
+		}
+		if err := r.Sketches.Validate(); err != nil {
+			return err
+		}
+		if len(r.Names) != len(r.Sketches.Sketches) {
+			return fmt.Errorf("report: %d names for %d sketches", len(r.Names), len(r.Sketches.Sketches))
+		}
+		for i, name := range r.Sketches.Names() {
+			if r.Names[i] != name {
+				return fmt.Errorf("report: name %d is %q but its sketch is %q", i, r.Names[i], name)
+			}
+		}
+		if want := stats.SketchEpsilon(r.Sketches.K()); r.ErrorBound != want {
+			return fmt.Errorf("report: sketch-mode error bound %v, want %v for k=%d",
+				r.ErrorBound, want, r.Sketches.K())
+		}
+	default:
+		return fmt.Errorf("report: unknown result mode %q", r.Mode)
 	}
 	return nil
 }

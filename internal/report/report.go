@@ -138,6 +138,26 @@ func SummaryTable(w io.Writer, names []string, samples [][]float64) error {
 	return tbl.Render(w)
 }
 
+// SketchSummaryTable renders per-algorithm descriptive statistics of
+// sketch-mode campaigns (milliseconds): the quartiles read off each sketch
+// plus the exact extremes it tracks. Every quantile column is subject to the
+// sketch's rank-error bound (stats.SketchEpsilon of the shared k); Min/Max
+// and N are exact.
+func SketchSummaryTable(w io.Writer, names []string, sketches []*stats.Sketch) error {
+	tbl := NewTable("Algorithm", "N", "P25(ms)", "Median(ms)", "P75(ms)", "Min(ms)", "Max(ms)")
+	for i, name := range names {
+		sk := sketches[i]
+		tbl.AddRow(name,
+			fmt.Sprintf("%d", sk.N()),
+			fmt.Sprintf("%.3f", sk.Quantile(0.25)*1e3),
+			fmt.Sprintf("%.3f", sk.Quantile(0.5)*1e3),
+			fmt.Sprintf("%.3f", sk.Quantile(0.75)*1e3),
+			fmt.Sprintf("%.3f", sk.MinValue()*1e3),
+			fmt.Sprintf("%.3f", sk.MaxValue()*1e3))
+	}
+	return tbl.Render(w)
+}
+
 // Histograms renders the Figure-1b style overlayed distribution view: one
 // ASCII histogram per algorithm over a shared range, so the overlap between
 // equivalent algorithms is visible.

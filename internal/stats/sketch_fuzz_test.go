@@ -1,0 +1,81 @@
+package stats_test
+
+// FuzzSketchDecode holds the sketch wire decoder to the same contract as the
+// spec/result/WAL decoders: arbitrary bytes never panic, and any encoding the
+// decoder accepts is canonical — re-encoding reproduces the input byte for
+// byte, so a sketch can cross the result wire format and the fleet store
+// without drift.
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"relperf/internal/stats"
+	"relperf/internal/xrand"
+)
+
+func FuzzSketchDecode(f *testing.F) {
+	// Seed the corpus with real encodings spanning the state space: empty,
+	// uncompacted (theta == 0), compacted, merged, and near-misses.
+	empty, _ := stats.NewSketch(8, 0)
+	eb, _ := empty.MarshalBinary()
+	f.Add(eb)
+
+	small, _ := stats.NewSketch(16, 1)
+	r := xrand.New(1)
+	for i := 0; i < 10; i++ {
+		small.Add(r.LogNormal(-3, 0.5))
+	}
+	sb, _ := small.MarshalBinary()
+	f.Add(sb)
+
+	big, _ := stats.NewSketch(32, 2)
+	for i := 0; i < 5000; i++ {
+		big.Add(r.LogNormal(-3, 0.5))
+	}
+	bb, _ := big.MarshalBinary()
+	f.Add(bb)
+
+	merged, _ := stats.NewSketch(32, 3)
+	for i := 0; i < 2000; i++ {
+		merged.Add(r.Uniform(1, 2))
+	}
+	if err := merged.Merge(big); err != nil {
+		f.Fatal(err)
+	}
+	mb, _ := merged.MarshalBinary()
+	f.Add(mb)
+
+	f.Add(bb[:20])                               // torn header
+	f.Add(append([]byte(nil), "RPQ1garbage"...)) // magic then junk
+	f.Add([]byte("not a sketch"))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		sk, err := stats.DecodeSketch(b)
+		if err != nil {
+			return
+		}
+		again, err := sk.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted sketch fails to re-encode: %v", err)
+		}
+		if !bytes.Equal(again, b) {
+			t.Fatalf("decode→encode is not a fixed point (%d in, %d out)", len(b), len(again))
+		}
+		// An accepted sketch must also be safe to read and merge.
+		if v := sk.Quantile(0.5); sk.N() > 0 && math.IsNaN(v) {
+			t.Fatal("non-empty decoded sketch answers NaN median")
+		}
+		cpy, err := stats.DecodeSketch(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cpy.Merge(sk); err != nil {
+			t.Fatalf("self-shaped merge of decoded sketch: %v", err)
+		}
+		if cpy.N() != 2*sk.N() {
+			t.Fatalf("merge count %d, want %d", cpy.N(), 2*sk.N())
+		}
+	})
+}

@@ -110,7 +110,28 @@ type StudyConfig struct {
 	// MatrixTrials is the number of comparator trials per pair on the
 	// Matrix path (default 32).
 	MatrixTrials int
+	// SketchK switches the study into sketch mode: instead of materializing
+	// every measurement, each placement's campaign streams into a
+	// fixed-capacity quantile sketch of k = SketchK items
+	// (stats.Sketch), and the clustering stage compares sketch quantiles
+	// (compare.SketchComparator). 0 (the default) keeps the exact path and
+	// its bit-identity contract untouched. Sketch mode has its own
+	// contract: equal seeds produce bit-identical Results at any worker
+	// count, and every reported quantile has rank error at most
+	// stats.SketchEpsilon(SketchK). Valid values are 0 or
+	// [MinSketchK, MaxStudySketchK]; sketch mode is incompatible with
+	// Matrix and with comparators other than compare.SketchComparator.
+	SketchK int
 }
+
+// Bounds on StudyConfig.SketchK (and the spec's "sketch": {"k": ...}).
+// Below MinSketchK the rank-error bound SketchEpsilon(k) = 2/sqrt(k) is
+// useless (> 0.5); above MaxStudySketchK the "fixed-size summary" premise
+// stops holding for the campaign sizes this engine runs.
+const (
+	MinSketchK      = 16
+	MaxStudySketchK = 1 << 20
+)
 
 // Study is a configured, not-yet-run experiment.
 type Study struct {
@@ -138,6 +159,21 @@ func NewStudy(cfg StudyConfig) (*Study, error) {
 	if cfg.Reps <= 0 {
 		cfg.Reps = 100
 	}
+	if cfg.SketchK != 0 {
+		if cfg.SketchK < MinSketchK || cfg.SketchK > MaxStudySketchK {
+			return nil, fmt.Errorf("relperf: StudyConfig.SketchK must be 0 or in [%d, %d], got %d",
+				MinSketchK, MaxStudySketchK, cfg.SketchK)
+		}
+		if cfg.Matrix {
+			return nil, errors.New("relperf: sketch mode is incompatible with Matrix clustering")
+		}
+		if cfg.Comparator != nil {
+			if _, ok := cfg.Comparator.(compare.SketchComparator); !ok {
+				return nil, fmt.Errorf("relperf: sketch mode requires a compare.SketchComparator, got %T",
+					cfg.Comparator)
+			}
+		}
+	}
 	placements := cfg.Placements
 	if placements == nil {
 		placements = sim.EnumeratePlacements(len(cfg.Program.Tasks))
@@ -157,8 +193,12 @@ func NewStudy(cfg StudyConfig) (*Study, error) {
 type Result struct {
 	// Names are the placement names, index-aligned with everything else.
 	Names []string
-	// Samples holds the measured execution-time distributions.
+	// Samples holds the measured execution-time distributions (exact mode;
+	// nil in sketch mode).
 	Samples *measure.SampleSet
+	// Sketches holds the summarized distributions (sketch mode; nil in
+	// exact mode).
+	Sketches *measure.SketchSet
 	// Clusters is the repeated-clustering outcome (Procedure 4).
 	Clusters *core.ClusterResult
 	// Final is the max-score assignment with cumulated scores.
@@ -221,6 +261,13 @@ func studyClusterSeed(seed uint64) uint64 {
 	return xrand.Mix(seed, 0x636c7573746572) // "cluster"
 }
 
+// studySketchSeed keys the sketch ingest streams off the study seed, in a
+// domain of its own so a placement's sketch hashes never collide with its
+// simulator stream.
+func studySketchSeed(seed uint64) uint64 {
+	return xrand.Mix(seed, 0x736b65746368) // "sketch"
+}
+
 // measurePlacement runs placement i's full measurement campaign on a
 // dedicated simulator: Warmup discarded runs first, then N measured runs.
 // Only the measured runs contribute to the energy/busy aggregate, so
@@ -260,6 +307,51 @@ func (s *Study) measurePlacement(i int) (measure.Sample, aggregate, error) {
 	return sample, agg, nil
 }
 
+// measureSketchPlacement is measurePlacement for sketch mode: the same
+// simulator stream (placementSeed) drives the same campaign, but each
+// measurement streams into a fixed-capacity sketch instead of a slice. The
+// sketch's ingest stream is keyed by (studySketchSeed(seed), i), so the
+// summary — like the measurements — depends only on the study seed and the
+// placement index, never on the worker that ran it.
+func (s *Study) measureSketchPlacement(i int) (measure.SketchSample, aggregate, error) {
+	pl := s.placements[i]
+	var agg aggregate
+	simulator, err := sim.NewSimulator(s.cfg.Platform, placementSeed(s.cfg.Seed, i))
+	if err != nil {
+		return measure.SketchSample{}, agg, err
+	}
+	sk, err := stats.NewSketch(s.cfg.SketchK, xrand.Mix(studySketchSeed(s.cfg.Seed), uint64(i)))
+	if err != nil {
+		return measure.SketchSample{}, agg, err
+	}
+	var scratch sim.RunResult
+	for w := 0; w < s.cfg.Warmup; w++ {
+		if err := simulator.RunInto(&scratch, s.cfg.Program, pl, false); err != nil {
+			return measure.SketchSample{}, agg, fmt.Errorf("relperf: warmup %d of alg%s: %w", w, pl, err)
+		}
+	}
+	runner := func() (float64, error) {
+		if err := simulator.RunInto(&scratch, s.cfg.Program, pl, false); err != nil {
+			return 0, err
+		}
+		agg.edgeFlops = scratch.EdgeFlops
+		agg.accelFlops = scratch.AccelFlops
+		agg.edgeJoules += scratch.EdgeJoules
+		agg.accelJoules += scratch.AccelJoules
+		agg.accelBusy += scratch.AccelBusy
+		return scratch.Seconds, nil
+	}
+	sample, err := measure.CollectSketch("alg"+pl.String(), sk, runner, measure.Options{N: s.cfg.N})
+	if err != nil {
+		return measure.SketchSample{}, agg, err
+	}
+	runs := float64(s.cfg.N)
+	agg.edgeJoules /= runs
+	agg.accelJoules /= runs
+	agg.accelBusy /= runs
+	return sample, agg, nil
+}
+
 // Run executes the study: measure, compare, cluster, score, profile. The
 // placements are measured on a worker pool and the clustering repetitions
 // run concurrently when the comparator supports forking; equal seeds yield
@@ -287,15 +379,30 @@ func (s *Study) RunOn(ctx context.Context, budget *Budget) (*Result, error) {
 		shared = budget.pool
 	}
 	p := len(s.placements)
-	res := &Result{
-		Samples: &measure.SampleSet{Workload: s.cfg.Program.Name},
-	}
-	res.Samples.Samples = make([]measure.Sample, p)
+	sketchMode := s.cfg.SketchK > 0
+	res := &Result{}
 	aggs := make([]aggregate, p)
-	measureOne := func(i int) error {
-		var err error
-		res.Samples.Samples[i], aggs[i], err = s.measurePlacement(i)
-		return err
+	var measureOne func(i int) error
+	if sketchMode {
+		res.Sketches = &measure.SketchSet{
+			Workload: s.cfg.Program.Name,
+			Sketches: make([]measure.SketchSample, p),
+		}
+		measureOne = func(i int) error {
+			var err error
+			res.Sketches.Sketches[i], aggs[i], err = s.measureSketchPlacement(i)
+			return err
+		}
+	} else {
+		res.Samples = &measure.SampleSet{
+			Workload: s.cfg.Program.Name,
+			Samples:  make([]measure.Sample, p),
+		}
+		measureOne = func(i int) error {
+			var err error
+			res.Samples.Samples[i], aggs[i], err = s.measurePlacement(i)
+			return err
+		}
 	}
 	// Stage timings bracket whole pipeline stages — one time.Now pair per
 	// stage, outside every per-placement and per-resample loop.
@@ -312,21 +419,14 @@ func (s *Study) RunOn(ctx context.Context, budget *Budget) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	for i := range s.placements {
-		res.Names = append(res.Names, res.Samples.Samples[i].Name)
+	if sketchMode {
+		res.Names = res.Sketches.Names()
+	} else {
+		res.Names = res.Samples.Names()
 	}
 	mark(StageMeasure, stageStart)
 
-	cmp := s.cfg.Comparator
-	if cmp == nil {
-		// Only the prototype's decision parameters matter: Bootstrap
-		// implements Forker, so clusterData replaces it with per-repetition
-		// forks keyed off the cluster seed and this RNG never draws.
-		cmp = compare.NewBootstrap(0)
-	}
-	data := res.Samples.Data()
-	stageStart = time.Now()
-	res.Clusters, err = clusterData(res.Samples, cmp, clusterConfig{
+	ccfg := clusterConfig{
 		Reps:         s.cfg.Reps,
 		Seed:         studyClusterSeed(s.cfg.Seed),
 		Workers:      s.cfg.Workers,
@@ -334,7 +434,23 @@ func (s *Study) RunOn(ctx context.Context, budget *Budget) (*Result, error) {
 		MatrixTrials: s.cfg.MatrixTrials,
 		Ctx:          ctx,
 		Pool:         shared,
-	})
+	}
+	stageStart = time.Now()
+	if sketchMode {
+		// NewStudy guarantees the comparator is nil or a SketchComparator;
+		// the failed assertion leaves the zero value, i.e. the defaults.
+		scmp, _ := s.cfg.Comparator.(compare.SketchComparator)
+		res.Clusters, err = clusterSketches(res.Sketches, scmp, ccfg)
+	} else {
+		cmp := s.cfg.Comparator
+		if cmp == nil {
+			// Only the prototype's decision parameters matter: Bootstrap
+			// implements Forker, so clusterData replaces it with per-repetition
+			// forks keyed off the cluster seed and this RNG never draws.
+			cmp = compare.NewBootstrap(0)
+		}
+		res.Clusters, err = clusterData(res.Samples, cmp, ccfg)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -345,12 +461,17 @@ func (s *Study) RunOn(ctx context.Context, budget *Budget) (*Result, error) {
 		return nil, err
 	}
 
+	mean := func(i int) float64 { return res.Sketches.Sketches[i].Sketch.Mean() }
+	if !sketchMode {
+		data := res.Samples.Data()
+		mean = func(i int) float64 { return stats.Mean(data[i]) }
+	}
 	for i := range s.placements {
 		res.Profiles = append(res.Profiles, decision.AlgorithmProfile{
 			Name:         s.placements[i].String(),
 			Rank:         res.Final.Rank[i],
 			Score:        res.Final.Score[i],
-			MeanSeconds:  stats.Mean(data[i]),
+			MeanSeconds:  mean(i),
 			EdgeFlops:    aggs[i].edgeFlops,
 			AccelFlops:   aggs[i].accelFlops,
 			EdgeJoules:   aggs[i].edgeJoules,
@@ -432,6 +553,30 @@ func clusterData(ss *measure.SampleSet, cmp compare.Comparator, cfg clusterConfi
 	})
 }
 
+// clusterSketches is the sketch-mode clustering stage: the repetitions run
+// on the same worker pool under the same seed derivation as clusterData,
+// but every comparison reads the two placements' frozen sketches. The
+// comparator is deterministic and stateless (its Fork is the identity), so
+// all repetitions share it; the sketches' lazy quantile caches are
+// mutex-guarded, so concurrent reads are safe.
+func clusterSketches(ss *measure.SketchSet, cmp compare.SketchComparator, cfg clusterConfig) (*core.ClusterResult, error) {
+	sks := make([]*stats.Sketch, len(ss.Sketches))
+	for i := range ss.Sketches {
+		sks[i] = ss.Sketches[i].Sketch
+	}
+	fork := func(uint64) core.CompareFunc {
+		return func(i, j int) (compare.Outcome, error) { return cmp.CompareSketches(sks[i], sks[j]) }
+	}
+	return core.Cluster(len(sks), nil, core.ClusterOptions{
+		Reps:    cfg.Reps,
+		Seed:    cfg.Seed,
+		Workers: cfg.Workers,
+		Fork:    fork,
+		Pool:    cfg.Pool,
+		Ctx:     cfg.Ctx,
+	})
+}
+
 // ClusterSamples runs the comparison and clustering stages over pre-measured
 // distributions (e.g. loaded from CSV with measure.ReadCSV) — the paper's
 // footnote-5 workflow of re-clustering archived measurements. It is
@@ -497,13 +642,29 @@ func ClusterSamplesWith(ss *measure.SampleSet, cmp compare.Comparator, opts Clus
 }
 
 // WriteReport renders the study in the paper's format: distribution
-// summaries, the Table-I-style cluster table and the final clustering.
+// summaries, the Table-I-style cluster table and the final clustering. In
+// sketch mode the summaries are read off the sketches and headed by the
+// mode's rank-error bound.
 func (r *Result) WriteReport(w io.Writer) error {
-	if _, err := fmt.Fprintf(w, "Workload: %s\n\nMeasured distributions:\n", r.Samples.Workload); err != nil {
-		return err
-	}
-	if err := report.SummaryTable(w, r.Names, r.Samples.Data()); err != nil {
-		return err
+	if r.Sketches != nil {
+		if _, err := fmt.Fprintf(w, "Workload: %s\n\nSummarized distributions (sketch k=%d, rank error ≤ %.4f):\n",
+			r.Sketches.Workload, r.Sketches.K(), stats.SketchEpsilon(r.Sketches.K())); err != nil {
+			return err
+		}
+		sks := make([]*stats.Sketch, len(r.Sketches.Sketches))
+		for i := range r.Sketches.Sketches {
+			sks[i] = r.Sketches.Sketches[i].Sketch
+		}
+		if err := report.SketchSummaryTable(w, r.Names, sks); err != nil {
+			return err
+		}
+	} else {
+		if _, err := fmt.Fprintf(w, "Workload: %s\n\nMeasured distributions:\n", r.Samples.Workload); err != nil {
+			return err
+		}
+		if err := report.SummaryTable(w, r.Names, r.Samples.Data()); err != nil {
+			return err
+		}
 	}
 	if _, err := fmt.Fprintf(w, "\nClustering (Rep=%d):\n", r.Clusters.Reps); err != nil {
 		return err

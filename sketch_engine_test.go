@@ -1,0 +1,268 @@
+package relperf
+
+// End-to-end tests of sketch mode: the opt-in study path that streams each
+// placement's campaign into a fixed-capacity quantile sketch instead of
+// materializing it. Sketch mode has its own determinism contract — equal
+// seeds produce bit-identical Results (and wire bytes) at any worker count —
+// plus the capacity property that motivates it: a campaign of 10^6
+// measurements per placement completes in O(k) memory per placement.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"relperf/internal/compare"
+	"relperf/internal/sim"
+)
+
+func sketchStudyConfig(seed uint64, workers int) StudyConfig {
+	return StudyConfig{
+		Program: smallProgram(),
+		N:       400,
+		Warmup:  2,
+		Reps:    20,
+		Seed:    seed,
+		Workers: workers,
+		SketchK: 64,
+	}
+}
+
+func runSketchStudy(t *testing.T, cfg StudyConfig) *Result {
+	t.Helper()
+	study, err := NewStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := study.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestSketchStudyWorkerDeterminism is sketch mode's central property: for
+// several seeds, Workers=1 and Workers=8 must produce byte-identical wire
+// documents — the same contract the exact path has, carried by the sketch's
+// order-insensitive deterministic compaction.
+func TestSketchStudyWorkerDeterminism(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42} {
+		base := runSketchStudy(t, sketchStudyConfig(seed, 1))
+		baseWire, err := base.MarshalWire()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{4, 8} {
+			res := runSketchStudy(t, sketchStudyConfig(seed, workers))
+			wire, err := res.MarshalWire()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(wire, baseWire) {
+				t.Fatalf("seed %d: Workers=%d wire bytes differ from Workers=1", seed, workers)
+			}
+		}
+	}
+}
+
+func TestSketchStudyResultShape(t *testing.T) {
+	res := runSketchStudy(t, sketchStudyConfig(3, 0))
+	if res.Samples != nil {
+		t.Fatal("sketch-mode result materialized exact samples")
+	}
+	if res.Sketches == nil {
+		t.Fatal("sketch-mode result has no sketches")
+	}
+	if err := res.Sketches.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(res.Sketches.Sketches), 4; got != want {
+		t.Fatalf("%d sketches for %d placements", got, want)
+	}
+	if res.Sketches.K() != 64 {
+		t.Fatalf("sketch set k = %d, want 64", res.Sketches.K())
+	}
+	for i, s := range res.Sketches.Sketches {
+		if s.N() != 400 {
+			t.Fatalf("sketch %d summarizes %d measurements, want 400", i, s.N())
+		}
+	}
+	// Profiles stay fully populated: means come off the sketches, the
+	// energy/utilization aggregates off the simulator as in exact mode.
+	for i, p := range res.Profiles {
+		if p.MeanSeconds <= 0 || p.EdgeJoules < 0 {
+			t.Fatalf("profile %d not populated: %+v", i, p)
+		}
+		if p.Rank < 1 {
+			t.Fatalf("profile %d unranked", i)
+		}
+	}
+	// The rendered report must flag the mode and its error bound.
+	var buf bytes.Buffer
+	if err := res.WriteReport(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "sketch k=64") {
+		t.Errorf("sketch-mode report does not name the mode:\n%s", buf.String())
+	}
+}
+
+func TestSketchStudyWireRoundTrip(t *testing.T) {
+	res := runSketchStudy(t, sketchStudyConfig(9, 0))
+	wire, err := res.MarshalWire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalResultWire(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Samples != nil || back.Sketches == nil {
+		t.Fatal("sketch-mode wire round trip lost its mode")
+	}
+	again, err := back.MarshalWire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again, wire) {
+		t.Fatal("sketch-mode wire document is not a canonical fixed point")
+	}
+	// VerifyGridResult accepts canonical sketch-mode replies like exact ones.
+	if _, err := VerifyGridResult(GridTask{Fingerprint: "f"}, wire); err != nil {
+		t.Fatalf("canonical sketch result rejected by grid verification: %v", err)
+	}
+	// A result whose error bound was tampered with must be rejected.
+	tampered := bytes.Replace(wire, []byte(`"error_bound":`), []byte(`"error_bound":9`), 1)
+	if _, err := UnmarshalResultWire(tampered); err == nil {
+		t.Fatal("tampered error bound accepted")
+	}
+}
+
+func TestSketchStudyValidation(t *testing.T) {
+	base := StudyConfig{Program: smallProgram(), N: 5, Reps: 5}
+
+	bad := base
+	bad.SketchK = 8 // below MinSketchK
+	if _, err := NewStudy(bad); err == nil {
+		t.Error("SketchK below MinSketchK accepted")
+	}
+	bad = base
+	bad.SketchK = MaxStudySketchK + 1
+	if _, err := NewStudy(bad); err == nil {
+		t.Error("SketchK above MaxStudySketchK accepted")
+	}
+	bad = base
+	bad.SketchK = 64
+	bad.Matrix = true
+	if _, err := NewStudy(bad); err == nil {
+		t.Error("sketch mode with Matrix accepted")
+	}
+	bad = base
+	bad.SketchK = 64
+	bad.Comparator = compare.KS{}
+	if _, err := NewStudy(bad); err == nil {
+		t.Error("sketch mode with a non-sketch comparator accepted")
+	}
+	good := base
+	good.SketchK = 64
+	good.Comparator = compare.SketchComparator{Margin: 0.2}
+	if _, err := NewStudy(good); err != nil {
+		t.Errorf("sketch mode with an explicit SketchComparator rejected: %v", err)
+	}
+}
+
+// TestSketchFingerprintSeparation pins the collision rule: the same
+// configuration fingerprints differently exact vs sketch, and differently
+// across sketch capacities — exact and approximate results must never share
+// a cache identity.
+func TestSketchFingerprintSeparation(t *testing.T) {
+	base := StudyConfig{Program: smallProgram(), N: 10, Reps: 10}
+	exactFP, err := Fingerprint(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk := base
+	sk.SketchK = 64
+	skFP, err := Fingerprint(sk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exactFP == skFP {
+		t.Fatal("exact and sketch configurations share a fingerprint")
+	}
+	sk2 := base
+	sk2.SketchK = 256
+	sk2FP, err := Fingerprint(sk2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skFP == sk2FP {
+		t.Fatal("different sketch capacities share a fingerprint")
+	}
+	// A nil comparator and an explicit default SketchComparator are one
+	// identity in sketch mode, mirroring nil-vs-default-bootstrap in exact
+	// mode.
+	skDefault := sk
+	skDefault.Comparator = compare.SketchComparator{}
+	defFP, err := Fingerprint(skDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if defFP != skFP {
+		t.Fatal("nil and explicit default SketchComparator fingerprint differently")
+	}
+}
+
+// TestSketchStudyMillionMeasurements is the capacity property sketch mode
+// exists for: N=10^6 per placement completes with fixed-size summaries. The
+// raw-kernel program keeps each simulated run cheap; two placements bound
+// the simulation work.
+func TestSketchStudyMillionMeasurements(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10^6-measurement campaign in -short mode")
+	}
+	placements := []sim.Placement{}
+	for _, s := range []string{"D", "A"} {
+		pl, err := sim.ParsePlacement(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		placements = append(placements, pl)
+	}
+	study, err := NewStudy(StudyConfig{
+		Program: &sim.Program{
+			Name: "hot-loop",
+			Tasks: []sim.Task{
+				{Name: "T", Flops: 1e6, Launches: 1, EdgeEff: 1, AccelEff: 0.1},
+			},
+		},
+		Placements: placements,
+		N:          1_000_000,
+		Reps:       10,
+		Seed:       5,
+		SketchK:    256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := study.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range res.Sketches.Sketches {
+		if s.N() != 1_000_000 {
+			t.Fatalf("sketch %d summarizes %d measurements", i, s.N())
+		}
+		if got := s.Sketch.Retained(); got > 256 {
+			t.Fatalf("sketch %d retains %d items, over its capacity", i, got)
+		}
+	}
+	wire, err := res.MarshalWire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The whole million-measurement result stays a compact document.
+	if len(wire) > 64<<10 {
+		t.Fatalf("sketch-mode wire document is %d bytes; the fixed-size premise failed", len(wire))
+	}
+}

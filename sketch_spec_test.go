@@ -1,0 +1,91 @@
+package relperf
+
+// Wire-schema tests of sketch mode: the "sketch": {"k": ...} block, its
+// validation rules, its cost model and its resolution into StudyConfig.
+
+import (
+	"strings"
+	"testing"
+
+	"relperf/internal/compare"
+)
+
+func TestSketchSpecResolution(t *testing.T) {
+	sp, err := ParseStudySpec([]byte(`{"workload": "tableI", "sketch": {"k": 64}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := sp.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.SketchK != 64 {
+		t.Fatalf("SketchK = %d, want 64", cfg.SketchK)
+	}
+	if _, ok := cfg.Comparator.(compare.SketchComparator); !ok {
+		t.Fatalf("sketch spec resolved comparator %T, want SketchComparator", cfg.Comparator)
+	}
+	// The explicit comparator keyword resolves identically.
+	sp2, err := ParseStudySpec([]byte(`{"workload": "tableI", "comparator": "sketch", "sketch": {"k": 64}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2, err := sp2.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp1, err := Fingerprint(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp2, err := Fingerprint(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp1 != fp2 {
+		t.Fatalf("implicit and explicit sketch comparator fingerprint differently: %s vs %s", fp1, fp2)
+	}
+}
+
+func TestSketchSpecValidationErrors(t *testing.T) {
+	cases := []struct{ name, spec, want string }{
+		{"k too small", `{"workload": "tableI", "sketch": {"k": 4}}`, "sketch k"},
+		{"k too large", `{"workload": "tableI", "sketch": {"k": 2097152}}`, "sketch k"},
+		{"k missing", `{"workload": "tableI", "sketch": {}}`, "sketch k"},
+		{"with matrix", `{"workload": "tableI", "matrix": true, "sketch": {"k": 64}}`, "matrix"},
+		{"wrong comparator", `{"workload": "tableI", "comparator": "ks", "sketch": {"k": 64}}`, "comparator"},
+		{"keyword without block", `{"workload": "tableI", "comparator": "sketch"}`, "sketch block"},
+		{"unknown field", `{"workload": "tableI", "sketch": {"k": 64, "depth": 3}}`, "unknown field"},
+	}
+	for _, tc := range cases {
+		_, err := ParseStudySpec([]byte(tc.spec))
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestSketchSpecCostEstimate pins sketch mode's admission cost: additive in
+// measurements and reps rather than multiplicative — the economics that make
+// a 10^6-measurement campaign admissible at all.
+func TestSketchSpecCostEstimate(t *testing.T) {
+	exact, err := ParseStudySpec([]byte(`{"workload": "tableI", "measurements": 1000, "reps": 100}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, err := ParseStudySpec([]byte(`{"workload": "tableI", "measurements": 1000, "reps": 100, "sketch": {"k": 64}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 placements for the 3-task program.
+	if got, want := exact.CostEstimate(), int64(8*1000*100); got != want {
+		t.Fatalf("exact cost = %d, want %d", got, want)
+	}
+	if got, want := sk.CostEstimate(), int64(8*1000+8*100); got != want {
+		t.Fatalf("sketch cost = %d, want %d", got, want)
+	}
+}

@@ -111,11 +111,28 @@ type StudySpec struct {
 	// MatrixTrials caps the per-pair trials on the matrix path.
 	MatrixTrials int `json:"matrix_trials,omitempty"`
 	// Comparator selects a built-in comparator at default parameters:
-	// "bootstrap" (default), "ks", "mannwhitney" or "mean".
+	// "bootstrap" (default), "ks", "mannwhitney", "mean" or "sketch" (the
+	// last only together with Sketch).
 	Comparator string `json:"comparator,omitempty"`
 	// Placements restricts the algorithm set ("DDA", ...); empty means all
 	// 2^L placements.
 	Placements []string `json:"placements,omitempty"`
+	// Sketch switches the study into sketch mode (StudyConfig.SketchK):
+	// measurement campaigns stream into fixed-capacity quantile sketches
+	// instead of materializing, and the clustering compares sketch
+	// quantiles. Incompatible with Matrix and with comparators other than
+	// "" or "sketch". A sketch-mode spec fingerprints differently from the
+	// same spec without the block — by construction, so exact and
+	// approximate results never collide in a fleet store.
+	Sketch *SketchSpec `json:"sketch,omitempty"`
+}
+
+// SketchSpec parameterizes sketch mode on the wire.
+type SketchSpec struct {
+	// K is the sketch capacity; rank error is bounded by
+	// stats.SketchEpsilon(K) = 2/sqrt(K). Must be in
+	// [MinSketchK, MaxStudySketchK].
+	K int `json:"k"`
 }
 
 // ProgramSpec is a declarative task chain: named kernels from the workload
@@ -344,8 +361,24 @@ func (sp *StudySpec) Validate() error {
 	}
 	switch sp.Comparator {
 	case "", "bootstrap", "ks", "mannwhitney", "mean":
+	case "sketch":
+		if sp.Sketch == nil {
+			return fmt.Errorf("relperf: comparator \"sketch\" requires a sketch block")
+		}
 	default:
-		return fmt.Errorf("relperf: unknown comparator %q (want bootstrap, ks, mannwhitney or mean)", sp.Comparator)
+		return fmt.Errorf("relperf: unknown comparator %q (want bootstrap, ks, mannwhitney, mean or sketch)", sp.Comparator)
+	}
+	if sp.Sketch != nil {
+		if sp.Sketch.K < MinSketchK || sp.Sketch.K > MaxStudySketchK {
+			return fmt.Errorf("relperf: sketch k must be in [%d, %d], got %d",
+				MinSketchK, MaxStudySketchK, sp.Sketch.K)
+		}
+		if sp.Matrix {
+			return fmt.Errorf("relperf: sketch mode is incompatible with matrix clustering")
+		}
+		if sp.Comparator != "" && sp.Comparator != "sketch" {
+			return fmt.Errorf("relperf: sketch mode requires comparator \"sketch\" (or none), got %q", sp.Comparator)
+		}
 	}
 	tasks := sp.taskCount()
 	for _, raw := range sp.Placements {
@@ -401,6 +434,14 @@ func (sp *StudySpec) CostEstimate() int64 {
 	// bound, and a product that wrapped around int64 would slip a
 	// maximally hostile spec under the admission bound it was built to
 	// trip.
+	if sp.Sketch != nil {
+		// Sketch mode exists precisely so large campaigns do not cost
+		// measurements × reps: the clustering repetitions compare fixed-size
+		// summaries, never the N measurements. The dominant terms are the
+		// simulation itself (placements × measurements) and the clustering
+		// work over the summaries (placements × reps).
+		return satAdd(satMul(placements, measurements), satMul(placements, reps))
+	}
 	return satMul(satMul(placements, measurements), reps)
 }
 
@@ -470,6 +511,16 @@ func (sp *StudySpec) Config() (StudyConfig, error) {
 		cfg.Comparator = compare.MannWhitney{}
 	case "mean":
 		cfg.Comparator = compare.MeanThreshold{}
+	case "sketch":
+		// Sketch mode's default comparator; NewStudy accepts nil too, but
+		// resolving it here keeps Config's output self-describing.
+		cfg.Comparator = compare.SketchComparator{}
+	}
+	if sp.Sketch != nil {
+		cfg.SketchK = sp.Sketch.K
+		if cfg.Comparator == nil {
+			cfg.Comparator = compare.SketchComparator{}
+		}
 	}
 	for _, raw := range sp.Placements {
 		pl, err := sim.ParsePlacement(raw)

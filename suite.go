@@ -78,7 +78,13 @@ func Fingerprint(cfg StudyConfig) (string, error) {
 func (s *Study) Fingerprint() (string, error) {
 	h := sha256.New()
 	fmt.Fprintf(h, "%s\n", fingerprintVersion)
-	if err := fingerprintComparator(h, s.cfg.Comparator); err != nil {
+	cmp := s.cfg.Comparator
+	if cmp == nil && s.cfg.SketchK > 0 {
+		// Sketch mode's nil default resolves to the sketch comparator, not
+		// the bootstrap — the identities must match what actually runs.
+		cmp = compare.SketchComparator{}
+	}
+	if err := fingerprintComparator(h, cmp); err != nil {
 		return "", err
 	}
 	if err := fingerprintDevice(h, "edge", s.cfg.Platform.Edge); err != nil {
@@ -118,6 +124,13 @@ func (s *Study) Fingerprint() (string, error) {
 	}
 	fmt.Fprintf(h, "n=%d warmup=%d reps=%d matrix=%v trials=%d\n",
 		s.cfg.N, s.cfg.Warmup, s.cfg.Reps, matrix, trials)
+	// The sketch line exists only in sketch mode, so an exact study and a
+	// sketch study over the same configuration can never share an identity —
+	// a cache must not serve an approximation where exact bytes were
+	// promised, or vice versa.
+	if s.cfg.SketchK > 0 {
+		fmt.Fprintf(h, "sketch k=%d\n", s.cfg.SketchK)
+	}
 	sum := h.Sum(nil)
 	return hex.EncodeToString(sum[:16]), nil
 }
@@ -234,6 +247,16 @@ func fingerprintComparator(w io.Writer, cmp compare.Comparator) error {
 			tol = compare.DefaultRelTol
 		}
 		fmt.Fprintf(w, "cmp mean reltol=%v\n", tol)
+	case compare.SketchComparator:
+		margin := c.Margin
+		if margin <= 0 {
+			margin = compare.DefaultMargin
+		}
+		qs := c.Quantiles
+		if len(qs) == 0 {
+			qs = compare.DefaultQuantiles
+		}
+		fmt.Fprintf(w, "cmp sketch margin=%v quantiles=%v\n", margin, qs)
 	default:
 		return fmt.Errorf("relperf: cannot fingerprint comparator of type %T (only built-in comparators have a canonical identity)", cmp)
 	}

@@ -13,18 +13,28 @@ import (
 	"io"
 
 	"relperf/internal/report"
+	"relperf/internal/stats"
 )
 
 // MarshalWire returns the canonical compact JSON encoding of the result.
+// Sketch-mode results carry mode "sketch", the sketches and the mode's
+// rank-error bound; exact results encode exactly as before sketch mode
+// existed.
 func (r *Result) MarshalWire() ([]byte, error) {
-	return report.MarshalResult(&report.ResultJSON{
+	doc := &report.ResultJSON{
 		Schema:   report.ResultSchema,
 		Names:    r.Names,
 		Samples:  r.Samples,
 		Clusters: r.Clusters,
 		Final:    r.Final,
 		Profiles: r.Profiles,
-	})
+	}
+	if r.Sketches != nil {
+		doc.Mode = report.ResultModeSketch
+		doc.Sketches = r.Sketches
+		doc.ErrorBound = stats.SketchEpsilon(r.Sketches.K())
+	}
+	return report.MarshalResult(doc)
 }
 
 // WriteJSON writes the canonical encoding followed by a newline.
@@ -47,6 +57,7 @@ func UnmarshalResultWire(b []byte) (*Result, error) {
 	return &Result{
 		Names:    doc.Names,
 		Samples:  doc.Samples,
+		Sketches: doc.Sketches,
 		Clusters: doc.Clusters,
 		Final:    doc.Final,
 		Profiles: doc.Profiles,

@@ -24,10 +24,13 @@ import (
 var updateGolden = flag.Bool("update", false, "rewrite the golden wire fixtures")
 
 const (
-	goldenSpecPath        = "testdata/spec_golden.json"
-	goldenFingerprintPath = "testdata/spec_golden.fingerprint"
-	goldenResultPath      = "testdata/result_v1_golden.json"
-	goldenSeed            = 42
+	goldenSpecPath         = "testdata/spec_golden.json"
+	goldenFingerprintPath  = "testdata/spec_golden.fingerprint"
+	goldenResultPath       = "testdata/result_v1_golden.json"
+	goldenSketchSpecPath   = "testdata/spec_sketch_golden.json"
+	goldenSketchFPPath     = "testdata/spec_sketch_golden.fingerprint"
+	goldenSketchResultPath = "testdata/result_sketch_golden.json"
+	goldenSeed             = 42
 )
 
 // goldenSpec is the fixture source: a declarative spec exercising the whole
@@ -178,5 +181,116 @@ func TestGoldenResultWire(t *testing.T) {
 	}
 	if !bytes.Equal(append(again, '\n'), want) {
 		t.Errorf("golden result does not round-trip byte-identically")
+	}
+}
+
+// goldenSketchSpec exercises the sketch-mode wire surface: the sketch block,
+// the sketch comparator keyword and a large-N campaign that only sketch mode
+// prices admissibly.
+const goldenSketchSpec = `{
+	"workload": "tableI",
+	"measurements": 200,
+	"warmup": 1,
+	"reps": 10,
+	"comparator": "sketch",
+	"placements": ["DDD", "DDA", "ADA", "AAA"],
+	"sketch": {"k": 64}
+}`
+
+// goldenSketchStudy resolves the sketch golden spec like goldenStudy.
+func goldenSketchStudy(t *testing.T) (canon []byte, cfg StudyConfig, fp string) {
+	t.Helper()
+	sp, err := ParseStudySpec([]byte(goldenSketchSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon, err = json.Marshal(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon = append(canon, '\n')
+	cfg, err = sp.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err = Fingerprint(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return canon, cfg, fp
+}
+
+// TestGoldenSketchSpecWire pins the sketch-mode spec schema and its
+// fingerprint, and the by-construction separation from the exact form.
+func TestGoldenSketchSpecWire(t *testing.T) {
+	canon, _, fp := goldenSketchStudy(t)
+	if *updateGolden {
+		writeGolden(t, goldenSketchSpecPath, canon)
+		writeGolden(t, goldenSketchFPPath, []byte(fp+"\n"))
+	}
+	want := readGolden(t, goldenSketchSpecPath)
+	if !bytes.Equal(canon, want) {
+		t.Errorf("canonical sketch spec encoding drifted from %s:\n got: %s\nwant: %s", goldenSketchSpecPath, canon, want)
+	}
+	wantFP := string(bytes.TrimSpace(readGolden(t, goldenSketchFPPath)))
+	if fp != wantFP {
+		t.Errorf("sketch spec fingerprint drifted: got %s, want %s", fp, wantFP)
+	}
+
+	// The same spec without its sketch block must fingerprint differently —
+	// exact and sketch identities never collide.
+	exactSpec := bytes.Replace(want, []byte(`,"sketch":{"k":64}`), nil, 1)
+	exactSpec = bytes.Replace(exactSpec, []byte(`"comparator":"sketch",`), nil, 1)
+	sp, err := ParseStudySpec(exactSpec)
+	if err != nil {
+		t.Fatalf("derived exact spec no longer parses: %v", err)
+	}
+	cfg, err := sp.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactFP, err := Fingerprint(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exactFP == fp {
+		t.Error("exact and sketch forms of the golden spec share a fingerprint")
+	}
+}
+
+// TestGoldenSketchResultWire pins the sketch-mode relperf/result/v1 bytes:
+// mode, error bound and the sketches' canonical binary encoding.
+func TestGoldenSketchResultWire(t *testing.T) {
+	_, cfg, _ := goldenSketchStudy(t)
+	cfg.Seed = goldenSeed
+	study, err := NewStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := study.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if *updateGolden {
+		writeGolden(t, goldenSketchResultPath, buf.Bytes())
+	}
+	want := readGolden(t, goldenSketchResultPath)
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("sketch result wire encoding drifted from %s (determinism or format change)", goldenSketchResultPath)
+	}
+	doc, err := UnmarshalResultWire(bytes.TrimSuffix(want, []byte("\n")))
+	if err != nil {
+		t.Fatalf("golden sketch result no longer parses: %v", err)
+	}
+	again, err := doc.MarshalWire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(append(again, '\n'), want) {
+		t.Errorf("golden sketch result does not round-trip byte-identically")
 	}
 }
