@@ -144,7 +144,7 @@ func TestGridE2EKillWorkerMidSuite(t *testing.T) {
 	if got := m["grid_heartbeats_total"]; got < 2 {
 		t.Fatalf("grid_heartbeats_total = %v, want >= 2 (two workers joined)", got)
 	}
-	for _, series := range []string{"grid_workers_live", "grid_attempt_seconds_count", "grid_worker_drops_total", "grid_retries_total", "grid_fallbacks_total"} {
+	for _, series := range []string{"grid_workers_live", "grid_attempt_seconds_count", "grid_worker_failures_total", "grid_workers_quarantined", "grid_worker_quarantines_total", "grid_retries_total", "grid_fallbacks_total"} {
 		if _, ok := m[series]; !ok {
 			t.Fatalf("metrics series %s missing from the coordinator exposition", series)
 		}

@@ -86,6 +86,10 @@ type options struct {
 	joinURL          string
 	advertiseURL     string
 	gridTTL          time.Duration
+	gridReqTimeout   time.Duration
+	gridHBTimeout    time.Duration
+	replicaTimeout   time.Duration
+	shutdownTimeout  time.Duration
 	walPath          string
 	snapshotInterval time.Duration
 	standbys         string
@@ -108,6 +112,10 @@ func main() {
 	flag.StringVar(&o.joinURL, "join", "", "coordinator base URL to join as a grid worker (e.g. http://coord:8077)")
 	flag.StringVar(&o.advertiseURL, "advertise", "", "base URL this worker advertises to the coordinator (default http://<bound address>)")
 	flag.DurationVar(&o.gridTTL, "grid-ttl", 0, "coordinator: expire workers silent for this long (default 15s)")
+	flag.DurationVar(&o.gridReqTimeout, "grid-request-timeout", 0, "coordinator: cap one remote dispatch attempt end to end; a paused or wedged worker fails over after this long (default 10m)")
+	flag.DurationVar(&o.gridHBTimeout, "grid-heartbeat-timeout", grid.DefaultHeartbeatTimeout, "worker: cap one heartbeat request to the coordinator")
+	flag.DurationVar(&o.replicaTimeout, "replica-timeout", 0, "cap one snapshot push to a standby (0 = no timeout)")
+	flag.DurationVar(&o.shutdownTimeout, "shutdown-timeout", 5*time.Second, "max wait for in-flight requests at shutdown before closing their connections")
 	flag.StringVar(&o.walPath, "wal", "", "write-ahead log file: control-plane events are fsync'd here before being acked, and replayed over the snapshot at startup")
 	flag.DurationVar(&o.snapshotInterval, "snapshot-interval", 0, "compact periodically: write the snapshot and truncate the WAL every interval (0 = legacy rewrite-per-study without -wal, compact only at shutdown with it)")
 	flag.StringVar(&o.standbys, "standby", "", "comma-separated standby base URLs; each compacted snapshot is pushed to their POST /v1/replica/snapshot")
@@ -190,6 +198,15 @@ func run(o options) error {
 	if err := faultpoint.ArmFromEnv(os.Getenv(faultpoint.EnvVar), logf); err != nil {
 		return err
 	}
+	// The first faultpoint is startup itself: arming daemon.start makes the
+	// process die (or error out) before it serves anything — the lever the
+	// chaos harness and the supervisor crash-loop test pull to simulate a
+	// child that can never come up. Each restarted child re-arms from the
+	// inherited environment, so "error" (without a hit count) dooms every
+	// start until the supervisor declares a crash loop.
+	if err := faultpoint.Hit("daemon.start"); err != nil {
+		return fmt.Errorf("daemon.start: %w", err)
+	}
 	// Mutex/block profiling rates are global runtime knobs; setting them
 	// without the pprof listener would pay the sampling cost with no way
 	// to read the profile, so they require -pprof.
@@ -268,7 +285,7 @@ func run(o options) error {
 	var coord *grid.Coordinator
 	opts := fleet.Options{Workers: o.workers, Seed: o.seed, Store: store, Obs: obsv}
 	if o.coordinator {
-		coord = grid.New(grid.Config{Seed: o.seed, TTL: o.gridTTL, Logf: logf, Journal: walLog, Obs: obsv})
+		coord = grid.New(grid.Config{Seed: o.seed, TTL: o.gridTTL, RequestTimeout: o.gridReqTimeout, Logf: logf, Journal: walLog, Obs: obsv})
 		if n := coord.RestoreJournal(taskRecs); n > 0 {
 			logger.Info("restored dispatch journal from wal", "entries", n)
 		}
@@ -294,6 +311,9 @@ func run(o options) error {
 		}
 	}
 	replicator := &fleet.Replicator{URLs: standbyURLs, Logf: logf}
+	if o.replicaTimeout > 0 {
+		replicator.Client = &http.Client{Timeout: o.replicaTimeout}
+	}
 
 	// checkpoint compacts the durable state: the snapshot bytes and a WAL
 	// cut point are captured atomically with respect to journaled
@@ -392,7 +412,8 @@ func run(o options) error {
 	if o.maxStudyCost > 0 {
 		serverOpts = append(serverOpts, fleet.WithMaxStudyCost(o.maxStudyCost))
 	}
-	handler := http.Handler(fleet.NewServer(sched, serverOpts...))
+	apiSrv := fleet.NewServer(sched, serverOpts...)
+	handler := http.Handler(apiSrv)
 	if coord != nil {
 		// The grid endpoints share the serving address: workers register
 		// against the same URL clients submit suites to.
@@ -458,8 +479,13 @@ func run(o options) error {
 			}
 			advertise = "http://" + ln.Addr().String()
 		}
-		info := grid.WorkerInfo{ID: advertise, URL: advertise, Capacity: sched.Workers(), Seed: o.seed}
-		go grid.RunHeartbeats(ctx, nil, o.joinURL, info, 0, logf)
+		// Epoch stamps this process incarnation: a supervised worker that
+		// crashed and restarted heartbeats with a fresh epoch, which tells
+		// the coordinator to clear the old incarnation's failure history and
+		// requalify the worker immediately instead of holding it quarantined.
+		info := grid.WorkerInfo{ID: advertise, URL: advertise, Capacity: sched.Workers(), Seed: o.seed, Epoch: uint64(time.Now().UnixNano())}
+		hbClient := &http.Client{Timeout: o.gridHBTimeout}
+		go grid.RunHeartbeats(ctx, hbClient, o.joinURL, info, 0, logf)
 	}
 
 	select {
@@ -468,7 +494,11 @@ func run(o options) error {
 	case <-ctx.Done():
 	}
 	logger.Info("shutting down")
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	// Streams first: an SSE subscriber parked on a slow study would pin
+	// Shutdown until the deadline guillotined it mid-stream; draining sends
+	// each one a terminal "shutdown" event instead.
+	apiSrv.DrainStreams()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), o.shutdownTimeout)
 	defer cancel()
 	_ = httpSrv.Shutdown(shutdownCtx)
 	sched.Close()

@@ -1,0 +1,103 @@
+// Command relperfmon supervises one child process — in the intended
+// deployment, a relperfd worker — and keeps it alive across crashes:
+//
+//	relperfmon [flags] -- relperfd -addr 127.0.0.1:7101 ...
+//
+// Everything after "--" (or after the flags) is the child's argv. The
+// supervisor restarts the child whenever it exits, with capped-exponential
+// deterministically-jittered backoff; when -ready-url is set, each
+// (re)start is gated on the URL answering 200 (point it at the worker's
+// /v1/healthz) so a worker is never announced before it can serve. A child
+// that burns through -restart-budget restarts inside -restart-window is a
+// crash loop: relperfmon logs the verdict and exits 1 instead of forking
+// forever. SIGINT/SIGTERM shut down cleanly — SIGTERM to the child, then
+// SIGKILL after -shutdown-grace.
+//
+// With -metrics-addr set, relperfmon serves its own /v1/metrics and
+// /v1/healthz so the supervisor itself is observable:
+// supervise_restarts_total counts restarts and supervise_state exposes the
+// lifecycle (0 idle, 1 starting, 2 ready, 3 backoff, 4 crash-loop,
+// 5 stopped).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"relperf/internal/obs"
+	"relperf/internal/supervise"
+)
+
+func main() {
+	name := flag.String("name", "", "label for logs and metrics (default: child binary name)")
+	readyURL := flag.String("ready-url", "", "HTTP URL probed until 200 before the child counts as ready (e.g. the worker's /v1/healthz)")
+	readyTimeout := flag.Duration("ready-timeout", supervise.DefaultReadyTimeout, "max wait for readiness per start; a child still not ready is killed and the start counts as failed")
+	restartBudget := flag.Int("restart-budget", supervise.DefaultRestartBudget, "restarts tolerated per -restart-window before declaring a crash loop")
+	restartWindow := flag.Duration("restart-window", supervise.DefaultRestartWindow, "sliding window the restart budget counts over")
+	backoffBase := flag.Duration("backoff-base", supervise.DefaultBackoffBase, "first restart backoff window; doubles per consecutive failed start")
+	backoffMax := flag.Duration("backoff-max", supervise.DefaultBackoffMax, "backoff window growth cap")
+	shutdownGrace := flag.Duration("shutdown-grace", supervise.DefaultShutdownGrace, "wait between SIGTERM and SIGKILL at shutdown")
+	metricsAddr := flag.String("metrics-addr", "", "serve the supervisor's own /v1/metrics and /v1/healthz here (empty: disabled)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: relperfmon [flags] -- child-command [child-args...]\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	logger := log.New(os.Stderr, "relperfmon: ", log.LstdFlags)
+	o := obs.New()
+	sup, err := supervise.New(supervise.Config{
+		Name:          *name,
+		Command:       flag.Args(),
+		BackoffBase:   *backoffBase,
+		BackoffMax:    *backoffMax,
+		RestartBudget: *restartBudget,
+		RestartWindow: *restartWindow,
+		ReadyURL:      *readyURL,
+		ReadyTimeout:  *readyTimeout,
+		ShutdownGrace: *shutdownGrace,
+		Logf:          logger.Printf,
+		Obs:           o,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintf(w, "{\"status\":\"ok\",\"state\":%q}\n", sup.State())
+		})
+		mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			_ = o.Reg().WritePrometheus(w)
+		})
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				logger.Printf("metrics server: %v", err)
+			}
+		}()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := sup.Run(ctx); err != nil {
+		if errors.Is(err, supervise.ErrCrashLoop) {
+			logger.Printf("%v", err)
+			os.Exit(1)
+		}
+		logger.Fatal(err)
+	}
+}

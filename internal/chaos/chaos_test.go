@@ -1,0 +1,129 @@
+package chaos
+
+// Process-level tests of the self-healing contract: a seeded chaos soak
+// against a real coordinator + supervised-worker grid (the CI smoke is
+// this test), and the crash-loop acceptance — a child armed to die at
+// every start must park its supervisor in ErrCrashLoop, not restart
+// forever. Both build the actual relperfd binary; `go test -short` skips
+// them.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"relperf/internal/faultpoint"
+	"relperf/internal/supervise"
+)
+
+var relperfdBin string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "chaos-soak")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	relperfdBin = filepath.Join(dir, "relperfd")
+	out, err := exec.Command("go", "build", "-o", relperfdBin, "relperf/cmd/relperfd").CombinedOutput()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "building relperfd: %v\n%s", err, out)
+		os.RemoveAll(dir)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// soakSeed returns the schedule seed: CHAOS_SEED when set (to replay a
+// failure), otherwise the committed smoke seed.
+func soakSeed(t *testing.T) uint64 {
+	if raw := os.Getenv("CHAOS_SEED"); raw != "" {
+		seed, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			t.Fatalf("CHAOS_SEED=%q: %v", raw, err)
+		}
+		return seed
+	}
+	return 42
+}
+
+// TestChaosSoak is the CI smoke: five seeded kill/pause/slow-start rounds
+// against a 2-worker grid, asserting zero failed requests, zero byte
+// divergence from the single-node golden, and healthy rejoin of every
+// killed worker. On failure the seed is in the error — rerun with
+// CHAOS_SEED=<seed> to replay the schedule exactly.
+func TestChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak runs real processes; skipped with -short")
+	}
+	seed := soakSeed(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	rep, err := Run(ctx, Config{
+		Binary:  relperfdBin,
+		Seed:    seed,
+		Rounds:  5,
+		Workers: 2,
+		Logf:    t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("soak failed (replay with CHAOS_SEED=%d): %v", seed, err)
+	}
+	if rep.Failed != 0 || rep.Divergent != 0 {
+		t.Fatalf("soak report has failures (seed %d): %+v", seed, rep)
+	}
+	if len(rep.Rounds) != 5 {
+		t.Fatalf("soak completed %d rounds, want 5 (seed %d)", len(rep.Rounds), seed)
+	}
+	killed := 0
+	for _, r := range rep.Rounds {
+		if r.Action != ActionPause {
+			killed++
+		}
+	}
+	if killed > 0 && rep.Restarts == 0 {
+		t.Fatalf("soak killed %d workers but the supervisors recorded no restarts (seed %d)", killed, seed)
+	}
+	t.Logf("soak ok (seed %d): %d requests, %d restarts across %d rounds", seed, rep.Requests, rep.Restarts, len(rep.Rounds))
+}
+
+// TestSupervisorCrashLoopOnDoomedChild: with RELPERF_FAULTPOINT arming
+// daemon.start persistently, every (re)started relperfd re-arms from the
+// inherited environment and dies before serving — the supervisor must
+// burn its restart budget and give up loudly with ErrCrashLoop instead of
+// forking forever.
+func TestSupervisorCrashLoopOnDoomedChild(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real processes; skipped with -short")
+	}
+	sup, err := supervise.New(supervise.Config{
+		Name:          "doomed-relperfd",
+		Command:       []string{relperfdBin, "-addr", "127.0.0.1:0"},
+		Env:           []string{faultpoint.EnvVar + "=daemon.start=error"},
+		BackoffBase:   10 * time.Millisecond,
+		BackoffMax:    50 * time.Millisecond,
+		RestartBudget: 3,
+		RestartWindow: time.Minute,
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	err = sup.Run(ctx)
+	if !errors.Is(err, supervise.ErrCrashLoop) {
+		t.Fatalf("Run = %v, want ErrCrashLoop", err)
+	}
+	if got := sup.State(); got != supervise.StateCrashLoop {
+		t.Fatalf("state = %s, want %s", got, supervise.StateCrashLoop)
+	}
+}

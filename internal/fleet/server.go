@@ -35,6 +35,12 @@ type Server struct {
 	maxStudyCost int64
 	streamBuf    int
 	start        time.Time
+
+	// draining is closed by DrainStreams at shutdown; open SSE streams
+	// observe it, emit a terminal "shutdown" event and disconnect, so
+	// clients see an explicit end-of-stream instead of a cut connection.
+	draining  chan struct{}
+	drainOnce sync.Once
 }
 
 // ServerOption configures a Server.
@@ -64,7 +70,7 @@ func WithStreamBuffer(n int) ServerOption {
 // /v1/metrics carries per-route latency histograms and status-class
 // counters for the whole API surface, including itself.
 func NewServer(sched *Scheduler, opts ...ServerOption) *Server {
-	s := &Server{sched: sched, mux: http.NewServeMux(), start: time.Now()}
+	s := &Server{sched: sched, mux: http.NewServeMux(), start: time.Now(), draining: make(chan struct{})}
 	for _, opt := range opts {
 		opt(s)
 	}
@@ -87,6 +93,15 @@ func (s *Server) handle(pattern string, h http.HandlerFunc) {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
+}
+
+// DrainStreams tells every open SSE stream to finish: each one writes a
+// terminal "shutdown" event and disconnects. Call it before
+// http.Server.Shutdown — Shutdown waits for active handlers, and an SSE
+// stream parked on a long computation would otherwise pin the daemon
+// until the shutdown deadline guillotines it mid-stream. Idempotent.
+func (s *Server) DrainStreams() {
+	s.drainOnce.Do(func() { close(s.draining) })
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -219,12 +234,30 @@ type suiteResponse struct {
 const maxSuiteBody = 1 << 20
 
 // costResponse is the HTTP 429 body of a spec rejected by admission
-// control: which study was over the line, its estimate, and the bound.
+// control: which study was over the line, its estimate, the bound, and
+// when to try again (mirroring the Retry-After header).
 type costResponse struct {
-	Error        string `json:"error"`
-	Study        int    `json:"study"`
-	Cost         int64  `json:"cost"`
-	MaxStudyCost int64  `json:"max_study_cost"`
+	Error             string `json:"error"`
+	Study             int    `json:"study"`
+	Cost              int64  `json:"cost"`
+	MaxStudyCost      int64  `json:"max_study_cost"`
+	RetryAfterSeconds int    `json:"retry_after_seconds"`
+}
+
+// maxRetryAfter caps the advertised 429 back-off; past a minute the queue
+// depth says "come back later", not "come back in exactly N seconds".
+const maxRetryAfter = 60
+
+// retryAfterSeconds derives the 429 Retry-After hint from the scheduler's
+// queue depth: an idle daemon invites an immediate retry with a smaller
+// spec, a backed-up one pushes clients out roughly a second per queued
+// study, capped at maxRetryAfter.
+func (s *Server) retryAfterSeconds() int {
+	sec := 1 + s.sched.Inflight()
+	if sec > maxRetryAfter {
+		sec = maxRetryAfter
+	}
+	return sec
 }
 
 func (s *Server) handleSuites(w http.ResponseWriter, r *http.Request) {
@@ -239,12 +272,15 @@ func (s *Server) handleSuites(w http.ResponseWriter, r *http.Request) {
 	if s.maxStudyCost > 0 {
 		for i := range req.Studies {
 			if cost := req.Studies[i].CostEstimate(); cost > s.maxStudyCost {
+				retry := s.retryAfterSeconds()
+				w.Header().Set("Retry-After", strconv.Itoa(retry))
 				writeJSON(w, http.StatusTooManyRequests, costResponse{
 					Error: fmt.Sprintf("fleet: study %d estimated cost %d exceeds the admission bound %d (placements × measurements × reps)",
 						i, cost, s.maxStudyCost),
-					Study:        i,
-					Cost:         cost,
-					MaxStudyCost: s.maxStudyCost,
+					Study:             i,
+					Cost:              cost,
+					MaxStudyCost:      s.maxStudyCost,
+					RetryAfterSeconds: retry,
 				})
 				return
 			}
@@ -409,6 +445,13 @@ func (s *Server) handleStudyStream(w http.ResponseWriter, r *http.Request, fp st
 				return
 			}
 			writeSSE(w, "result", out.blob)
+			return
+		case <-s.draining:
+			// The daemon is shutting down: end the stream explicitly so the
+			// client can distinguish "server going away, resubscribe
+			// elsewhere" from a dropped connection, then release the handler
+			// so http.Server.Shutdown can complete.
+			writeSSE(w, "shutdown", []byte("{}"))
 			return
 		case <-r.Context().Done():
 			return

@@ -14,6 +14,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -240,6 +241,18 @@ func TestServerAdmissionControl(t *testing.T) {
 			}
 			if cr.Cost != tc.wantCost || cr.MaxStudyCost != 5000 || cr.Error == "" {
 				t.Errorf("%s: 429 body = %+v, want cost %d", tc.name, cr, tc.wantCost)
+			}
+			// A 429 tells the client when to come back: the Retry-After
+			// header and the body field must agree, and an idle scheduler
+			// (nothing in flight) advertises the 1s floor.
+			header := resp.Header.Get("Retry-After")
+			if header == "" {
+				t.Errorf("%s: 429 without Retry-After header", tc.name)
+			} else if sec, err := strconv.Atoi(header); err != nil || sec != cr.RetryAfterSeconds {
+				t.Errorf("%s: Retry-After header %q vs body retry_after_seconds %d", tc.name, header, cr.RetryAfterSeconds)
+			}
+			if cr.RetryAfterSeconds < 1 || cr.RetryAfterSeconds > maxRetryAfter {
+				t.Errorf("%s: retry_after_seconds = %d, want within [1, %d]", tc.name, cr.RetryAfterSeconds, maxRetryAfter)
 			}
 		}
 	}

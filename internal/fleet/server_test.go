@@ -279,6 +279,63 @@ func TestStudyStreamLaggedConsumer(t *testing.T) {
 	}
 }
 
+// TestStudyStreamShutdownDrain: DrainStreams makes an open SSE stream end
+// with a terminal "shutdown" event instead of hanging until the HTTP
+// server's shutdown deadline cuts the connection — the drain path relperfd
+// runs before http.Server.Shutdown.
+func TestStudyStreamShutdownDrain(t *testing.T) {
+	gate := make(chan struct{})
+	sched := New(Options{
+		Workers: 1,
+		Seed:    7,
+		// Park the study mid-compute so the stream is genuinely waiting on a
+		// result when the drain arrives.
+		Dispatch: func(ctx context.Context, task relperf.GridTask) ([]byte, error) {
+			<-gate
+			return nil, errors.New("test grid declines; run locally")
+		},
+	})
+	defer sched.Close()
+	defer close(gate)
+	srv := NewServer(sched)
+
+	fps, err := sched.SubmitSpecs([]StudySpec{{Workload: "tableI", LoopN: 2, Measurements: 6, Reps: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := fps[0]
+	waitUntil(t, "study computing", func() bool { return sched.Computing(fp) })
+
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "/v1/studies/"+fp+"?wait=stream", nil)
+	streamDone := make(chan struct{})
+	go func() {
+		defer close(streamDone)
+		srv.handleStudyStream(rec, req, fp)
+	}()
+	waitUntil(t, "stream subscribed", func() bool {
+		sched.subMu.Lock()
+		defer sched.subMu.Unlock()
+		return len(sched.subs) == 1
+	})
+
+	srv.DrainStreams()
+	srv.DrainStreams() // idempotent
+	select {
+	case <-streamDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stream did not end after DrainStreams")
+	}
+
+	body := rec.Body.String()
+	if !strings.Contains(body, "event: shutdown") {
+		t.Fatalf("drained stream missing shutdown event:\n%s", body)
+	}
+	if strings.Contains(body, "event: result") {
+		t.Fatalf("drained stream should not carry a result (study is parked):\n%s", body)
+	}
+}
+
 // waitUntil polls cond until it holds or the deadline passes.
 func waitUntil(t *testing.T, what string, cond func() bool) {
 	t.Helper()

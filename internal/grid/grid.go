@@ -16,11 +16,13 @@
 // under any assignment, and across worker failures.
 //
 // Failure handling is first-class. Studies are assigned by rendezvous
-// hashing (Registry.Pick); a failed request drops the worker and
-// deterministically reassigns the study to the next-ranked live worker,
-// and when no worker is available (or every attempt failed) Dispatch
-// returns an error, which makes the fleet scheduler run the study locally —
-// a degraded grid degrades to a single node, never to a failed suite.
+// hashing (Registry.Pick); a failed request marks the worker suspect in
+// the registry's health state machine (a streak of failures quarantines
+// it out of rotation — see State) and deterministically reassigns the
+// study to the next-ranked live worker, and when no worker is available
+// (or every attempt failed) Dispatch returns an error, which makes the
+// fleet scheduler run the study locally — a degraded grid degrades to a
+// single node, never to a failed suite.
 package grid
 
 import (
@@ -88,6 +90,13 @@ type Config struct {
 	RetryBase time.Duration
 	// RetryMax caps the backoff window (default DefaultRetryMax).
 	RetryMax time.Duration
+	// QuarantineThreshold is how many consecutive dispatch failures move
+	// a worker from suspect to quarantined (default
+	// DefaultQuarantineThreshold).
+	QuarantineThreshold int
+	// Quarantine is how long a quarantined worker is held out of
+	// rotation before its probation re-probe (default DefaultQuarantine).
+	Quarantine time.Duration
 	// Client is the HTTP client for worker requests; nil means a default
 	// client (no global timeout — the per-attempt context enforces one).
 	Client *http.Client
@@ -145,7 +154,7 @@ func New(cfg Config) *Coordinator {
 	if client == nil {
 		client = &http.Client{}
 	}
-	c := &Coordinator{cfg: cfg, reg: NewRegistry(cfg.TTL), client: client, sleep: sleepCtx}
+	c := &Coordinator{cfg: cfg, reg: newRegistry(cfg.TTL, cfg.QuarantineThreshold, cfg.Quarantine), client: client, sleep: sleepCtx}
 	c.registerMetrics()
 	return c
 }
@@ -164,10 +173,16 @@ func (c *Coordinator) registerMetrics() {
 		func() float64 { return float64(c.fallbacks.Load()) })
 	reg.GaugeFunc("grid_workers_live", "Workers with an unexpired heartbeat lease.",
 		func() float64 { return float64(c.reg.Stats().Workers) })
+	reg.GaugeFunc("grid_workers_quarantined", "Workers currently held out of rotation by quarantine.",
+		func() float64 { return float64(c.reg.Stats().Quarantined) })
 	reg.CounterFunc("grid_worker_expiries_total", "Workers expired by a missed heartbeat lease.",
 		func() float64 { return float64(c.reg.Stats().Expiries) })
-	reg.CounterFunc("grid_worker_drops_total", "Workers dropped after a failed dispatch.",
-		func() float64 { return float64(c.reg.Stats().Drops) })
+	reg.CounterFunc("grid_worker_failures_total", "Dispatch failures reported against workers.",
+		func() float64 { return float64(c.reg.Stats().Failures) })
+	reg.CounterFunc("grid_worker_quarantines_total", "Workers quarantined after consecutive dispatch failures.",
+		func() float64 { return float64(c.reg.Stats().Quarantines) })
+	reg.CounterFunc("grid_worker_recoveries_total", "Quarantined workers restored to healthy by a probation re-probe.",
+		func() float64 { return float64(c.reg.Stats().Recoveries) })
 	c.heartbeats = reg.Counter("grid_heartbeats_total", "Worker heartbeats accepted.")
 	c.attemptSeconds = reg.Histogram("grid_attempt_seconds",
 		"One remote dispatch attempt: submit, stream, verify.", nil)
@@ -344,6 +359,7 @@ func (c *Coordinator) Dispatch(ctx context.Context, task relperf.GridTask) ([]by
 		c.attemptSeconds.Observe(span.End.Sub(span.Start).Seconds())
 		if err == nil {
 			c.cfg.Obs.Trace().Add(task.Fingerprint, span)
+			c.reg.ReportSuccess(w.ID)
 			c.remote.Add(1)
 			c.record(task, w.ID, attempts, "remote", nil)
 			return blob, nil
@@ -358,11 +374,13 @@ func (c *Coordinator) Dispatch(ctx context.Context, task relperf.GridTask) ([]by
 			c.record(task, w.ID, attempts, "cancelled", err)
 			return nil, err
 		}
-		// The worker failed us: drop it (its next heartbeat re-registers
-		// it if it is actually alive) and rehash onto the next-ranked one.
+		// The worker failed us: report it to the health machine (one
+		// failure marks it suspect, a streak quarantines it — but a single
+		// flake never unregisters it), exclude it for this study's
+		// remaining attempts, and rehash onto the next-ranked worker.
 		c.retries.Add(1)
 		excluded[w.ID] = true
-		c.reg.Drop(w.ID)
+		c.reg.ReportFailure(w.ID)
 		c.logf("grid: study %s attempt %d on %s failed: %v (reassigning)", task.Fingerprint, attempts, w.ID, err)
 	}
 	c.fallbacks.Add(1)

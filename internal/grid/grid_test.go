@@ -190,11 +190,16 @@ func TestGridByteIdentityUnderWorkerDeath(t *testing.T) {
 	if stats.Remote != uint64(len(want)) {
 		t.Fatalf("remote = %d, want %d", stats.Remote, len(want))
 	}
-	// The dead worker was dropped from the registry.
-	for _, w := range coord.Registry().Alive() {
-		if w.ID == "dying" {
-			t.Fatal("dead worker still registered")
-		}
+	// The dying worker stays registered — quarantine holds flaky workers
+	// out of rotation instead of forgetting them — but its failure streak
+	// is on the record and, with three studies failed against it, it is
+	// quarantined out of dispatch.
+	st := stateOf(t, coord.Registry(), "dying")
+	if st.Failures == 0 {
+		t.Fatalf("dying worker carries no failure record: %+v", st)
+	}
+	if st.Failures >= DefaultQuarantineThreshold && st.State != StateQuarantined {
+		t.Fatalf("dying worker past threshold but not quarantined: %+v", st)
 	}
 }
 

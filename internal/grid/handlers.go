@@ -70,17 +70,19 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, heartbeatResponse{Status: "ok", TTLMs: c.reg.TTL().Milliseconds()})
 }
 
-// workersResponse is the GET /v1/grid/workers body.
+// workersResponse is the GET /v1/grid/workers body: every registered
+// worker with its health-machine state and consecutive-failure count,
+// plus registry occupancy and dispatch counters.
 type workersResponse struct {
-	Workers  []WorkerInfo  `json:"workers"`
-	Registry RegistryStats `json:"registry"`
-	Dispatch Stats         `json:"dispatch"`
+	Workers  []WorkerStatus `json:"workers"`
+	Registry RegistryStats  `json:"registry"`
+	Dispatch Stats          `json:"dispatch"`
 }
 
 func (c *Coordinator) handleWorkers(w http.ResponseWriter, r *http.Request) {
-	workers := c.reg.Alive()
+	workers := c.reg.Workers()
 	if workers == nil {
-		workers = []WorkerInfo{}
+		workers = []WorkerStatus{}
 	}
 	writeJSON(w, http.StatusOK, workersResponse{Workers: workers, Registry: c.reg.Stats(), Dispatch: c.Stats()})
 }
@@ -133,6 +135,11 @@ func Heartbeat(ctx context.Context, client *http.Client, coordinatorURL string, 
 // TTL cannot turn workers into heartbeat busy-loops.
 const minHeartbeatInterval = 100 * time.Millisecond
 
+// DefaultHeartbeatTimeout caps one heartbeat request when RunHeartbeats
+// is handed a nil client; relperfd's -grid-heartbeat-timeout overrides it
+// by passing an explicit client.
+const DefaultHeartbeatTimeout = 10 * time.Second
+
 // heartbeatMaxBackoff caps the unreachable-coordinator backoff: long
 // enough that a dead coordinator is not hammered, short enough that a
 // failed-over one regains its whole fleet within seconds.
@@ -179,7 +186,7 @@ func RunHeartbeats(ctx context.Context, client *http.Client, coordinatorURL stri
 		interval = DefaultTTL / 3
 	}
 	if client == nil {
-		client = &http.Client{Timeout: 10 * time.Second}
+		client = &http.Client{Timeout: DefaultHeartbeatTimeout}
 	}
 	if logf == nil {
 		logf = func(string, ...any) {}

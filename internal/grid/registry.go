@@ -15,6 +15,43 @@ import (
 // DefaultTTL is how long a worker stays live after its last heartbeat.
 const DefaultTTL = 15 * time.Second
 
+// Quarantine defaults: a worker is quarantined after
+// DefaultQuarantineThreshold consecutive dispatch failures and held out of
+// rotation for DefaultQuarantine before its probation re-probe.
+const (
+	DefaultQuarantineThreshold = 3
+	DefaultQuarantine          = 5 * time.Second
+)
+
+// State is a worker's position in the registry's health state machine:
+//
+//	healthy ──failure──▶ suspect ──K consecutive failures──▶ quarantined
+//	   ▲                    │                                     │
+//	   │◀──────success──────┘                             window elapses
+//	   │                                                          ▼
+//	   └───────success (the re-probe)────────────────────── probation
+//	                                                              │
+//	                                          failure ────────────┘ (back
+//	                                          to quarantined, fresh window)
+//
+// Workers in any state are evicted only by TTL expiry (no heartbeat for a
+// full TTL): a flaky worker is held out of dispatch, never forgotten.
+type State string
+
+const (
+	// StateHealthy: in rotation, no recent failures.
+	StateHealthy State = "healthy"
+	// StateSuspect: still in rotation, but carrying consecutive dispatch
+	// failures; one success clears it, K consecutive failures quarantine it.
+	StateSuspect State = "suspect"
+	// StateQuarantined: held out of rotation until its window elapses.
+	StateQuarantined State = "quarantined"
+	// StateProbation: the quarantine window elapsed; the worker is back in
+	// rotation and its next dispatch is the probe — success restores
+	// healthy, failure re-quarantines with a fresh window.
+	StateProbation State = "probation"
+)
+
 // WorkerInfo is one worker's registration, the POST /v1/grid/workers body.
 // Workers re-announce themselves every TTL/3; a worker that falls silent
 // for a full TTL expires from the registry.
@@ -32,74 +69,190 @@ type WorkerInfo struct {
 	// compute different bytes and silently break the determinism
 	// contract.
 	Seed uint64 `json:"seed"`
+	// Epoch identifies one process incarnation of the worker (relperfd
+	// stamps it at startup). A heartbeat carrying a new epoch is a
+	// restarted process — the registry resets the worker's failure state
+	// to healthy, which is how a supervised worker re-enters rotation
+	// immediately after a restart instead of serving out a quarantine
+	// earned by its dead predecessor. 0 (a worker predating the field)
+	// never resets.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
-// workerState is a registered worker plus its liveness bookkeeping.
+// WorkerStatus is one worker's registration plus its health-machine
+// position — the GET /v1/grid/workers row.
+type WorkerStatus struct {
+	WorkerInfo
+	// State is the worker's current health state.
+	State State `json:"state"`
+	// Failures counts consecutive dispatch failures since the last
+	// success (or restart).
+	Failures int `json:"failures"`
+}
+
+// workerState is a registered worker plus its liveness and health
+// bookkeeping.
 type workerState struct {
 	info     WorkerInfo
 	lastSeen time.Time
+
+	state    State
+	failures int // consecutive dispatch failures
+	// quarantinedUntil is when a quarantined worker becomes probation;
+	// meaningful only in StateQuarantined.
+	quarantinedUntil time.Time
 }
 
-// Registry tracks the live workers of a coordinator. Heartbeats register
-// and refresh workers; workers expire after TTL without one, and the
-// dispatcher drops a worker immediately when a request to it fails — the
-// worker's next heartbeat re-registers it, so a transient failure costs
-// one heartbeat interval, not an operator action.
+// Registry tracks the live workers of a coordinator with a per-worker
+// health state machine. Heartbeats register and refresh workers; workers
+// expire after TTL without one. Dispatch outcomes drive the health
+// machine: failures mark a worker suspect and, after K consecutive ones,
+// quarantine it out of rotation for a window; a success (including the
+// probation re-probe) restores it. A single flaky response therefore
+// costs one suspect mark, not the worker's registration.
 type Registry struct {
-	ttl time.Duration
-	now func() time.Time
+	ttl        time.Duration
+	threshold  int           // consecutive failures before quarantine
+	quarantine time.Duration // how long a quarantined worker sits out
+	now        func() time.Time
 
-	mu       sync.Mutex
-	workers  map[string]*workerState
-	expiries uint64
-	drops    uint64
+	mu          sync.Mutex
+	workers     map[string]*workerState
+	expiries    uint64
+	failCount   uint64 // dispatch failures reported
+	quarantines uint64 // healthy/suspect/probation → quarantined transitions
+	recoveries  uint64 // probation → healthy transitions
 }
 
-// NewRegistry returns an empty registry; ttl <= 0 means DefaultTTL.
+// NewRegistry returns an empty registry with default quarantine
+// parameters; ttl <= 0 means DefaultTTL.
 func NewRegistry(ttl time.Duration) *Registry {
+	return newRegistry(ttl, 0, 0)
+}
+
+// newRegistry is the fully parameterized constructor the coordinator
+// uses; zero values mean defaults.
+func newRegistry(ttl time.Duration, threshold int, quarantine time.Duration) *Registry {
 	if ttl <= 0 {
 		ttl = DefaultTTL
 	}
-	return &Registry{ttl: ttl, now: time.Now, workers: make(map[string]*workerState)}
+	if threshold <= 0 {
+		threshold = DefaultQuarantineThreshold
+	}
+	if quarantine <= 0 {
+		quarantine = DefaultQuarantine
+	}
+	return &Registry{
+		ttl:        ttl,
+		threshold:  threshold,
+		quarantine: quarantine,
+		now:        time.Now,
+		workers:    make(map[string]*workerState),
+	}
 }
 
 // TTL returns the registry's expiry window.
 func (r *Registry) TTL() time.Duration { return r.ttl }
 
-// Heartbeat registers the worker or refreshes its lease.
+// Heartbeat registers the worker or refreshes its lease. A re-register
+// after TTL eviction starts healthy; a heartbeat from a known worker
+// keeps its health state — a quarantined worker stays quarantined however
+// loudly it heartbeats, because quarantine tracks dispatch behaviour, not
+// liveness. The exception is a new process epoch: a restarted worker is a
+// fresh process with none of its predecessor's flakiness, so its failure
+// state resets to healthy.
 func (r *Registry) Heartbeat(info WorkerInfo) error {
 	if info.ID == "" || info.URL == "" {
 		return fmt.Errorf("grid: worker heartbeat requires id and url")
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.workers[info.ID] = &workerState{info: info, lastSeen: r.now()}
+	now := r.now()
+	if w, ok := r.workers[info.ID]; ok {
+		restarted := info.Epoch != 0 && info.Epoch != w.info.Epoch
+		w.info = info
+		w.lastSeen = now
+		if restarted {
+			w.state = StateHealthy
+			w.failures = 0
+		}
+		return nil
+	}
+	r.workers[info.ID] = &workerState{info: info, lastSeen: now, state: StateHealthy}
 	return nil
 }
 
-// Drop removes a worker immediately — the dispatcher's reaction to a
-// failed request. A live worker's next heartbeat re-registers it.
-func (r *Registry) Drop(id string) {
+// ReportFailure records one failed dispatch against the worker: healthy
+// becomes suspect, the threshold'th consecutive failure (or any failure
+// during probation) quarantines it for the configured window. Unknown
+// workers are ignored — the failure may race the worker's TTL expiry.
+func (r *Registry) ReportFailure(id string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, ok := r.workers[id]; ok {
-		delete(r.workers, id)
-		r.drops++
+	r.pruneLocked() // graduate an elapsed quarantine before judging the state
+	w, ok := r.workers[id]
+	if !ok {
+		return
+	}
+	r.failCount++
+	w.failures++
+	switch {
+	case w.state == StateProbation:
+		// The re-probe failed: straight back to quarantine, fresh window.
+		r.quarantineLocked(w)
+	case w.failures >= r.threshold && w.state != StateQuarantined:
+		r.quarantineLocked(w)
+	case w.state == StateHealthy:
+		w.state = StateSuspect
 	}
 }
 
-// pruneLocked expires workers whose last heartbeat is older than TTL.
+// ReportSuccess records one successful dispatch: consecutive-failure
+// count resets and the worker is healthy — for a probation worker this is
+// the re-probe passing.
+func (r *Registry) ReportSuccess(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.pruneLocked() // graduate an elapsed quarantine so the probe counts
+	w, ok := r.workers[id]
+	if !ok {
+		return
+	}
+	if w.state == StateProbation {
+		r.recoveries++
+	}
+	w.state = StateHealthy
+	w.failures = 0
+}
+
+// quarantineLocked moves w out of rotation for the configured window.
+func (r *Registry) quarantineLocked(w *workerState) {
+	w.state = StateQuarantined
+	w.quarantinedUntil = r.now().Add(r.quarantine)
+	r.quarantines++
+}
+
+// pruneLocked expires workers whose last heartbeat is older than TTL —
+// the only transition that removes a worker — and graduates quarantined
+// workers whose window has elapsed into probation.
 func (r *Registry) pruneLocked() {
-	deadline := r.now().Add(-r.ttl)
+	now := r.now()
+	deadline := now.Add(-r.ttl)
 	for id, w := range r.workers {
 		if w.lastSeen.Before(deadline) {
 			delete(r.workers, id)
 			r.expiries++
+			continue
+		}
+		if w.state == StateQuarantined && !now.Before(w.quarantinedUntil) {
+			w.state = StateProbation
 		}
 	}
 }
 
-// Alive returns the live workers sorted by ID, pruning expired ones.
+// Alive returns the registered (unexpired) workers sorted by ID, in every
+// health state — "alive" means the lease is current, not that dispatch
+// trusts the worker; see Workers for the health view.
 func (r *Registry) Alive() []WorkerInfo {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -112,29 +265,73 @@ func (r *Registry) Alive() []WorkerInfo {
 	return out
 }
 
-// Stats reports the registry's lifecycle counters.
-type RegistryStats struct {
-	Workers  int    `json:"workers"`
-	Expiries uint64 `json:"expiries"`
-	Drops    uint64 `json:"drops"`
+// Workers returns every registered worker with its health state and
+// consecutive-failure count, sorted by ID — the GET /v1/grid/workers
+// listing.
+func (r *Registry) Workers() []WorkerStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.pruneLocked()
+	out := make([]WorkerStatus, 0, len(r.workers))
+	for _, w := range r.workers {
+		out = append(out, WorkerStatus{WorkerInfo: w.info, State: w.state, Failures: w.failures})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }
 
-// Stats returns a snapshot of the counters (pruning first, so Workers
-// counts only live workers).
+// RegistryStats reports the registry's lifecycle counters and per-state
+// occupancy.
+type RegistryStats struct {
+	Workers     int    `json:"workers"`
+	Healthy     int    `json:"healthy"`
+	Suspect     int    `json:"suspect"`
+	Quarantined int    `json:"quarantined"`
+	Probation   int    `json:"probation"`
+	Expiries    uint64 `json:"expiries"`
+	Failures    uint64 `json:"failures"`
+	Quarantines uint64 `json:"quarantines"`
+	Recoveries  uint64 `json:"recoveries"`
+}
+
+// Stats returns a snapshot of the counters (pruning first, so the
+// occupancy counts reflect current leases and elapsed quarantines).
 func (r *Registry) Stats() RegistryStats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.pruneLocked()
-	return RegistryStats{Workers: len(r.workers), Expiries: r.expiries, Drops: r.drops}
+	st := RegistryStats{
+		Workers:     len(r.workers),
+		Expiries:    r.expiries,
+		Failures:    r.failCount,
+		Quarantines: r.quarantines,
+		Recoveries:  r.recoveries,
+	}
+	for _, w := range r.workers {
+		switch w.state {
+		case StateHealthy:
+			st.Healthy++
+		case StateSuspect:
+			st.Suspect++
+		case StateQuarantined:
+			st.Quarantined++
+		case StateProbation:
+			st.Probation++
+		}
+	}
+	return st
 }
 
 // Pick chooses the worker a study is assigned to by rendezvous hashing:
-// every live worker outside the exclusion set is scored by mixing the
-// study's fingerprint key with the worker's ID hash, and the highest score
-// wins. Assignments therefore spread studies evenly, stay stable while the
-// worker set is stable, and — the retry property — reassigning after
-// excluding a failed worker deterministically lands on the next-ranked
-// one, with no central assignment table to keep consistent.
+// every live, non-quarantined worker outside the exclusion set is scored
+// by mixing the study's fingerprint key with the worker's ID hash, and
+// the highest score wins. Assignments therefore spread studies evenly,
+// stay stable while the worker set is stable, and — the retry property —
+// reassigning after excluding a failed worker deterministically lands on
+// the next-ranked one, with no central assignment table to keep
+// consistent. Quarantined workers are invisible here until their window
+// elapses into probation, at which point the next Pick that ranks them
+// first is their re-probe.
 func (r *Registry) Pick(fingerprint string, exclude map[string]bool) (WorkerInfo, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -143,7 +340,7 @@ func (r *Registry) Pick(fingerprint string, exclude map[string]bool) (WorkerInfo
 	var best *workerState
 	var bestScore uint64
 	for id, w := range r.workers {
-		if exclude[id] {
+		if exclude[id] || w.state == StateQuarantined {
 			continue
 		}
 		score := xrand.Mix(fpKey, idHash(id))

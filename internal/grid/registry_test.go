@@ -56,18 +56,218 @@ func TestRegistryHeartbeatAndExpiry(t *testing.T) {
 	}
 }
 
-func TestRegistryDrop(t *testing.T) {
-	r, _ := newTestRegistry(0)
+// newQuarantineRegistry builds a registry with explicit health-machine
+// parameters and a fake clock.
+func newQuarantineRegistry(ttl time.Duration, threshold int, quarantine time.Duration) (*Registry, *fakeClock) {
+	r := newRegistry(ttl, threshold, quarantine)
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	r.now = clk.now
+	return r, clk
+}
+
+// stateOf reads one worker's status row, failing if it is not registered.
+func stateOf(t *testing.T, r *Registry, id string) WorkerStatus {
+	t.Helper()
+	for _, w := range r.Workers() {
+		if w.ID == id {
+			return w
+		}
+	}
+	t.Fatalf("worker %s not registered: %v", id, r.Workers())
+	return WorkerStatus{}
+}
+
+// TestRegistryQuarantineStateMachine walks the full health machine:
+// healthy → suspect on one failure → quarantined on the K-th → invisible
+// to Pick → probation once the window elapses → healthy on the re-probe
+// success, with counters reset; and a probation failure re-quarantines
+// with a fresh window.
+func TestRegistryQuarantineStateMachine(t *testing.T) {
+	r, clk := newQuarantineRegistry(time.Minute, 3, 5*time.Second)
 	r.Heartbeat(worker(0))
 	r.Heartbeat(worker(1))
-	r.Drop("w0")
-	r.Drop("w0") // double drop counts once
-	if alive := r.Alive(); len(alive) != 1 || alive[0].ID != "w1" {
-		t.Fatalf("Alive() = %v", alive)
+
+	// One flaky response: suspect, still in rotation.
+	r.ReportFailure("w0")
+	if st := stateOf(t, r, "w0"); st.State != StateSuspect || st.Failures != 1 {
+		t.Fatalf("after one failure: %+v", st)
 	}
-	if st := r.Stats(); st.Drops != 1 {
-		t.Fatalf("stats = %+v", st)
+	pickable := false
+	for i := 0; i < 64; i++ {
+		fp := fmt.Sprintf("%016x%016x", uint64(i+1)*0x9E3779B97F4A7C15, uint64(i))
+		if w, ok := r.Pick(fp, nil); ok && w.ID == "w0" {
+			pickable = true
+			break
+		}
 	}
+	if !pickable {
+		t.Fatal("suspect worker fell out of rotation")
+	}
+
+	// A success clears the streak entirely.
+	r.ReportSuccess("w0")
+	if st := stateOf(t, r, "w0"); st.State != StateHealthy || st.Failures != 0 {
+		t.Fatalf("after recovery: %+v", st)
+	}
+
+	// K consecutive failures quarantine; Pick must never choose it.
+	for i := 0; i < 3; i++ {
+		r.ReportFailure("w0")
+	}
+	if st := stateOf(t, r, "w0"); st.State != StateQuarantined || st.Failures != 3 {
+		t.Fatalf("after threshold: %+v", st)
+	}
+	for i := 0; i < 64; i++ {
+		fp := fmt.Sprintf("%016x%016x", uint64(i+1)*0x9E3779B97F4A7C15, uint64(i))
+		if w, ok := r.Pick(fp, nil); !ok || w.ID == "w0" {
+			t.Fatalf("quarantined worker picked (fp %s → %v %v)", fp, w, ok)
+		}
+	}
+	// Still registered — quarantine holds a worker out, never forgets it.
+	if len(r.Alive()) != 2 {
+		t.Fatalf("quarantine unregistered the worker: %v", r.Alive())
+	}
+
+	// Window elapses → probation, back in rotation.
+	clk.advance(5 * time.Second)
+	if st := stateOf(t, r, "w0"); st.State != StateProbation {
+		t.Fatalf("after window: %+v", st)
+	}
+	back := false
+	for i := 0; i < 64; i++ {
+		fp := fmt.Sprintf("%016x%016x", uint64(i+1)*0x9E3779B97F4A7C15, uint64(i))
+		if w, ok := r.Pick(fp, nil); ok && w.ID == "w0" {
+			back = true
+			break
+		}
+	}
+	if !back {
+		t.Fatal("probation worker never re-entered rotation")
+	}
+
+	// Probation failure: straight back to quarantine with a fresh window.
+	r.ReportFailure("w0")
+	if st := stateOf(t, r, "w0"); st.State != StateQuarantined {
+		t.Fatalf("after probation failure: %+v", st)
+	}
+	clk.advance(3 * time.Second) // old window would have elapsed; fresh one has not
+	if st := stateOf(t, r, "w0"); st.State != StateQuarantined {
+		t.Fatalf("fresh quarantine window not honoured: %+v", st)
+	}
+	clk.advance(2 * time.Second)
+
+	// Probation success: healthy, counters reset (the satellite case).
+	r.ReportSuccess("w0")
+	if st := stateOf(t, r, "w0"); st.State != StateHealthy || st.Failures != 0 {
+		t.Fatalf("after probation success: %+v", st)
+	}
+	stats := r.Stats()
+	if stats.Quarantines != 2 || stats.Recoveries != 1 || stats.Failures != 5 {
+		t.Fatalf("stats = %+v, want 2 quarantines, 1 recovery, 5 failures", stats)
+	}
+}
+
+// TestRegistryEpochResetsQuarantine: a heartbeat carrying a new process
+// epoch is a restarted worker — its predecessor's failure streak must not
+// keep the fresh process out of rotation.
+func TestRegistryEpochResetsQuarantine(t *testing.T) {
+	r, _ := newQuarantineRegistry(time.Minute, 2, time.Hour)
+	w := worker(0)
+	w.Epoch = 1
+	r.Heartbeat(w)
+	r.ReportFailure("w0")
+	r.ReportFailure("w0")
+	if st := stateOf(t, r, "w0"); st.State != StateQuarantined {
+		t.Fatalf("setup: %+v", st)
+	}
+	// Same epoch heartbeating changes nothing.
+	r.Heartbeat(w)
+	if st := stateOf(t, r, "w0"); st.State != StateQuarantined {
+		t.Fatalf("same-epoch heartbeat cleared quarantine: %+v", st)
+	}
+	// New epoch: the restarted process starts healthy.
+	w.Epoch = 2
+	r.Heartbeat(w)
+	if st := stateOf(t, r, "w0"); st.State != StateHealthy || st.Failures != 0 {
+		t.Fatalf("new-epoch heartbeat did not reset: %+v", st)
+	}
+	// Epoch 0 (a worker predating the field) never resets.
+	r.ReportFailure("w0")
+	w.Epoch = 0
+	r.Heartbeat(w)
+	if st := stateOf(t, r, "w0"); st.State != StateSuspect {
+		t.Fatalf("zero-epoch heartbeat reset state: %+v", st)
+	}
+}
+
+// TestRegistryTTLEdgeCases pins the expiry boundary semantics with an
+// injectable clock: a heartbeat landing exactly at TTL expiry keeps the
+// worker (expiry requires strictly-older), re-registration after eviction
+// starts a fresh healthy record while the expiry counter stays monotonic,
+// and quarantined workers expire like any other.
+func TestRegistryTTLEdgeCases(t *testing.T) {
+	const ttl = 10 * time.Second
+	t.Run("heartbeat exactly at expiry keeps the lease", func(t *testing.T) {
+		r, clk := newQuarantineRegistry(ttl, 3, time.Second)
+		r.Heartbeat(worker(0))
+		clk.advance(ttl)
+		// lastSeen == now-ttl: the deadline comparison is strict, so the
+		// worker survives this instant...
+		if alive := r.Alive(); len(alive) != 1 {
+			t.Fatalf("worker expired exactly at TTL: %v", alive)
+		}
+		// ...and a heartbeat at this exact instant renews for a full TTL.
+		r.Heartbeat(worker(0))
+		clk.advance(ttl)
+		if alive := r.Alive(); len(alive) != 1 {
+			t.Fatalf("boundary heartbeat did not renew: %v", alive)
+		}
+		clk.advance(time.Nanosecond)
+		if alive := r.Alive(); len(alive) != 0 {
+			t.Fatalf("worker survived past TTL: %v", alive)
+		}
+	})
+	t.Run("re-register after eviction keeps monotonic counters", func(t *testing.T) {
+		r, clk := newQuarantineRegistry(ttl, 2, time.Second)
+		r.Heartbeat(worker(0))
+		r.ReportFailure("w0")
+		r.ReportFailure("w0") // quarantined
+		clk.advance(ttl + time.Second)
+		if alive := r.Alive(); len(alive) != 0 {
+			t.Fatalf("quarantined worker did not TTL-expire: %v", alive)
+		}
+		st := r.Stats()
+		if st.Expiries != 1 || st.Quarantines != 1 || st.Failures != 2 {
+			t.Fatalf("counters after eviction: %+v", st)
+		}
+		// The returning worker is a fresh healthy record; lifecycle
+		// counters never decrease.
+		r.Heartbeat(worker(0))
+		if got := stateOf(t, r, "w0"); got.State != StateHealthy || got.Failures != 0 {
+			t.Fatalf("re-registered worker: %+v", got)
+		}
+		st2 := r.Stats()
+		if st2.Expiries != 1 || st2.Quarantines != 1 || st2.Failures != 2 {
+			t.Fatalf("counters moved on re-register: %+v", st2)
+		}
+		// A second eviction counts on top of the first.
+		clk.advance(ttl + time.Second)
+		r.Alive()
+		if st3 := r.Stats(); st3.Expiries != 2 {
+			t.Fatalf("expiries not monotonic: %+v", st3)
+		}
+	})
+	t.Run("failure report racing an expiry is a no-op", func(t *testing.T) {
+		r, clk := newQuarantineRegistry(ttl, 2, time.Second)
+		r.Heartbeat(worker(0))
+		clk.advance(ttl + time.Second)
+		r.Alive() // prunes
+		r.ReportFailure("w0")
+		r.ReportSuccess("w0")
+		if st := r.Stats(); st.Workers != 0 || st.Failures != 0 {
+			t.Fatalf("reports against an expired worker mutated state: %+v", st)
+		}
+	})
 }
 
 // TestRegistryPick: rendezvous assignment is deterministic, spreads
@@ -75,7 +275,7 @@ func TestRegistryDrop(t *testing.T) {
 // next-ranked worker, and stays stable for fingerprints whose top choice
 // is unaffected by an unrelated worker loss.
 func TestRegistryPick(t *testing.T) {
-	r, _ := newTestRegistry(0)
+	r, clk := newTestRegistry(0)
 	for i := 0; i < 4; i++ {
 		r.Heartbeat(worker(i))
 	}
@@ -120,7 +320,13 @@ func TestRegistryPick(t *testing.T) {
 			t.Fatalf("exclusion did not reassign %s", fp)
 		}
 	}
-	r.Drop("w0")
+	// Losing w0 (TTL expiry — the only removal) must not move any study
+	// assigned to a surviving worker.
+	clk.advance(10 * time.Second)
+	for i := 1; i < 4; i++ {
+		r.Heartbeat(worker(i))
+	}
+	clk.advance(6 * time.Second) // w0's lease (default 15s) lapses; w1-w3 stay
 	for _, fp := range fps {
 		if first[fp] == "w0" {
 			continue

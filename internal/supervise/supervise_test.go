@@ -1,0 +1,239 @@
+package supervise
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"relperf/internal/obs"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out after %s waiting for %s", d, what)
+}
+
+func TestRestartDelaySchedule(t *testing.T) {
+	base, max := 100*time.Millisecond, 800*time.Millisecond
+	const key = 12345
+	window := base
+	for attempt := 1; attempt <= 8; attempt++ {
+		d := RestartDelay(base, max, attempt, key)
+		if d < window/2 || d > window {
+			t.Errorf("attempt %d: delay %s outside [%s, %s]", attempt, d, window/2, window)
+		}
+		if again := RestartDelay(base, max, attempt, key); again != d {
+			t.Errorf("attempt %d: schedule not deterministic: %s then %s", attempt, d, again)
+		}
+		if window < max {
+			window *= 2
+			if window > max {
+				window = max
+			}
+		}
+	}
+	// Past the cap the window must stop growing.
+	if d := RestartDelay(base, max, 20, key); d < max/2 || d > max {
+		t.Errorf("capped delay %s outside [%s, %s]", d, max/2, max)
+	}
+	// Different keys must decorrelate inside the same window.
+	same := 0
+	for attempt := 1; attempt <= 8; attempt++ {
+		if RestartDelay(base, max, attempt, 1) == RestartDelay(base, max, attempt, 2) {
+			same++
+		}
+	}
+	if same == 8 {
+		t.Error("jitter key has no effect on the schedule")
+	}
+}
+
+func TestSupervisorCrashLoop(t *testing.T) {
+	o := obs.New()
+	s, err := New(Config{
+		Name:          "doomed",
+		Command:       []string{"sh", "-c", "exit 1"},
+		BackoffBase:   time.Millisecond,
+		BackoffMax:    4 * time.Millisecond,
+		RestartBudget: 3,
+		RestartWindow: time.Minute,
+		Logf:          t.Logf,
+		Obs:           o,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = s.Run(context.Background())
+	if !errors.Is(err, ErrCrashLoop) {
+		t.Fatalf("Run = %v, want ErrCrashLoop", err)
+	}
+	if got := s.State(); got != StateCrashLoop {
+		t.Errorf("state = %s, want %s", got, StateCrashLoop)
+	}
+	// Budget 3 tolerates 3 exits; the 4th trips the loop detector, so the
+	// child was restarted exactly 3 times.
+	if got := s.Restarts(); got != 3 {
+		t.Errorf("restarts = %d, want 3", got)
+	}
+	var counter, gauge float64
+	for _, m := range o.Reg().Snapshot() {
+		if m.Value == nil {
+			continue
+		}
+		switch m.Name {
+		case "supervise_restarts_total":
+			counter = *m.Value
+		case "supervise_state":
+			gauge = *m.Value
+		}
+	}
+	if counter != 3 {
+		t.Errorf("supervise_restarts_total = %v, want 3", counter)
+	}
+	if gauge != float64(stateCode(StateCrashLoop)) {
+		t.Errorf("supervise_state = %v, want %d", gauge, stateCode(StateCrashLoop))
+	}
+}
+
+func TestSupervisorRestartsKilledChildAfterReadiness(t *testing.T) {
+	// The readiness endpoint stands in for the child's /v1/healthz: it
+	// fails twice before answering 200, proving the supervisor keeps
+	// probing instead of declaring ready on the first poll.
+	var probes atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if probes.Add(1) <= 2 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	s, err := New(Config{
+		Name:          "sleeper",
+		Command:       []string{"sh", "-c", "sleep 60"},
+		BackoffBase:   time.Millisecond,
+		BackoffMax:    8 * time.Millisecond,
+		RestartBudget: 100,
+		ReadyURL:      srv.URL,
+		ReadyTimeout:  5 * time.Second,
+		ShutdownGrace: time.Second,
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Run(ctx) }()
+
+	waitFor(t, 5*time.Second, "first readiness", func() bool { return s.State() == StateReady })
+	if probes.Load() < 3 {
+		t.Errorf("ready after %d probes, want >= 3 (two refusals first)", probes.Load())
+	}
+	pid := s.Pid()
+	if pid == 0 {
+		t.Fatal("no child pid while ready")
+	}
+
+	// Kill the child out from under the supervisor; it must restart it
+	// and probe it back to ready.
+	if err := s.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "restart after SIGKILL", func() bool {
+		return s.Restarts() >= 1 && s.State() == StateReady && s.Pid() != pid
+	})
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("Run after cancel = %v, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after cancel")
+	}
+	if got := s.State(); got != StateStopped {
+		t.Errorf("state = %s, want %s", got, StateStopped)
+	}
+}
+
+func TestSupervisorShutdownEscalatesToKill(t *testing.T) {
+	// A child that ignores SIGTERM must be SIGKILLed after the grace
+	// window rather than wedging shutdown.
+	s, err := New(Config{
+		Name:          "stubborn",
+		Command:       []string{"sh", "-c", `trap "" TERM; sleep 60 & wait`},
+		ShutdownGrace: 200 * time.Millisecond,
+		RestartBudget: 100,
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Run(ctx) }()
+	waitFor(t, 5*time.Second, "child up", func() bool { return s.Pid() != 0 })
+	// Give sh a beat to install the trap before asking it to die.
+	time.Sleep(50 * time.Millisecond)
+
+	start := time.Now()
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("Run = %v, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return: SIGKILL escalation failed")
+	}
+	if waited := time.Since(start); waited < 150*time.Millisecond {
+		t.Errorf("shutdown took %s: grace window was not honored before SIGKILL", waited)
+	}
+}
+
+func TestSupervisorCleanShutdownOnTerm(t *testing.T) {
+	s, err := New(Config{
+		Name:          "polite",
+		Command:       []string{"sh", "-c", `trap "exit 0" TERM; sleep 60 & wait`},
+		ShutdownGrace: 5 * time.Second,
+		RestartBudget: 100,
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Run(ctx) }()
+	waitFor(t, 5*time.Second, "child up", func() bool { return s.Pid() != 0 })
+	time.Sleep(50 * time.Millisecond)
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("Run = %v, want nil", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("polite child did not produce a prompt clean shutdown")
+	}
+	if got := s.State(); got != StateStopped {
+		t.Errorf("state = %s, want %s", got, StateStopped)
+	}
+}
