@@ -28,8 +28,12 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Static checks: go vet plus the metrics-name lint, which enforces the
+# snake_case / _total / unit-suffix naming contract on every registry
+# registration (see cmd/metricslint).
 vet:
 	$(GO) vet ./...
+	$(GO) run ./cmd/metricslint .
 
 # Runs each wire-format fuzzer for FUZZTIME on top of the committed seed
 # corpus: spec parsing, result decoding, suite-request decoding, WAL frame

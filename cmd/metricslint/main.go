@@ -1,0 +1,164 @@
+// Command metricslint is the build-time metrics-name police: it walks the
+// repository's Go sources for obs.Registry registrations — Counter,
+// CounterFunc, Gauge, GaugeFunc, Histogram calls whose first argument is
+// a string literal — and fails (exit 1) when a name breaks the naming
+// contract the exposition and the README's metrics table rely on:
+//
+//   - every name is snake_case: [a-z][a-z0-9_]*
+//   - counters end in _total (Prometheus counter convention)
+//   - gauges do NOT end in _total (a gauge is not a counter)
+//   - histograms end in a unit suffix: _seconds, _bytes or _ns
+//
+// Wired into `make vet` and CI, so a misnamed series never reaches the
+// golden exposition test — it fails with a named file:line instead of a
+// golden diff. Usage: metricslint [root] (default ".").
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// registration methods of obs.Registry, by metric kind.
+var methodKinds = map[string]string{
+	"Counter":     "counter",
+	"CounterFunc": "counter",
+	"Gauge":       "gauge",
+	"GaugeFunc":   "gauge",
+	"Histogram":   "histogram",
+}
+
+var snakeCase = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// histogramUnits are the accepted histogram unit suffixes.
+var histogramUnits = []string{"_seconds", "_bytes", "_ns"}
+
+// violation is one naming-contract breach, with enough position to fix it.
+type violation struct {
+	pos  token.Position
+	name string
+	msg  string
+}
+
+// lintFile checks every registration call in one parsed file.
+func lintFile(fset *token.FileSet, f *ast.File) []violation {
+	var out []violation
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		kind, ok := methodKinds[sel.Sel.Name]
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		lit, ok := call.Args[0].(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			return true
+		}
+		name, err := strconv.Unquote(lit.Value)
+		if err != nil {
+			return true
+		}
+		pos := fset.Position(lit.Pos())
+		if !snakeCase.MatchString(name) {
+			out = append(out, violation{pos, name, fmt.Sprintf("%s name is not snake_case ([a-z][a-z0-9_]*)", kind)})
+			return true
+		}
+		switch kind {
+		case "counter":
+			if !strings.HasSuffix(name, "_total") {
+				out = append(out, violation{pos, name, "counter name must end in _total"})
+			}
+		case "gauge":
+			if strings.HasSuffix(name, "_total") {
+				out = append(out, violation{pos, name, "gauge name must not end in _total (that suffix marks counters)"})
+			}
+		case "histogram":
+			unitOK := false
+			for _, u := range histogramUnits {
+				if strings.HasSuffix(name, u) {
+					unitOK = true
+					break
+				}
+			}
+			if !unitOK {
+				out = append(out, violation{pos, name, fmt.Sprintf("histogram name must end in a unit suffix (%s)", strings.Join(histogramUnits, ", "))})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// lintTree parses every non-test .go file under root (skipping testdata
+// and hidden directories) and returns the violations, ordered by
+// position. Test files may register deliberately odd fakes; the contract
+// binds what ships.
+func lintTree(root string) ([]violation, error) {
+	fset := token.NewFileSet()
+	var out []violation
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || (strings.HasPrefix(name, ".") && path != root) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, perr := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if perr != nil {
+			return fmt.Errorf("parsing %s: %w", path, perr)
+		}
+		out = append(out, lintFile(fset, f)...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].pos.Filename != out[j].pos.Filename {
+			return out[i].pos.Filename < out[j].pos.Filename
+		}
+		return out[i].pos.Line < out[j].pos.Line
+	})
+	return out, nil
+}
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	violations, err := lintTree(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "metricslint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, v := range violations {
+		fmt.Fprintf(os.Stderr, "%s: metric %q: %s\n", v.pos, v.name, v.msg)
+	}
+	if len(violations) > 0 {
+		fmt.Fprintf(os.Stderr, "metricslint: %d violation(s)\n", len(violations))
+		os.Exit(1)
+	}
+}

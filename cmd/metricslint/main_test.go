@@ -1,0 +1,93 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// write drops a source file into the temp tree, creating parents.
+func write(t *testing.T, root, rel, src string) {
+	t.Helper()
+	path := filepath.Join(root, rel)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLintTreeFindsViolations(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "bad.go", `package p
+
+func register(reg Registry) {
+	reg.Counter("requests", "missing total suffix.")
+	reg.CounterFunc("CamelCaseTotal", "not snake case.", nil)
+	reg.Gauge("queue_depth_total", "gauge masquerading as counter.")
+	reg.Histogram("request_latency", "no unit suffix.", nil)
+}
+`)
+	got, err := lintTree(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("violations = %d, want 4: %+v", len(got), got)
+	}
+	wantNames := []string{"requests", "CamelCaseTotal", "queue_depth_total", "request_latency"}
+	for i, v := range got {
+		if v.name != wantNames[i] {
+			t.Errorf("violation %d names %q, want %q", i, v.name, wantNames[i])
+		}
+		if v.pos.Filename == "" || v.pos.Line == 0 {
+			t.Errorf("violation %d has no position: %+v", i, v)
+		}
+	}
+	if !strings.Contains(got[0].msg, "_total") {
+		t.Errorf("counter violation message %q does not mention _total", got[0].msg)
+	}
+}
+
+func TestLintTreeAcceptsConformingNames(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "good.go", `package p
+
+func register(reg Registry) {
+	reg.Counter("fleet_computes_total", "ok.")
+	reg.GaugeFunc("grid_workers_live", "ok.", nil)
+	reg.Histogram("http_request_seconds", "ok.", nil)
+	reg.Histogram("wal_segment_bytes", "ok.", nil)
+	other.Unrelated("NotAMetric")
+	reg.Counter(dynamicName, "non-literal first arg is skipped.")
+}
+`)
+	got, err := lintTree(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("violations = %+v, want none", got)
+	}
+}
+
+func TestLintTreeSkipsTestFilesAndTestdata(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "a_test.go", `package p
+
+func f(reg Registry) { reg.Counter("bad_name", "test files are exempt.") }
+`)
+	write(t, root, "testdata/fixture.go", `package p
+
+func f(reg Registry) { reg.Counter("also_bad", "testdata is exempt.") }
+`)
+	got, err := lintTree(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("violations = %+v, want none", got)
+	}
+}

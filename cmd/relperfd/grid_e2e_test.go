@@ -149,5 +149,81 @@ func TestGridE2EKillWorkerMidSuite(t *testing.T) {
 			t.Fatalf("metrics series %s missing from the coordinator exposition", series)
 		}
 	}
+
+	// Cross-node trace fan-in: at least one study's merged timeline must
+	// carry both halves — the coordinator's dispatch span and the serving
+	// worker's engine stage spans, each tagged with its node. Studies whose
+	// owner was the killed worker degrade to fetch-failed, and fallback
+	// studies have no remote half, so we scan the suite for one that
+	// completed on the survivor rather than demanding it of every study.
+	merged := false
+	for _, fp := range fps2 {
+		code, body := coord.get(t, "/v1/trace/"+fp)
+		if code != 200 {
+			t.Fatalf("GET /v1/trace/%s: %d %s", fp, code, body)
+		}
+		var tr struct {
+			Nodes []string `json:"nodes"`
+			Spans []struct {
+				Name   string `json:"name"`
+				Node   string `json:"node"`
+				Worker string `json:"worker"`
+			} `json:"spans"`
+		}
+		if err := json.Unmarshal(body, &tr); err != nil {
+			t.Fatal(err)
+		}
+		var coordDispatch, workerStage bool
+		for _, s := range tr.Spans {
+			if s.Node == "coordinator" && s.Name == "dispatch-attempt" {
+				coordDispatch = true
+			}
+			if s.Node != "" && s.Node != "coordinator" && strings.HasPrefix(s.Name, "stage:") {
+				workerStage = true
+			}
+		}
+		if coordDispatch && workerStage {
+			if len(tr.Nodes) < 2 {
+				t.Fatalf("trace %s merged both halves but nodes = %v", fp, tr.Nodes)
+			}
+			merged = true
+			break
+		}
+	}
+	if !merged {
+		t.Fatalf("no study produced a merged cross-node trace; coordinator logs:\n%s", coord.logText())
+	}
+
+	// Federated scrape: one request fans out to every registered worker and
+	// comes back with the coordinator's series, per-worker scrape health,
+	// and at least one worker-labeled sample from the survivor.
+	code, fed := coord.get(t, "/v1/grid/metrics")
+	if code != 200 {
+		t.Fatalf("GET /v1/grid/metrics: %d", code)
+	}
+	fedText := string(fed)
+	if !strings.Contains(fedText, "grid_scrape_ok{worker=") {
+		t.Fatalf("federated exposition has no per-worker scrape health:\n%s", fedText)
+	}
+	if !strings.Contains(fedText, `fleet_computes_total{worker="`) {
+		t.Fatalf("federated exposition has no worker-labeled fleet series:\n%s", fedText)
+	}
+
+	// And the fleet summary endpoint answers on the coordinator.
+	code, gz := coord.get(t, "/v1/gridz")
+	if code != 200 {
+		t.Fatalf("GET /v1/gridz: %d %s", code, gz)
+	}
+	var z struct {
+		Workers []struct {
+			ID string `json:"id"`
+		} `json:"workers"`
+	}
+	if err := json.Unmarshal(gz, &z); err != nil {
+		t.Fatalf("gridz decode: %v\n%s", err, gz)
+	}
+	if len(z.Workers) == 0 {
+		t.Fatalf("gridz reports no workers:\n%s", gz)
+	}
 	coord.stop(t)
 }

@@ -15,12 +15,19 @@
 //	POST /v1/suites                   submit a suite, receive fingerprints
 //	GET  /v1/studies                  paginated fingerprint index
 //	GET  /v1/studies/{fingerprint}    canonical study result JSON
-//	                                  (?wait=stream serves SSE events)
+//	                                  (?wait=stream serves SSE events;
+//	                                  ETag/If-None-Match revalidation)
+//	GET  /v1/studies/{fp}/summary     per-algorithm quantile summary
+//	GET  /v1/trace/{fingerprint}      study timeline (on a coordinator:
+//	                                  merged coordinator + worker spans)
 //	POST /v1/replica/snapshot         absorb a pushed snapshot (standby)
 //	POST /v1/grid/workers             worker heartbeat   (-coordinator)
 //	GET  /v1/grid/workers             worker + dispatch state (-coordinator)
 //	GET  /v1/grid/tasks               dispatch journal (-coordinator;
 //	                                  WAL-backed journals survive restarts)
+//	GET  /v1/grid/metrics             federated exposition: coordinator +
+//	                                  workers, worker="<id>"-labeled
+//	GET  /v1/gridz                    fleet summary JSON (-coordinator)
 //
 // Grid modes: -coordinator shards submitted suites across workers that
 // join with -join <coordinator-url>; workers are ordinary daemons started
@@ -96,6 +103,9 @@ type options struct {
 	logFormat        string
 	mutexFraction    int
 	blockRate        int
+	traceStudies     int
+	traceSpans       int
+	scrapeTimeout    time.Duration
 }
 
 func main() {
@@ -122,6 +132,9 @@ func main() {
 	flag.StringVar(&o.logFormat, "log-format", "text", "structured log format: text or json")
 	flag.IntVar(&o.mutexFraction, "mutex-profile-fraction", 0, "with -pprof: runtime.SetMutexProfileFraction rate — sample 1/n mutex contention events (0 = off)")
 	flag.IntVar(&o.blockRate, "block-profile-rate", 0, "with -pprof: runtime.SetBlockProfileRate threshold in ns — sample goroutine blocking events (0 = off)")
+	flag.IntVar(&o.traceStudies, "trace-studies", 0, "max study timelines the tracer retains, LRU-evicted (0 = default 256)")
+	flag.IntVar(&o.traceSpans, "trace-spans", 0, "max spans per study timeline, later spans dropped (0 = default 64)")
+	flag.DurationVar(&o.scrapeTimeout, "grid-scrape-timeout", 0, "coordinator: cap one federated metrics scrape or trace fetch of one worker (default 2s)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -232,7 +245,9 @@ func run(o options) error {
 	// One Obs shared by every layer — scheduler, store, WAL, grid — so
 	// GET /v1/metrics serves a single unified exposition and
 	// GET /v1/trace/{fp} sees a study's whole lifecycle across layers.
-	obsv := obs.New()
+	// The tracer bounds come from -trace-studies/-trace-spans (zero keeps
+	// the package defaults).
+	obsv := &obs.Obs{Registry: obs.NewRegistry(), Tracer: obs.NewTracer(o.traceStudies, o.traceSpans)}
 
 	// Durable state is recovered in layers: the snapshot is the compacted
 	// base, the WAL is the fsync'd tail on top of it. The WAL opens first
@@ -285,7 +300,7 @@ func run(o options) error {
 	var coord *grid.Coordinator
 	opts := fleet.Options{Workers: o.workers, Seed: o.seed, Store: store, Obs: obsv}
 	if o.coordinator {
-		coord = grid.New(grid.Config{Seed: o.seed, TTL: o.gridTTL, RequestTimeout: o.gridReqTimeout, Logf: logf, Journal: walLog, Obs: obsv})
+		coord = grid.New(grid.Config{Seed: o.seed, TTL: o.gridTTL, RequestTimeout: o.gridReqTimeout, ScrapeTimeout: o.scrapeTimeout, Logf: logf, Journal: walLog, Obs: obsv})
 		if n := coord.RestoreJournal(taskRecs); n > 0 {
 			logger.Info("restored dispatch journal from wal", "entries", n)
 		}
@@ -412,13 +427,23 @@ func run(o options) error {
 	if o.maxStudyCost > 0 {
 		serverOpts = append(serverOpts, fleet.WithMaxStudyCost(o.maxStudyCost))
 	}
+	if coord != nil {
+		// Cross-node trace fan-in: GET /v1/trace/{fp} on the coordinator
+		// merges its dispatch/retry spans with the owning worker's timeline,
+		// each span tagged with the node it came from.
+		serverOpts = append(serverOpts, fleet.WithTraceFanIn("coordinator", coord.WorkerTrace))
+	}
 	apiSrv := fleet.NewServer(sched, serverOpts...)
 	handler := http.Handler(apiSrv)
 	if coord != nil {
 		// The grid endpoints share the serving address: workers register
-		// against the same URL clients submit suites to.
+		// against the same URL clients submit suites to. /v1/gridz is the
+		// fleet-summary endpoint; it lives outside the /v1/grid/ prefix, so
+		// it gets its own mount.
 		mux := http.NewServeMux()
-		mux.Handle("/v1/grid/", coord.Handler())
+		gridHandler := coord.Handler()
+		mux.Handle("/v1/grid/", gridHandler)
+		mux.Handle("/v1/gridz", gridHandler)
 		mux.Handle("/", handler)
 		handler = mux
 	}
@@ -484,8 +509,24 @@ func run(o options) error {
 		// the coordinator to clear the old incarnation's failure history and
 		// requalify the worker immediately instead of holding it quarantined.
 		info := grid.WorkerInfo{ID: advertise, URL: advertise, Capacity: sched.Workers(), Seed: o.seed, Epoch: uint64(time.Now().UnixNano())}
+		// Each heartbeat piggybacks a fresh stats digest (inflight, store
+		// occupancy, serve p99), giving the coordinator a last-known view of
+		// this worker that survives the worker becoming unreachable. The
+		// serve histogram is the study-GET route's — registering the same
+		// name and labels returns the server's own instrument.
+		serveHist := obsv.Registry.Histogram("http_request_seconds", "HTTP request latency by route.", nil, obs.L("route", "GET /v1/studies/{fingerprint}"))
+		hbInfo := func() grid.WorkerInfo {
+			i := info
+			i.Digest = &grid.HeartbeatDigest{
+				Inflight:     sched.Inflight(),
+				StoreEntries: sched.Store().Stats().Entries,
+				Computes:     sched.Computes(),
+				ServeP99Ms:   serveHist.Quantile(0.99) * 1000,
+			}
+			return i
+		}
 		hbClient := &http.Client{Timeout: o.gridHBTimeout}
-		go grid.RunHeartbeats(ctx, hbClient, o.joinURL, info, 0, logf)
+		go grid.RunHeartbeatsFunc(ctx, hbClient, o.joinURL, hbInfo, 0, logf)
 	}
 
 	select {

@@ -18,6 +18,15 @@
 // every killed worker is back in the registry, healthy, within the
 // configured rejoin bound. Any violation reports the seed, so a failing
 // schedule replays exactly.
+//
+// The observability surface is soaked alongside the data plane: every
+// round runs one federated /v1/grid/metrics scrape while the fault is
+// live — it must answer within a bounded window with the coordinator's
+// own series (a dead worker degrades its own rows, never the scrape),
+// and a paused worker must surface as stale (grid_scrape_ok 0), not
+// missing. Every study's fanned-in /v1/trace timeline must answer, a
+// lost remote half must be loud (fetch-failed), and at least one study
+// per soak must produce a fully merged coordinator+worker trace.
 package chaos
 
 import (
@@ -104,6 +113,12 @@ type Report struct {
 	Failed    int           `json:"failed"`
 	Divergent int           `json:"divergent"`
 	Restarts  uint64        `json:"restarts"`
+	// FederatedScrapes counts the mid-fault /v1/grid/metrics scrapes that
+	// completed; a passing run has one per round.
+	FederatedScrapes int `json:"federated_scrapes"`
+	// MergedTraces counts studies whose fanned-in timeline carried both
+	// coordinator and worker spans; a passing run has at least one.
+	MergedTraces int `json:"merged_traces"`
 }
 
 func (c *Config) logf(format string, args ...any) {
@@ -211,6 +226,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		"-coordinator",
 		"-grid-ttl", "2s",
 		"-grid-request-timeout", "2s",
+		"-grid-scrape-timeout", "1s",
 	)
 	coord.Stdout = cfg.ChildOutput
 	coord.Stderr = cfg.ChildOutput
@@ -339,6 +355,37 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			_ = sup.Signal(syscall.SIGKILL)
 		}
 
+		// Observability under fire: one federated scrape with the fault
+		// live. It must come back whole — coordinator series present —
+		// within a bounded window (the scrapes run concurrently, so a
+		// wedged worker costs one scrape timeout, not one per worker). A
+		// paused worker is still registered at this point (its lease
+		// outlives the freeze), so it must appear as stale, not vanish.
+		scrapeStart := time.Now()
+		fed, err := httpGetBody(client, coordURL+"/v1/grid/metrics")
+		rep.Requests++
+		if err != nil {
+			rep.Failed++
+			if paused {
+				_ = sup.Signal(syscall.SIGCONT)
+			}
+			return rep, fmt.Errorf("chaos: round %d federated scrape failed mid-%s (seed %d): %w", r, action, cfg.Seed, err)
+		}
+		if elapsed := time.Since(scrapeStart); elapsed > 5*time.Second {
+			if paused {
+				_ = sup.Signal(syscall.SIGCONT)
+			}
+			return rep, fmt.Errorf("chaos: round %d federated scrape took %s mid-%s, want ~one scrape timeout (seed %d)", r, elapsed, action, cfg.Seed)
+		}
+		if !strings.Contains(fed, "grid_workers_live") {
+			return rep, fmt.Errorf("chaos: round %d federated scrape lost the coordinator's own series (seed %d)", r, cfg.Seed)
+		}
+		if action == ActionPause && !strings.Contains(fed, fmt.Sprintf("grid_scrape_ok{worker=%q} 0", workerID(target))) {
+			_ = sup.Signal(syscall.SIGCONT)
+			return rep, fmt.Errorf("chaos: round %d: paused worker %s is missing from the federated scrape instead of stale (seed %d)", r, workerID(target), cfg.Seed)
+		}
+		rep.FederatedScrapes++
+
 		for _, fp := range fps {
 			body, err := getStudy(client, coordURL, fp)
 			rep.Requests++
@@ -359,6 +406,38 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		}
 		if paused {
 			_ = sup.Signal(syscall.SIGCONT)
+		}
+
+		// Trace fan-in under fire: every completed study's merged timeline
+		// must answer, and a study that demonstrably ran remotely (its
+		// coordinator half records a successful dispatch-attempt) must
+		// either carry its worker half or degrade loudly with fetch-failed
+		// — a silently coordinator-only trace is a fan-in bug, not an
+		// outage.
+		for _, fp := range fps {
+			tr, err := getTrace(client, coordURL, fp)
+			rep.Requests++
+			if err != nil {
+				rep.Failed++
+				return rep, fmt.Errorf("chaos: round %d trace %s failed (seed %d): %w", r, fp, cfg.Seed, err)
+			}
+			var remoteDispatch, workerSpan, fetchFailed bool
+			for _, s := range tr.Spans {
+				switch {
+				case s.Node == "coordinator" && s.Name == "dispatch-attempt" && s.Error == "" && s.Worker != "":
+					remoteDispatch = true
+				case s.Name == "fetch-failed":
+					fetchFailed = true
+				case s.Node != "" && s.Node != "coordinator":
+					workerSpan = true
+				}
+			}
+			if remoteDispatch && !workerSpan && !fetchFailed {
+				return rep, fmt.Errorf("chaos: round %d trace %s ran remotely but has neither worker spans nor a fetch-failed marker (seed %d)", r, fp, cfg.Seed)
+			}
+			if remoteDispatch && workerSpan {
+				rep.MergedTraces++
+			}
 		}
 
 		// Self-healing assertion. A killed worker restarts with a new epoch
@@ -409,6 +488,14 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		}
 	}
 
+	// At least one study over the soak must have produced a fully merged
+	// cross-node trace: rounds where the serving worker died before its
+	// timeline could be fetched degrade to fetch-failed, but if every
+	// round degraded, fan-in never actually worked.
+	if rep.MergedTraces == 0 {
+		return rep, fmt.Errorf("chaos: no study produced a merged coordinator+worker trace over %d rounds (seed %d)", cfg.Rounds, cfg.Seed)
+	}
+
 	// Orderly teardown: stop the supervisors and ensure none of them gave
 	// up mid-soak — a crash-looped supervisor is a failed run even if every
 	// byte matched, because it means self-healing stopped.
@@ -420,7 +507,8 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		}
 		rep.Restarts += sups[i].Restarts()
 	}
-	cfg.logf("soak complete: %d requests, %d restarts, zero failures, zero divergence", rep.Requests, rep.Restarts)
+	cfg.logf("soak complete: %d requests, %d restarts, %d federated scrapes, %d merged traces, zero failures, zero divergence",
+		rep.Requests, rep.Restarts, rep.FederatedScrapes, rep.MergedTraces)
 	return rep, nil
 }
 
@@ -522,6 +610,47 @@ func postSuite(client *http.Client, coordURL string, studies []fleet.StudySpec) 
 		return nil, err
 	}
 	return sr.Fingerprints, nil
+}
+
+// httpGetBody GETs url and returns the body, erroring on non-200.
+func httpGetBody(client *http.Client, url string) (string, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET %s: %d %s", url, resp.StatusCode, body)
+	}
+	return string(body), nil
+}
+
+// traceBody mirrors the coordinator's GET /v1/trace/{fp} response.
+type traceBody struct {
+	Nodes []string `json:"nodes"`
+	Spans []struct {
+		Name   string `json:"name"`
+		Node   string `json:"node"`
+		Worker string `json:"worker"`
+		Error  string `json:"error"`
+	} `json:"spans"`
+}
+
+// getTrace reads one study's fanned-in timeline from the coordinator.
+func getTrace(client *http.Client, coordURL, fp string) (*traceBody, error) {
+	body, err := httpGetBody(client, coordURL+"/v1/trace/"+fp)
+	if err != nil {
+		return nil, err
+	}
+	var tr traceBody
+	if err := json.Unmarshal([]byte(body), &tr); err != nil {
+		return nil, err
+	}
+	return &tr, nil
 }
 
 // getStudy reads one study's full response body.

@@ -38,6 +38,17 @@ func (s *Scheduler) registerMetrics() {
 	s.studySeconds = reg.Histogram("fleet_study_seconds",
 		"End-to-end study computation time, including dispatch and store merge.", nil)
 
+	// The tracer's loss counters: a dashboard that sees these move knows
+	// the bounded trace ring is dropping history and -trace-studies /
+	// -trace-spans need raising.
+	tr := s.obs.Trace()
+	reg.CounterFunc("trace_evicted_total", "Study timelines evicted from the bounded trace ring.",
+		func() float64 { return float64(tr.Stats().Evicted) })
+	reg.CounterFunc("trace_truncated_total", "Spans dropped by the per-study span cap.",
+		func() float64 { return float64(tr.Stats().Truncated) })
+	reg.GaugeFunc("trace_studies", "Study timelines currently retained by the tracer.",
+		func() float64 { return float64(tr.Stats().Studies) })
+
 	// One engine_stage_seconds series per stable stage name; an unknown
 	// stage name misses the map, yielding a nil (no-op) histogram rather
 	// than an unbounded label set.

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -8,6 +9,7 @@ import (
 	"runtime/debug"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -36,6 +38,11 @@ type Server struct {
 	streamBuf    int
 	start        time.Time
 
+	// traceNode/traceFetch enable cross-node trace fan-in on
+	// GET /v1/trace/{fp}; see WithTraceFanIn.
+	traceNode  string
+	traceFetch TraceFetch
+
 	// draining is closed by DrainStreams at shutdown; open SSE streams
 	// observe it, emit a terminal "shutdown" event and disconnect, so
 	// clients see an explicit end-of-stream instead of a cut connection.
@@ -45,6 +52,32 @@ type Server struct {
 
 // ServerOption configures a Server.
 type ServerOption func(*Server)
+
+// OriginHeader is the request header a dispatching coordinator stamps on
+// the POST /v1/suites it sends a worker. The worker records the value as
+// an "origin" event on each submitted study's timeline, so a fanned-in
+// trace shows on whose behalf the worker computed.
+const OriginHeader = "X-Relperf-Origin"
+
+// TraceFetch is the remote half of cross-node trace fan-in: given a
+// fingerprint, return the owning node's ID and its timeline spans
+// (already tagged with that node), or an error when the owner is known
+// but unreachable. ("", nil, nil) means the study has no remote half.
+type TraceFetch func(ctx context.Context, fp string) (node string, spans []obs.Span, err error)
+
+// WithTraceFanIn makes GET /v1/trace/{fp} serve merged cross-node
+// timelines: the local spans are tagged with localNode, fetch supplies
+// the owning worker's spans, and the response interleaves both by start
+// time. A fetch error degrades gracefully — local spans only, plus a
+// loud fetch-failed event naming the unreachable node. This is how the
+// grid coordinator turns a split coordinator/worker timeline into one
+// response.
+func WithTraceFanIn(localNode string, fetch TraceFetch) ServerOption {
+	return func(s *Server) {
+		s.traceNode = localNode
+		s.traceFetch = fetch
+	}
+}
 
 // WithMaxStudyCost bounds the admission-control cost estimate
 // (placements × measurements × reps, see relperf.StudySpec.CostEstimate)
@@ -78,6 +111,7 @@ func NewServer(sched *Scheduler, opts ...ServerOption) *Server {
 	s.handle("POST /v1/suites", s.handleSuites)
 	s.handle("GET /v1/studies", s.handleStudyIndex)
 	s.handle("GET /v1/studies/{fingerprint}", s.handleStudy)
+	s.handle("GET /v1/studies/{fingerprint}/summary", s.handleStudySummary)
 	s.handle("POST /v1/replica/snapshot", s.handleReplicaSnapshot)
 	s.handle("GET /v1/metrics", s.handleMetrics)
 	s.handle("GET /v1/statz", s.handleStatz)
@@ -205,9 +239,13 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 
 // traceResponse is the GET /v1/trace/{fingerprint} body: the study's
 // lifecycle spans in arrival order (queued → dispatched → computing →
-// stage:* → done), with durations and attempt/worker annotations.
+// stage:* → done), with durations and attempt/worker annotations. With
+// trace fan-in enabled (the coordinator), spans from every node are
+// merged by start time, each tagged with the node it came from, and
+// Nodes lists the nodes that contributed in first-appearance order.
 type traceResponse struct {
 	Fingerprint string     `json:"fingerprint"`
+	Nodes       []string   `json:"nodes,omitempty"`
 	Spans       []obs.Span `json:"spans"`
 }
 
@@ -218,7 +256,38 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("fleet: no trace for fingerprint %s (never computed here, or evicted from the bounded trace ring)", fp)})
 		return
 	}
-	writeJSON(w, http.StatusOK, traceResponse{Fingerprint: fp, Spans: spans})
+	if s.traceFetch == nil {
+		writeJSON(w, http.StatusOK, traceResponse{Fingerprint: fp, Spans: spans})
+		return
+	}
+	// Fan-in: tag the local half, fetch the owning worker's half, merge.
+	for i := range spans {
+		spans[i].Node = s.traceNode
+	}
+	node, remote, err := s.traceFetch(r.Context(), fp)
+	if err != nil {
+		// Degrade loudly, not silently: the local half still serves, and
+		// the fetch-failed event names the node whose half is missing.
+		spans = append(spans, obs.Span{
+			Name:   "fetch-failed",
+			Start:  time.Now(),
+			Node:   s.traceNode,
+			Worker: node,
+			Error:  err.Error(),
+		})
+	} else {
+		spans = append(spans, remote...)
+	}
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start.Before(spans[j].Start) })
+	var nodes []string
+	seen := map[string]bool{}
+	for _, sp := range spans {
+		if sp.Node != "" && !seen[sp.Node] {
+			seen[sp.Node] = true
+			nodes = append(nodes, sp.Node)
+		}
+	}
+	writeJSON(w, http.StatusOK, traceResponse{Fingerprint: fp, Nodes: nodes, Spans: spans})
 }
 
 // suiteResponse is the POST /v1/suites body: one fingerprint per submitted
@@ -298,6 +367,14 @@ func (s *Server) handleSuites(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, code, errorResponse{Error: err.Error()})
 		return
 	}
+	// A dispatching coordinator stamps its identity on the request; record
+	// it on each study's timeline so the fanned-in trace names the origin.
+	if origin := r.Header.Get(OriginHeader); origin != "" {
+		tr := s.sched.Obs().Trace()
+		for _, fp := range fps {
+			tr.Event(fp, "origin", origin)
+		}
+	}
 	writeJSON(w, http.StatusAccepted, suiteResponse{Fingerprints: fps, Seed: s.sched.Seed()})
 }
 
@@ -329,10 +406,46 @@ func (s *Server) handleReplicaSnapshot(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// studyCacheControl is the Cache-Control of a served study: results are
+// content-addressed and the determinism contract makes them immutable, so
+// CDNs and client caches may hold them forever.
+const studyCacheControl = "public, max-age=31536000, immutable"
+
+// etagMatches reports whether an If-None-Match header value matches the
+// study's ETag: "*", or any member of the comma-separated list equal to
+// the quoted fingerprint (weak validators compare equal — the bytes
+// behind a fingerprint never change, so W/ prefixes are immaterial).
+func etagMatches(header, etag string) bool {
+	if header == "*" {
+		return true
+	}
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimSpace(part)
+		part = strings.TrimPrefix(part, "W/")
+		if part == etag {
+			return true
+		}
+	}
+	return false
+}
+
 func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) {
 	fp := r.PathValue("fingerprint")
 	if r.URL.Query().Get("wait") == "stream" {
 		s.handleStudyStream(w, r, fp)
+		return
+	}
+	// Results are content-addressed: the fingerprint IS the ETag, so
+	// revalidation needs no byte comparison — and a conditional hit on a
+	// known study short-circuits before Result, skipping even the
+	// recompute an evicted study would otherwise pay. Unknown fingerprints
+	// fall through to the ordinary 404 path: a 304 must never vouch for a
+	// study this daemon cannot serve.
+	etag := `"` + fp + `"`
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatches(inm, etag) && s.sched.Known(fp) {
+		w.Header().Set("ETag", etag)
+		w.Header().Set("Cache-Control", studyCacheControl)
+		w.WriteHeader(http.StatusNotModified)
 		return
 	}
 	blob, err := s.sched.Result(r.Context(), fp)
@@ -347,9 +460,36 @@ func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) {
 		// counts and daemon restarts. The newline is written separately:
 		// appending to the shared cached slice would race between handlers.
 		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("ETag", etag)
+		w.Header().Set("Cache-Control", studyCacheControl)
 		w.Write(blob)
 		w.Write([]byte{'\n'})
 	}
+}
+
+// handleStudySummary serves GET /v1/studies/{fp}/summary: the study's
+// per-algorithm quantile digest (selected quantiles, min/max/mean, and
+// the sketch mode's error bound) without shipping the full result
+// document — the dashboard surface sketch mode was built for. Exact-mode
+// studies get a reduced summary computed from the stored samples. Like
+// the full-result GET, an in-flight study blocks until its result lands.
+func (s *Server) handleStudySummary(w http.ResponseWriter, r *http.Request) {
+	fp := r.PathValue("fingerprint")
+	blob, err := s.sched.Result(r.Context(), fp)
+	switch {
+	case errors.Is(err, ErrUnknownStudy):
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+		return
+	case err != nil:
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	sum, err := SummarizeResult(fp, blob)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, sum)
 }
 
 // writeSSE emits one Server-Sent Event. Data must be newline-free — the

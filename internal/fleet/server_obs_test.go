@@ -1,0 +1,235 @@
+package fleet
+
+// Tests for the observability serving surface this package exports:
+// conditional GETs on the immutable study endpoint, the quantile summary
+// endpoint in both comparator modes, and the trace fan-in merge path
+// (with its degraded fetch-failed shape). All run through the full
+// instrumented handler stack — the same mux, middleware and routes the
+// daemon serves — so the ETag short-circuit is proven where it ships.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"relperf/internal/obs"
+)
+
+const sketchSuiteBody = `{"studies":[
+	{"workload":"tableI","loop_n":2,"measurements":6,"reps":10,"sketch":{"k":64}}
+]}`
+
+// getWithHeader GETs path with one optional request header and returns
+// the response (body drained and closed).
+func getWithHeader(t *testing.T, ts *httptest.Server, path, header, value string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, ts.URL+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if header != "" {
+		req.Header.Set(header, value)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+// TestStudyETagConditionalGet: the fingerprint is the ETag (results are
+// content-addressed and immutable), so a revalidating client gets 304
+// with no body and no recomputation — the short-circuit fires before the
+// scheduler's Result path.
+func TestStudyETagConditionalGet(t *testing.T) {
+	srv, sched := newTestServer(t, 31, nil)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	sr := postSuite(t, ts, suiteBody)
+	fp := sr.Fingerprints[0]
+
+	resp, body := getWithHeader(t, ts, "/v1/studies/"+fp, "", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET study: %d %s", resp.StatusCode, body)
+	}
+	etag := resp.Header.Get("ETag")
+	if etag != `"`+fp+`"` {
+		t.Fatalf("ETag = %q, want quoted fingerprint %q", etag, fp)
+	}
+	if cc := resp.Header.Get("Cache-Control"); cc != "public, max-age=31536000, immutable" {
+		t.Fatalf("Cache-Control = %q", cc)
+	}
+	computes := sched.Computes()
+
+	// Revalidations in every accepted form: exact, weak, list, wildcard.
+	for _, inm := range []string{etag, "W/" + etag, `"deadbeef", ` + etag, "*"} {
+		resp, body := getWithHeader(t, ts, "/v1/studies/"+fp, "If-None-Match", inm)
+		if resp.StatusCode != http.StatusNotModified {
+			t.Fatalf("If-None-Match %q: %d, want 304", inm, resp.StatusCode)
+		}
+		if len(body) != 0 {
+			t.Fatalf("304 carried a body: %q", body)
+		}
+		if got := resp.Header.Get("ETag"); got != etag {
+			t.Fatalf("304 ETag = %q, want %q", got, etag)
+		}
+	}
+	if sched.Computes() != computes {
+		t.Fatalf("revalidation recomputed: computes %d -> %d", computes, sched.Computes())
+	}
+
+	// A stale validator falls through to a full 200.
+	resp, body = getWithHeader(t, ts, "/v1/studies/"+fp, "If-None-Match", `"deadbeef"`)
+	if resp.StatusCode != http.StatusOK || len(body) == 0 {
+		t.Fatalf("stale If-None-Match: %d (body %d bytes), want full 200", resp.StatusCode, len(body))
+	}
+
+	// An unknown fingerprint must 404 even with a "matching" validator:
+	// the short-circuit is gated on the study actually being known.
+	unknown := "ffffffffffffffffffffffffffffffff"
+	resp, _ = getWithHeader(t, ts, "/v1/studies/"+unknown, "If-None-Match", `"`+unknown+`"`)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown fingerprint with matching validator: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestStudySummaryEndpoint exercises both summary modes end to end:
+// sketch-mode studies answer from their sketches with the mode's rank
+// error bound; exact-mode studies get the reduced summary computed from
+// stored samples (exact, so no bound).
+func TestStudySummaryEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t, 17, nil)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	cases := []struct {
+		name      string
+		suite     string
+		mode      string
+		wantBound bool
+	}{
+		{"exact", suiteBody, SummaryModeExact, false},
+		{"sketch", sketchSuiteBody, SummaryModeSketch, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sr := postSuite(t, ts, tc.suite)
+			fp := sr.Fingerprints[0]
+			resp, body := getWithHeader(t, ts, "/v1/studies/"+fp+"/summary", "", "")
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("GET summary: %d %s", resp.StatusCode, body)
+			}
+			var sum StudySummary
+			if err := json.Unmarshal(body, &sum); err != nil {
+				t.Fatal(err)
+			}
+			if sum.Schema != SummarySchema || sum.Fingerprint != fp || sum.Mode != tc.mode {
+				t.Fatalf("summary header = %+v", sum)
+			}
+			if tc.wantBound != (sum.ErrorBound > 0) {
+				t.Fatalf("error_bound = %v for %s mode", sum.ErrorBound, tc.mode)
+			}
+			if len(sum.Algorithms) == 0 {
+				t.Fatal("summary has no algorithms")
+			}
+			for _, a := range sum.Algorithms {
+				if a.N == 0 {
+					t.Fatalf("algorithm %s summarized zero measurements", a.Name)
+				}
+				if !(a.Min <= a.P50 && a.P50 <= a.P90 && a.P90 <= a.P95 && a.P95 <= a.P99 && a.P99 <= a.Max) {
+					t.Fatalf("algorithm %s quantiles not monotone: %+v", a.Name, a)
+				}
+			}
+		})
+	}
+
+	resp, _ := getWithHeader(t, ts, "/v1/studies/ffffffffffffffffffffffffffffffff/summary", "", "")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown summary: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestTraceFanIn drives the merged-timeline serving path with a stubbed
+// remote fetch: local spans are tagged with the local node, remote spans
+// arrive pre-tagged and interleave by start time, and the nodes list
+// reports first appearance order.
+func TestTraceFanIn(t *testing.T) {
+	o := obs.New()
+	sched := New(Options{Workers: 1, Seed: 3, Obs: o})
+	defer sched.Close()
+
+	base := time.Now()
+	fetch := func(ctx context.Context, fp string) (string, []obs.Span, error) {
+		return "w1", []obs.Span{
+			{Name: "stage:measure", Start: base.Add(2 * time.Millisecond), Node: "w1"},
+		}, nil
+	}
+	srv := NewServer(sched, WithTraceFanIn("coordinator", fetch))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	o.Tracer.Add("fp1", obs.Span{Name: "dispatch-attempt", Start: base, Worker: "w1"})
+
+	resp, body := getWithHeader(t, ts, "/v1/trace/fp1", "", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET trace: %d %s", resp.StatusCode, body)
+	}
+	var tr traceResponse
+	if err := json.Unmarshal(body, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Spans) != 2 {
+		t.Fatalf("spans = %+v, want local dispatch + remote stage", tr.Spans)
+	}
+	if tr.Spans[0].Name != "dispatch-attempt" || tr.Spans[0].Node != "coordinator" {
+		t.Fatalf("span 0 = %+v, want coordinator dispatch first", tr.Spans[0])
+	}
+	if tr.Spans[1].Name != "stage:measure" || tr.Spans[1].Node != "w1" {
+		t.Fatalf("span 1 = %+v, want worker stage second", tr.Spans[1])
+	}
+	if len(tr.Nodes) != 2 || tr.Nodes[0] != "coordinator" || tr.Nodes[1] != "w1" {
+		t.Fatalf("nodes = %v", tr.Nodes)
+	}
+}
+
+// TestTraceFanInDegraded: when the owning worker cannot be reached the
+// merged timeline still serves the coordinator's half, plus a loud
+// fetch-failed event naming the worker and the error.
+func TestTraceFanInDegraded(t *testing.T) {
+	o := obs.New()
+	sched := New(Options{Workers: 1, Seed: 3, Obs: o})
+	defer sched.Close()
+
+	fetch := func(ctx context.Context, fp string) (string, []obs.Span, error) {
+		return "w1", nil, errors.New("worker w1 is quarantined")
+	}
+	srv := NewServer(sched, WithTraceFanIn("coordinator", fetch))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	o.Tracer.Add("fp1", obs.Span{Name: "dispatch-attempt", Start: time.Now(), Worker: "w1"})
+
+	resp, body := getWithHeader(t, ts, "/v1/trace/fp1", "", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET trace: %d %s", resp.StatusCode, body)
+	}
+	var tr traceResponse
+	if err := json.Unmarshal(body, &tr); err != nil {
+		t.Fatal(err)
+	}
+	last := tr.Spans[len(tr.Spans)-1]
+	if last.Name != "fetch-failed" || last.Worker != "w1" || last.Error == "" {
+		t.Fatalf("degraded trace must end with a loud fetch-failed event, got %+v", last)
+	}
+}

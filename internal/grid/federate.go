@@ -1,0 +1,295 @@
+package grid
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"relperf/internal/obs"
+)
+
+// DefaultScrapeTimeout caps one federated scrape of one worker's
+// /v1/metrics (and one trace fan-in fetch). Short on purpose: federation
+// is a dashboard path, and a wedged worker must cost the whole scrape one
+// timeout window, not a dispatch timeout.
+const DefaultScrapeTimeout = 2 * time.Second
+
+// maxScrapeBody bounds one worker's exposition (and one fetched
+// timeline); a worker cannot buffer the coordinator into the ground.
+const maxScrapeBody = 4 << 20
+
+// scrapeState is the coordinator's memory of the last federated scrape of
+// one worker — the "scrape freshness" column of /v1/gridz.
+type scrapeState struct {
+	at  time.Time
+	ok  bool
+	err string
+}
+
+// workerScrape is one worker's contribution to a federated scrape.
+type workerScrape struct {
+	id   string
+	body []byte
+	err  error
+}
+
+// scrapeAll concurrently fetches every registered worker's /v1/metrics,
+// each attempt bounded by ScrapeTimeout. Because the scrapes run in
+// parallel, the whole pass completes within roughly one timeout window
+// however many workers are down — a SIGSTOPped worker costs its own slot,
+// not the round. Results come back sorted by worker ID, failures included
+// (partial results are the point: federation must degrade per worker,
+// never per fleet).
+func (c *Coordinator) scrapeAll(ctx context.Context) []workerScrape {
+	workers := c.reg.Workers()
+	out := make([]workerScrape, len(workers))
+	var wg sync.WaitGroup
+	for i, w := range workers {
+		i, w := i, w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body, err := c.scrapeOne(ctx, w.WorkerInfo)
+			out[i] = workerScrape{id: w.ID, body: body, err: err}
+		}()
+	}
+	wg.Wait()
+	now := time.Now()
+	c.scrapeMu.Lock()
+	if c.scrapes == nil {
+		c.scrapes = make(map[string]scrapeState)
+	}
+	for _, s := range out {
+		st := scrapeState{at: now, ok: s.err == nil}
+		if s.err != nil {
+			st.err = s.err.Error()
+		}
+		c.scrapes[s.id] = st
+	}
+	// Drop state for workers that have left the registry, so the map
+	// tracks the fleet instead of growing with its history.
+	known := make(map[string]bool, len(out))
+	for _, s := range out {
+		known[s.id] = true
+	}
+	for id := range c.scrapes {
+		if !known[id] {
+			delete(c.scrapes, id)
+		}
+	}
+	c.scrapeMu.Unlock()
+	return out
+}
+
+// scrapeOne fetches one worker's exposition within the scrape timeout.
+func (c *Coordinator) scrapeOne(ctx context.Context, w WorkerInfo) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.scrapeTimeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.URL+"/v1/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxScrapeBody))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("grid: worker %s /v1/metrics: %d", w.ID, resp.StatusCode)
+	}
+	return body, nil
+}
+
+func (c *Coordinator) scrapeTimeout() time.Duration {
+	if c.cfg.ScrapeTimeout > 0 {
+		return c.cfg.ScrapeTimeout
+	}
+	return DefaultScrapeTimeout
+}
+
+// escapeLabel escapes a Prometheus label value (backslash, quote,
+// newline — exposition format 0.0.4).
+func escapeLabel(v string) string {
+	return strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(v)
+}
+
+// relabelExposition rewrites one worker's exposition so its samples can
+// join the coordinator's: every sample line gains a leading
+// worker="<id>" label, and metadata lines (# HELP / # TYPE) are dropped —
+// the shared families are described once by the coordinator's own
+// exposition, and re-announcing them per worker would make the merged
+// document claim the same family twice.
+func relabelExposition(body []byte, worker string) []byte {
+	var out strings.Builder
+	label := `worker="` + escapeLabel(worker) + `"`
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if i := strings.IndexByte(line, '{'); i >= 0 {
+			out.WriteString(line[:i+1] + label + "," + line[i+1:])
+		} else if i := strings.IndexByte(line, ' '); i >= 0 {
+			out.WriteString(line[:i] + "{" + label + "}" + line[i:])
+		} else {
+			continue // not a sample line; drop rather than corrupt
+		}
+		out.WriteByte('\n')
+	}
+	return []byte(out.String())
+}
+
+// handleGridMetrics serves GET /v1/grid/metrics: the coordinator's own
+// exposition followed by every registered worker's, re-labeled with
+// worker="<id>". Workers are scraped concurrently under a per-worker
+// timeout, so the federated document is always produced within one
+// timeout window; an unreachable worker degrades to a loud comment plus
+// grid_scrape_ok 0 — stale, not missing.
+func (c *Coordinator) handleGridMetrics(w http.ResponseWriter, r *http.Request) {
+	scrapes := c.scrapeAll(r.Context())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = c.cfg.Obs.Reg().WritePrometheus(w)
+	if len(scrapes) > 0 {
+		fmt.Fprintf(w, "# HELP grid_scrape_ok Whether the worker's last federated scrape succeeded.\n")
+		fmt.Fprintf(w, "# TYPE grid_scrape_ok gauge\n")
+		for _, s := range scrapes {
+			ok := 0
+			if s.err == nil {
+				ok = 1
+			}
+			fmt.Fprintf(w, "grid_scrape_ok{worker=%q} %d\n", escapeLabel(s.id), ok)
+		}
+	}
+	for _, s := range scrapes {
+		if s.err != nil {
+			c.scrapeFailures.Inc()
+			c.logf("grid: federated scrape of %s failed: %v", s.id, s.err)
+			fmt.Fprintf(w, "# worker %q scrape failed\n", escapeLabel(s.id))
+			continue
+		}
+		fmt.Fprintf(w, "# federated from worker %q\n", escapeLabel(s.id))
+		_, _ = w.Write(relabelExposition(s.body, s.id))
+	}
+}
+
+// gridzScrape is the scrape-freshness view of one worker in /v1/gridz.
+type gridzScrape struct {
+	OK         bool    `json:"ok"`
+	AgeSeconds float64 `json:"age_seconds"`
+	Error      string  `json:"error,omitempty"`
+}
+
+// gridzWorker is one /v1/gridz row: the worker's registration (including
+// its heartbeat digest — the last-known view that survives the worker
+// going unreachable), health state, heartbeat age and scrape freshness.
+type gridzWorker struct {
+	WorkerStatus
+	Scrape *gridzScrape `json:"scrape,omitempty"`
+}
+
+// gridzResponse is the GET /v1/gridz body: one JSON summary of the whole
+// fleet for dashboards and operators.
+type gridzResponse struct {
+	Workers  []gridzWorker `json:"workers"`
+	Registry RegistryStats `json:"registry"`
+	Dispatch Stats         `json:"dispatch"`
+}
+
+// handleGridz serves GET /v1/gridz.
+func (c *Coordinator) handleGridz(w http.ResponseWriter, r *http.Request) {
+	workers := c.reg.Workers()
+	now := time.Now()
+	c.scrapeMu.Lock()
+	rows := make([]gridzWorker, len(workers))
+	for i, ws := range workers {
+		row := gridzWorker{WorkerStatus: ws}
+		if st, ok := c.scrapes[ws.ID]; ok {
+			row.Scrape = &gridzScrape{OK: st.ok, AgeSeconds: now.Sub(st.at).Seconds(), Error: st.err}
+		}
+		rows[i] = row
+	}
+	c.scrapeMu.Unlock()
+	writeJSON(w, http.StatusOK, gridzResponse{Workers: rows, Registry: c.reg.Stats(), Dispatch: c.Stats()})
+}
+
+// remoteTrace mirrors the worker's GET /v1/trace/{fp} body.
+type remoteTrace struct {
+	Fingerprint string     `json:"fingerprint"`
+	Spans       []obs.Span `json:"spans"`
+}
+
+// ownerOf returns the worker that served fp, read from the coordinator's
+// own dispatch spans — the last successful dispatch-attempt names it. No
+// extra bookkeeping: the trace ring already bounds how far back fan-in
+// can reach, and a study it no longer remembers has no local half to
+// merge with anyway.
+func (c *Coordinator) ownerOf(fp string) string {
+	spans, ok := c.cfg.Obs.Trace().Timeline(fp)
+	if !ok {
+		return ""
+	}
+	owner := ""
+	for _, s := range spans {
+		if s.Name == "dispatch-attempt" && s.Error == "" && s.Worker != "" {
+			owner = s.Worker
+		}
+	}
+	return owner
+}
+
+// WorkerTrace is the coordinator's half of cross-node trace fan-in: given
+// a fingerprint, it finds the worker that served the study (from the
+// coordinator's own dispatch spans), fetches that worker's timeline over
+// the ordinary GET /v1/trace API within the scrape timeout, and returns
+// the spans tagged with the worker's node ID. A study that never ran
+// remotely returns ("", nil, nil) — there is no remote half. A known
+// owner that cannot be reached (dead, SIGSTOPped, or expired from the
+// registry) returns its ID and an error, which the serving layer turns
+// into a loud fetch-failed event on the merged timeline.
+func (c *Coordinator) WorkerTrace(ctx context.Context, fp string) (string, []obs.Span, error) {
+	owner := c.ownerOf(fp)
+	if owner == "" {
+		return "", nil, nil
+	}
+	w, ok := c.reg.Lookup(owner)
+	if !ok {
+		return owner, nil, fmt.Errorf("grid: worker %s is no longer registered", owner)
+	}
+	ctx, cancel := context.WithTimeout(ctx, c.scrapeTimeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.URL+"/v1/trace/"+fp, nil)
+	if err != nil {
+		return owner, nil, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return owner, nil, fmt.Errorf("grid: fetching trace from %s: %w", owner, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxScrapeBody))
+	if err != nil {
+		return owner, nil, fmt.Errorf("grid: reading trace from %s: %w", owner, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return owner, nil, fmt.Errorf("grid: worker %s has no timeline for %s: %d", owner, fp, resp.StatusCode)
+	}
+	var rt remoteTrace
+	if err := json.Unmarshal(body, &rt); err != nil {
+		return owner, nil, fmt.Errorf("grid: parsing trace from %s: %w", owner, err)
+	}
+	spans := rt.Spans
+	for i := range spans {
+		spans[i].Node = owner
+	}
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start.Before(spans[j].Start) })
+	return owner, spans, nil
+}

@@ -1,0 +1,213 @@
+package grid
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"relperf/internal/obs"
+)
+
+// fixtureExposition is the canned /v1/metrics body the live fake worker
+// serves: a representative slice of a real worker's exposition — metadata
+// lines (must be dropped), a bare-name sample (gains {worker=...}), and a
+// labeled sample (worker label must come first).
+const fixtureExposition = `# HELP fleet_computes_total Study computations started.
+# TYPE fleet_computes_total counter
+fleet_computes_total 3
+# HELP fleet_inflight_studies Studies currently computing.
+# TYPE fleet_inflight_studies gauge
+fleet_inflight_studies 1
+engine_stage_seconds_sum{stage="measure"} 0.25
+engine_stage_seconds_count{stage="measure"} 2
+`
+
+// TestFederatedMetricsGolden pins the full GET /v1/grid/metrics wire
+// bytes for a two-worker fleet with one worker down: the coordinator's
+// own exposition, the grid_scrape_ok family, worker w1's relabeled
+// samples, and w2's deterministic scrape-failed marker (stale, not
+// missing — w2 keeps its grid_scrape_ok row). Error detail is asserted
+// to live in /v1/gridz, not the exposition, which is what keeps this
+// golden stable across runs (connection errors embed random ports).
+// Regenerate with:
+//
+//	go test ./internal/grid -run TestFederatedMetricsGolden -update
+func TestFederatedMetricsGolden(t *testing.T) {
+	live := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/metrics" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write([]byte(fixtureExposition))
+	}))
+	defer live.Close()
+
+	c := New(Config{Seed: 42, TTL: time.Minute, Obs: obs.New(), ScrapeTimeout: time.Second})
+	if err := c.Registry().Heartbeat(WorkerInfo{ID: "w1", URL: live.URL, Seed: 42}); err != nil {
+		t.Fatal(err)
+	}
+	// w2 is registered but unreachable: port 1 refuses immediately.
+	if err := c.Registry().Heartbeat(WorkerInfo{ID: "w2", URL: "http://127.0.0.1:1", Seed: 42}); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := httptest.NewRecorder()
+	c.handleGridMetrics(rec, httptest.NewRequest(http.MethodGet, "/v1/grid/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /v1/grid/metrics: %d", rec.Code)
+	}
+	got := rec.Body.Bytes()
+
+	golden := filepath.Join("testdata", "federated_golden.prom")
+	if *updateGolden {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with: go test ./internal/grid -run TestFederatedMetricsGolden -update)", err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatalf("federated exposition drifted from the golden bytes.\n--- want ---\n%s\n--- got ---\n%s", want, got)
+	}
+
+	// The failure detail the exposition deliberately omits must surface in
+	// /v1/gridz: w2's scrape row is fresh, failed, and carries the error.
+	zrec := httptest.NewRecorder()
+	c.handleGridz(zrec, httptest.NewRequest(http.MethodGet, "/v1/gridz", nil))
+	var z gridzResponse
+	if err := json.Unmarshal(zrec.Body.Bytes(), &z); err != nil {
+		t.Fatal(err)
+	}
+	if len(z.Workers) != 2 {
+		t.Fatalf("gridz workers = %d, want 2", len(z.Workers))
+	}
+	w1, w2 := z.Workers[0], z.Workers[1]
+	if w1.ID != "w1" || w2.ID != "w2" {
+		t.Fatalf("gridz order = %s, %s; want w1, w2", w1.ID, w2.ID)
+	}
+	if w1.Scrape == nil || !w1.Scrape.OK || w1.Scrape.Error != "" {
+		t.Fatalf("w1 scrape = %+v, want fresh success", w1.Scrape)
+	}
+	if w2.Scrape == nil || w2.Scrape.OK || w2.Scrape.Error == "" {
+		t.Fatalf("w2 scrape = %+v, want recorded failure with error detail", w2.Scrape)
+	}
+	if w1.Scrape.AgeSeconds < 0 || w1.Scrape.AgeSeconds > 60 {
+		t.Fatalf("w1 scrape age = %v, want recent", w1.Scrape.AgeSeconds)
+	}
+}
+
+// TestFederatedScrapeBoundedByTimeout proves the "one timeout window"
+// contract: a worker that accepts the connection and then hangs (the
+// SIGSTOP shape) delays the federated scrape by about one ScrapeTimeout,
+// not forever, and degrades to a failed row while the healthy worker's
+// samples still come through.
+func TestFederatedScrapeBoundedByTimeout(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	hung := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	defer hung.Close()
+	live := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte("fleet_computes_total 1\n"))
+	}))
+	defer live.Close()
+
+	c := New(Config{Seed: 1, TTL: time.Minute, Obs: obs.New(), ScrapeTimeout: 200 * time.Millisecond})
+	if err := c.Registry().Heartbeat(WorkerInfo{ID: "hung", URL: hung.URL, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Registry().Heartbeat(WorkerInfo{ID: "live", URL: live.URL, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	rec := httptest.NewRecorder()
+	c.handleGridMetrics(rec, httptest.NewRequest(http.MethodGet, "/v1/grid/metrics", nil))
+	elapsed := time.Since(start)
+	if elapsed > 2*time.Second {
+		t.Fatalf("federated scrape took %v with a hung worker; want ~one 200ms timeout window", elapsed)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, `grid_scrape_ok{worker="hung"} 0`) {
+		t.Fatalf("hung worker not marked failed:\n%s", body)
+	}
+	if !strings.Contains(body, `fleet_computes_total{worker="live"} 1`) {
+		t.Fatalf("live worker's samples missing from partial federation:\n%s", body)
+	}
+}
+
+func TestRelabelExposition(t *testing.T) {
+	cases := []struct {
+		name   string
+		in     string
+		worker string
+		want   string
+	}{
+		{"bare name gains label set", "up 1\n", "w1", `up{worker="w1"} 1` + "\n"},
+		{"existing labels keep worker first", `hist_sum{stage="measure"} 2` + "\n", "w1",
+			`hist_sum{worker="w1",stage="measure"} 2` + "\n"},
+		{"metadata dropped", "# HELP up Up.\n# TYPE up gauge\nup 1\n", "w1", `up{worker="w1"} 1` + "\n"},
+		{"label value escaped", "up 1\n", `a"b\c`, `up{worker="a\"b\\c"} 1` + "\n"},
+		{"blank and junk lines dropped", "\nnot-a-sample-line\nup 1\n", "w1", `up{worker="w1"} 1` + "\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := string(relabelExposition([]byte(tc.in), tc.worker)); got != tc.want {
+				t.Fatalf("relabel(%q, %q) = %q, want %q", tc.in, tc.worker, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestHeartbeatDigestRoundTrip drives WorkerInfo values carrying stats
+// digests through the real wire path — the Heartbeat client function
+// against the coordinator's HTTP handler (which decodes with
+// DisallowUnknownFields) — and asserts the registry's view matches what
+// the worker sent, including absent digests staying absent.
+func TestHeartbeatDigestRoundTrip(t *testing.T) {
+	cases := []struct {
+		name   string
+		digest *HeartbeatDigest
+	}{
+		{"no digest (older worker)", nil},
+		{"zero digest", &HeartbeatDigest{}},
+		{"populated digest", &HeartbeatDigest{Inflight: 3, StoreEntries: 17, Computes: 941, ServeP99Ms: 12.5}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := New(Config{Seed: 7, TTL: time.Minute})
+			srv := httptest.NewServer(c.Handler())
+			defer srv.Close()
+
+			info := WorkerInfo{ID: "w1", URL: "http://worker:1", Seed: 7, Epoch: 2, Digest: tc.digest}
+			if _, err := Heartbeat(context.Background(), srv.Client(), srv.URL, info); err != nil {
+				t.Fatal(err)
+			}
+			workers := c.Registry().Workers()
+			if len(workers) != 1 {
+				t.Fatalf("workers = %d, want 1", len(workers))
+			}
+			got := workers[0].Digest
+			if (got == nil) != (tc.digest == nil) {
+				t.Fatalf("digest presence = %v, want %v", got != nil, tc.digest != nil)
+			}
+			if got != nil && *got != *tc.digest {
+				t.Fatalf("digest = %+v, want %+v", *got, *tc.digest)
+			}
+		})
+	}
+}

@@ -97,6 +97,17 @@ type Config struct {
 	// Quarantine is how long a quarantined worker is held out of
 	// rotation before its probation re-probe (default DefaultQuarantine).
 	Quarantine time.Duration
+	// ScrapeTimeout caps one federated scrape of one worker's /v1/metrics
+	// and one trace fan-in fetch (default DefaultScrapeTimeout). Scrapes
+	// run concurrently, so a whole-fleet federation pass completes within
+	// roughly one window regardless of how many workers are unreachable.
+	ScrapeTimeout time.Duration
+	// Origin names this coordinator on dispatched work: it is stamped as
+	// the X-Relperf-Origin header on every study submitted to a worker
+	// (the worker records it as an "origin" event on the study's
+	// timeline) and tags the coordinator's own spans in fanned-in traces.
+	// Default "coordinator".
+	Origin string
 	// Client is the HTTP client for worker requests; nil means a default
 	// client (no global timeout — the per-attempt context enforces one).
 	Client *http.Client
@@ -131,9 +142,16 @@ type Coordinator struct {
 
 	heartbeats     *obs.Counter   // accepted worker heartbeats
 	attemptSeconds *obs.Histogram // one remote attempt, success or not
+	scrapeFailures *obs.Counter   // failed per-worker federated scrapes
 
 	mu      sync.Mutex
 	journal []TaskRecord // newest first, bounded by journalCap
+
+	// scrapes remembers the last federated scrape per worker — the
+	// freshness /v1/gridz reports. Its own mutex: scrapes land from
+	// concurrent fetch goroutines and must not contend with the journal.
+	scrapeMu sync.Mutex
+	scrapes  map[string]scrapeState
 }
 
 // New returns a coordinator with an empty worker registry.
@@ -149,6 +167,9 @@ func New(cfg Config) *Coordinator {
 	}
 	if cfg.RetryMax < cfg.RetryBase {
 		cfg.RetryMax = DefaultRetryMax
+	}
+	if cfg.Origin == "" {
+		cfg.Origin = "coordinator"
 	}
 	client := cfg.Client
 	if client == nil {
@@ -186,6 +207,8 @@ func (c *Coordinator) registerMetrics() {
 	c.heartbeats = reg.Counter("grid_heartbeats_total", "Worker heartbeats accepted.")
 	c.attemptSeconds = reg.Histogram("grid_attempt_seconds",
 		"One remote dispatch attempt: submit, stream, verify.", nil)
+	c.scrapeFailures = reg.Counter("grid_scrape_failures_total",
+		"Per-worker federated metric scrapes that failed.")
 }
 
 // sleepCtx waits d or until ctx is done, whichever is first.
@@ -417,6 +440,10 @@ func (c *Coordinator) runOn(ctx context.Context, w WorkerInfo, task relperf.Grid
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// The origin stamp: the worker records it as an "origin" event on the
+	// study's timeline, so a fanned-in trace shows not just what the worker
+	// did but on whose behalf.
+	req.Header.Set(fleet.OriginHeader, c.cfg.Origin)
 	resp, err := c.client.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("grid: submitting to %s: %w", w.ID, err)

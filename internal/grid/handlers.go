@@ -17,11 +17,17 @@ import (
 //	POST /v1/grid/workers    worker heartbeat (register / refresh lease)
 //	GET  /v1/grid/workers    live workers + registry and dispatch counters
 //	GET  /v1/grid/tasks      recent dispatch journal (task envelopes)
+//	GET  /v1/grid/metrics    federated exposition: coordinator + every
+//	                         worker's series re-labeled worker="<id>"
+//	GET  /v1/gridz           JSON fleet summary (health, epochs, digests,
+//	                         heartbeat ages, scrape freshness)
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/grid/workers", c.handleHeartbeat)
 	mux.HandleFunc("GET /v1/grid/workers", c.handleWorkers)
 	mux.HandleFunc("GET /v1/grid/tasks", c.handleTasks)
+	mux.HandleFunc("GET /v1/grid/metrics", c.handleGridMetrics)
+	mux.HandleFunc("GET /v1/gridz", c.handleGridz)
 	return mux
 }
 
@@ -181,6 +187,16 @@ func heartbeatDelay(interval time.Duration, failures int, key uint64) time.Durat
 // recovered (or failed-over) coordinator regains the worker within one
 // backoff window and keeps it at the healthy rate from then on.
 func RunHeartbeats(ctx context.Context, client *http.Client, coordinatorURL string, info WorkerInfo, interval time.Duration, logf func(format string, args ...any)) {
+	RunHeartbeatsFunc(ctx, client, coordinatorURL, func() WorkerInfo { return info }, interval, logf)
+}
+
+// RunHeartbeatsFunc is RunHeartbeats with a per-beat registration
+// callback: info is invoked before every heartbeat, so fields that
+// change over the worker's life — the stats digest above all — ride each
+// beat fresh instead of freezing at startup. The identity fields (ID,
+// URL, Seed, Epoch) must stay stable across calls; only the digest is
+// expected to move.
+func RunHeartbeatsFunc(ctx context.Context, client *http.Client, coordinatorURL string, info func() WorkerInfo, interval time.Duration, logf func(format string, args ...any)) {
 	adaptive := interval <= 0
 	if adaptive {
 		interval = DefaultTTL / 3
@@ -195,11 +211,12 @@ func RunHeartbeats(ctx context.Context, client *http.Client, coordinatorURL stri
 	// coordinator walks the same capped-doubling windows but draws its own
 	// delay inside each, so the recovered coordinator absorbs the fleet's
 	// re-announcements over a window instead of one synchronized burst.
-	key := idHash(info.ID)
+	key := idHash(info().ID)
 	failures := 0
 	registered := false
 	beat := func() {
-		ttl, err := Heartbeat(ctx, client, coordinatorURL, info)
+		cur := info()
+		ttl, err := Heartbeat(ctx, client, coordinatorURL, cur)
 		if err != nil {
 			failures++
 			registered = false
@@ -209,7 +226,7 @@ func RunHeartbeats(ctx context.Context, client *http.Client, coordinatorURL stri
 			return
 		}
 		if !registered {
-			logf("grid: registered with coordinator %s as %s (lease %s)", coordinatorURL, info.ID, ttl)
+			logf("grid: registered with coordinator %s as %s (lease %s)", coordinatorURL, cur.ID, ttl)
 		}
 		registered = true
 		failures = 0

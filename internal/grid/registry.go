@@ -77,6 +77,29 @@ type WorkerInfo struct {
 	// earned by its dead predecessor. 0 (a worker predating the field)
 	// never resets.
 	Epoch uint64 `json:"epoch,omitempty"`
+	// Digest is the worker's self-reported stats digest, refreshed on
+	// every heartbeat. It is the coordinator's last-known view of the
+	// worker's load — still readable from /v1/gridz when the worker has
+	// stopped answering scrapes, because the lease outlives the last
+	// successful heartbeat by a full TTL. Optional: workers predating the
+	// field simply omit it.
+	Digest *HeartbeatDigest `json:"digest,omitempty"`
+}
+
+// HeartbeatDigest is the compact stats digest a worker piggybacks on its
+// heartbeats: enough to rank workers and spot a wedged one without
+// scraping, cheap enough to recompute three times per TTL.
+type HeartbeatDigest struct {
+	// Inflight is the worker's currently computing study count.
+	Inflight int `json:"inflight"`
+	// StoreEntries is the worker's cached result count.
+	StoreEntries int `json:"store_entries"`
+	// Computes counts study computations started since the process began.
+	Computes uint64 `json:"computes"`
+	// ServeP99Ms is the worker's estimated p99 study-GET latency in
+	// milliseconds (bucket-interpolated — a latency band, not a
+	// microsecond).
+	ServeP99Ms float64 `json:"serve_p99_ms"`
 }
 
 // WorkerStatus is one worker's registration plus its health-machine
@@ -88,6 +111,10 @@ type WorkerStatus struct {
 	// Failures counts consecutive dispatch failures since the last
 	// success (or restart).
 	Failures int `json:"failures"`
+	// LastSeenAgeSeconds is how long ago the worker's last heartbeat
+	// landed, measured when the listing was built. Ages approaching the
+	// TTL mean the lease is about to expire.
+	LastSeenAgeSeconds float64 `json:"last_seen_age_seconds"`
 }
 
 // workerState is a registered worker plus its liveness and health
@@ -272,12 +299,32 @@ func (r *Registry) Workers() []WorkerStatus {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.pruneLocked()
+	now := r.now()
 	out := make([]WorkerStatus, 0, len(r.workers))
 	for _, w := range r.workers {
-		out = append(out, WorkerStatus{WorkerInfo: w.info, State: w.state, Failures: w.failures})
+		out = append(out, WorkerStatus{
+			WorkerInfo:         w.info,
+			State:              w.state,
+			Failures:           w.failures,
+			LastSeenAgeSeconds: now.Sub(w.lastSeen).Seconds(),
+		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
+}
+
+// Lookup returns the registered worker with the given ID, if its lease is
+// current — the trace fan-in's way to turn a journaled worker ID back
+// into a dialable URL.
+func (r *Registry) Lookup(id string) (WorkerInfo, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.pruneLocked()
+	w, ok := r.workers[id]
+	if !ok {
+		return WorkerInfo{}, false
+	}
+	return w.info, true
 }
 
 // RegistryStats reports the registry's lifecycle counters and per-state

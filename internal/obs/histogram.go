@@ -76,6 +76,63 @@ func (h *Histogram) Sum() float64 {
 	return float64frombits(h.sumBits.Load())
 }
 
+// Quantile estimates the q-quantile (q in [0, 1]) from the bucket
+// counts: find the first bucket whose cumulative count reaches rank
+// q·total and interpolate linearly inside it. The estimate is as coarse
+// as the buckets are — it answers "which latency band", not "which
+// microsecond" — which is exactly the fidelity a heartbeat digest needs.
+// Returns 0 for a nil or empty histogram; a rank landing in the +Inf
+// bucket reports the last finite bound (there is no upper edge to
+// interpolate toward).
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.total.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if cum+n < rank {
+			cum += n
+			continue
+		}
+		if i >= len(h.bounds) {
+			// +Inf bucket: the honest answer is "at least the last bound".
+			if len(h.bounds) == 0 {
+				return 0
+			}
+			return h.bounds[len(h.bounds)-1]
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = h.bounds[i-1]
+		}
+		upper := h.bounds[i]
+		if n == 0 {
+			return upper
+		}
+		frac := float64(rank-cum) / float64(n)
+		return lower + frac*(upper-lower)
+	}
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // BucketCount is one cumulative bucket in a histogram snapshot.
 type BucketCount struct {
 	UpperBound float64 `json:"le"` // +Inf rendered by the caller

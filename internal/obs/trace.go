@@ -8,7 +8,10 @@ import (
 
 // Span is one step of a study's lifecycle: either an instant event
 // (End zero) or a timed interval. Attempt/Worker annotate grid
-// dispatches; Error records why a step failed.
+// dispatches; Error records why a step failed. Node names the process
+// the span was recorded on — empty on a single-node timeline, filled in
+// by the coordinator's trace fan-in when timelines from several nodes
+// are merged into one response.
 type Span struct {
 	Name    string    `json:"name"`
 	Start   time.Time `json:"start"`
@@ -16,6 +19,7 @@ type Span struct {
 	Seconds float64   `json:"seconds"`
 	Attempt int       `json:"attempt,omitempty"`
 	Worker  string    `json:"worker,omitempty"`
+	Node    string    `json:"node,omitempty"`
 	Detail  string    `json:"detail,omitempty"`
 	Error   string    `json:"error,omitempty"`
 }
